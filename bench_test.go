@@ -1,0 +1,321 @@
+package fortd
+
+import (
+	"fmt"
+	"testing"
+)
+
+// The benchmark harness regenerates every measurable table/figure of
+// the paper. Wall-clock time measures this implementation; the figures
+// of merit for the paper's claims are the reported custom metrics:
+// sim_µs (simulated parallel execution time), msgs and words
+// (communication), and remaps — compare them across the paired
+// benchmarks exactly as the paper compares its code variants.
+
+func mustCompile(b *testing.B, src string, opts Options) *Program {
+	b.Helper()
+	p, err := Compile(src, opts)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return p
+}
+
+func runOnce(b *testing.B, p *Program, init map[string][]float64) *Result {
+	b.Helper()
+	res, err := p.Run(RunOptions{Init: init})
+	if err != nil {
+		b.Fatal(err)
+	}
+	return res
+}
+
+func report(b *testing.B, res *Result) {
+	b.ReportMetric(res.Stats.Time, "sim_µs")
+	b.ReportMetric(float64(res.Stats.Messages), "msgs")
+	b.ReportMetric(float64(res.Stats.Words), "words")
+	if res.Stats.Remaps > 0 {
+		b.ReportMetric(float64(res.Stats.Remaps), "remaps")
+	}
+}
+
+// --- Figure 2 vs Figure 3 ---------------------------------------------------
+
+// BenchmarkFig2CompileTime is the paper's Figure 2: interprocedurally
+// compiled code for the Figure 1 program (vectorized boundary
+// messages, reduced loop bounds).
+func BenchmarkFig2CompileTime(b *testing.B) {
+	p := mustCompile(b, Fig1Src(400, 4), DefaultOptions())
+	init := map[string][]float64{"X": Ramp(400)}
+	var res *Result
+	for i := 0; i < b.N; i++ {
+		res = runOnce(b, p, init)
+	}
+	report(b, res)
+}
+
+// BenchmarkFig3RuntimeResolution is the Figure 3 baseline: per-element
+// ownership tests and element messages.
+func BenchmarkFig3RuntimeResolution(b *testing.B) {
+	opts := DefaultOptions()
+	opts.Strategy = RuntimeResolution
+	p := mustCompile(b, Fig1Src(400, 4), opts)
+	init := map[string][]float64{"X": Ramp(400)}
+	var res *Result
+	for i := 0; i < b.N; i++ {
+		res = runOnce(b, p, init)
+	}
+	report(b, res)
+}
+
+// --- Figure 10 vs Figure 12 -------------------------------------------------
+
+// BenchmarkFig10Delayed is Figure 10: cloning plus delayed
+// instantiation vectorizes the boundary exchange out of the caller's
+// loop — one message per boundary for the whole program.
+func BenchmarkFig10Delayed(b *testing.B) {
+	p := mustCompile(b, Fig4Src(100, 4), DefaultOptions())
+	init := map[string][]float64{"X": Ramp(100 * 100), "Y": Ramp(100 * 100)}
+	var res *Result
+	for i := 0; i < b.N; i++ {
+		res = runOnce(b, p, init)
+	}
+	report(b, res)
+}
+
+// BenchmarkFig12Immediate is Figure 12: immediate instantiation sends
+// one message per procedure invocation (100x more).
+func BenchmarkFig12Immediate(b *testing.B) {
+	opts := DefaultOptions()
+	opts.Strategy = Immediate
+	p := mustCompile(b, Fig4Src(100, 4), opts)
+	init := map[string][]float64{"X": Ramp(100 * 100), "Y": Ramp(100 * 100)}
+	var res *Result
+	for i := 0; i < b.N; i++ {
+		res = runOnce(b, p, init)
+	}
+	report(b, res)
+}
+
+// --- Figure 16 ladder --------------------------------------------------------
+
+// BenchmarkFig16Remap runs the dynamic-decomposition program at each
+// optimization level; the remaps metric reproduces the 4T/2T/2/1
+// ladder (T=25).
+func BenchmarkFig16Remap(b *testing.B) {
+	levels := []struct {
+		name  string
+		level RemapLevel
+	}{
+		{"none", RemapNone},
+		{"live", RemapLive},
+		{"hoist", RemapHoist},
+		{"kills", RemapKills},
+	}
+	for _, l := range levels {
+		b.Run(l.name, func(b *testing.B) {
+			opts := DefaultOptions()
+			opts.RemapOpt = l.level
+			p := mustCompile(b, Fig15Src(25, 4), opts)
+			init := map[string][]float64{"X": Ramp(100)}
+			var res *Result
+			for i := 0; i < b.N; i++ {
+				res = runOnce(b, p, init)
+			}
+			report(b, res)
+		})
+	}
+}
+
+// --- §9 dgefa ----------------------------------------------------------------
+
+// BenchmarkDgefaStrategies is the §9 strategy comparison.
+func BenchmarkDgefaStrategies(b *testing.B) {
+	const n = 64
+	variants := []struct {
+		name string
+		s    Strategy
+	}{
+		{"interproc", Interprocedural},
+		{"immediate", Immediate},
+		{"runtime", RuntimeResolution},
+	}
+	for _, v := range variants {
+		b.Run(v.name, func(b *testing.B) {
+			opts := DefaultOptions()
+			opts.P = 4
+			opts.Strategy = v.s
+			p := mustCompile(b, DgefaSrc(n, 4), opts)
+			init := map[string][]float64{"a": DgefaMatrix(n)}
+			var res *Result
+			for i := 0; i < b.N; i++ {
+				res = runOnce(b, p, init)
+			}
+			report(b, res)
+		})
+	}
+}
+
+// BenchmarkDgefaScaling is the §9 processor sweep.
+func BenchmarkDgefaScaling(b *testing.B) {
+	const n = 96
+	for _, procs := range []int{1, 2, 4, 8, 16} {
+		b.Run(fmt.Sprintf("P%d", procs), func(b *testing.B) {
+			opts := DefaultOptions()
+			opts.P = procs
+			p := mustCompile(b, DgefaSrc(n, procs), opts)
+			init := map[string][]float64{"a": DgefaMatrix(n)}
+			var res *Result
+			for i := 0; i < b.N; i++ {
+				res = runOnce(b, p, init)
+			}
+			report(b, res)
+		})
+	}
+}
+
+// --- Stencils ------------------------------------------------------------------
+
+// BenchmarkJacobi2D sweeps processors on the 2-D five-point stencil.
+func BenchmarkJacobi2D(b *testing.B) {
+	const n, steps = 64, 10
+	grid := make([]float64, n*n)
+	for j := 0; j < n; j++ {
+		grid[j] = 100
+		grid[(n-1)*n+j] = 100
+	}
+	for _, procs := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("P%d", procs), func(b *testing.B) {
+			opts := DefaultOptions()
+			opts.P = procs
+			p := mustCompile(b, Jacobi2DSrc(n, steps, procs), opts)
+			init := map[string][]float64{"a": grid}
+			var res *Result
+			for i := 0; i < b.N; i++ {
+				res = runOnce(b, p, init)
+			}
+			report(b, res)
+		})
+	}
+}
+
+// --- Ablations (DESIGN.md design choices) -----------------------------------
+
+// BenchmarkAblationCloning contrasts cloning with the fallback the
+// compiler takes when cloning is disabled (CloneLimit=0) on the
+// Figure 4 program: with multiple decompositions reaching F1/F2 and no
+// clones, the procedures execute replicated — every processor does all
+// the work (zero messages, ~P× the simulated time).
+func BenchmarkAblationCloning(b *testing.B) {
+	configs := []struct {
+		name  string
+		limit int
+	}{
+		{"cloning", 64},
+		{"noCloning", 0},
+	}
+	for _, cfg := range configs {
+		b.Run(cfg.name, func(b *testing.B) {
+			opts := DefaultOptions()
+			opts.CloneLimit = cfg.limit
+			p := mustCompile(b, Fig4Src(100, 4), opts)
+			init := map[string][]float64{"X": Ramp(100 * 100), "Y": Ramp(100 * 100)}
+			var res *Result
+			for i := 0; i < b.N; i++ {
+				res = runOnce(b, p, init)
+			}
+			report(b, res)
+		})
+	}
+}
+
+// --- Compiler speed ------------------------------------------------------------
+
+// BenchmarkCompileDgefa measures the compiler itself (parse through
+// code generation) on the dgefa program.
+func BenchmarkCompileDgefa(b *testing.B) {
+	src := DgefaSrc(128, 8)
+	opts := DefaultOptions()
+	opts.P = 8
+	for i := 0; i < b.N; i++ {
+		if _, err := Compile(src, opts); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkCompileFig4 measures compilation of the cloning-heavy
+// Figure 4 program.
+func BenchmarkCompileFig4(b *testing.B) {
+	src := Fig4Src(100, 4)
+	opts := DefaultOptions()
+	for i := 0; i < b.N; i++ {
+		if _, err := Compile(src, opts); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- §6 dynamic distribution (ADI phases) -------------------------------------
+
+// BenchmarkADI contrasts static distribution (pipelined boundary
+// exchange in the column phase) with dynamic redistribution between
+// phases.
+func BenchmarkADI(b *testing.B) {
+	const n, steps = 32, 2
+	for _, dynamic := range []bool{false, true} {
+		name := "static"
+		if dynamic {
+			name = "dynamic"
+		}
+		b.Run(name, func(b *testing.B) {
+			p := mustCompile(b, ADISrc(n, steps, 4, dynamic), DefaultOptions())
+			init := map[string][]float64{"a": Ramp(n * n)}
+			var res *Result
+			for i := 0; i < b.N; i++ {
+				res = runOnce(b, p, init)
+			}
+			report(b, res)
+		})
+	}
+}
+
+// --- Reductions ----------------------------------------------------------------
+
+// BenchmarkReduction measures a recognized global sum against the
+// prefix-sum fallback on the same data.
+func BenchmarkReduction(b *testing.B) {
+	srcFor := func(reduction bool) string {
+		body := `        s = s + X(i)`
+		if !reduction {
+			body = `        s = s + X(i)
+        X(i) = s`
+		}
+		return `
+      PROGRAM P
+      PARAMETER (n$proc = 4)
+      REAL X(200)
+      DISTRIBUTE X(BLOCK)
+      s = 0.0
+      do i = 1,200
+` + body + `
+      enddo
+      END
+`
+	}
+	for _, recognized := range []bool{true, false} {
+		name := "recognized"
+		if !recognized {
+			name = "fallback"
+		}
+		b.Run(name, func(b *testing.B) {
+			p := mustCompile(b, srcFor(recognized), DefaultOptions())
+			init := map[string][]float64{"X": Ramp(200)}
+			var res *Result
+			for i := 0; i < b.N; i++ {
+				res = runOnce(b, p, init)
+			}
+			report(b, res)
+		})
+	}
+}

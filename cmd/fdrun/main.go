@@ -1,0 +1,131 @@
+// Command fdrun compiles a Fortran D source file and executes the
+// generated SPMD program on the simulated MIMD machine, printing the
+// run's statistics and (optionally) the resulting arrays. Arrays are
+// seeded with a deterministic ramp unless -zero is given.
+//
+// Usage:
+//
+//	fdrun [-p N] [-strategy interproc|runtime|immediate] [-zero] [-print-arrays] file.f
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+
+	"fortd"
+	"fortd/internal/ast"
+	"fortd/internal/parser"
+)
+
+func main() {
+	p := flag.Int("p", 0, "processor count (0: use the program's n$proc)")
+	strategy := flag.String("strategy", "interproc", "interproc | runtime | immediate")
+	zero := flag.Bool("zero", false, "zero-initialize arrays instead of a ramp")
+	printArrays := flag.Bool("print-arrays", false, "print final array contents")
+	check := flag.Bool("check", true, "compare against the sequential reference")
+	flag.Parse()
+
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: fdrun [flags] file.f")
+		os.Exit(2)
+	}
+	srcBytes, err := os.ReadFile(flag.Arg(0))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "fdrun:", err)
+		os.Exit(1)
+	}
+	src := string(srcBytes)
+
+	opts := fortd.DefaultOptions()
+	opts.P = *p
+	switch *strategy {
+	case "interproc":
+		opts.Strategy = fortd.Interprocedural
+	case "runtime":
+		opts.Strategy = fortd.RuntimeResolution
+	case "immediate":
+		opts.Strategy = fortd.Immediate
+	}
+	prog, err := fortd.Compile(src, opts)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "fdrun:", err)
+		os.Exit(1)
+	}
+
+	init := map[string][]float64{}
+	if !*zero {
+		// seed every main-program array with a ramp
+		parsed, err := parser.Parse(src)
+		if err == nil && parsed.Main() != nil {
+			for _, sym := range parsed.Main().Symbols.Symbols() {
+				if sym.Kind != ast.SymArray {
+					continue
+				}
+				size := 1
+				okAll := true
+				for _, d := range sym.Dims {
+					lo, okLo := ast.EvalInt(d.Lo, nil)
+					hi, okHi := ast.EvalInt(d.Hi, nil)
+					if !okLo || !okHi {
+						okAll = false
+						break
+					}
+					size *= hi - lo + 1
+				}
+				if okAll {
+					init[sym.Name] = fortd.Ramp(size)
+				}
+			}
+		}
+	}
+
+	res, err := prog.Run(fortd.RunOptions{Init: init})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "fdrun:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("P=%d strategy=%s\n", prog.P(), *strategy)
+	fmt.Printf("stats: %s\n", res.Stats)
+
+	if *check {
+		ref, err := prog.RunReference(fortd.RunOptions{Init: init})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "fdrun: reference:", err)
+			os.Exit(1)
+		}
+		ok := true
+		for name, want := range ref.Arrays {
+			got := res.Arrays[name]
+			for i := range want {
+				d := got[i] - want[i]
+				if d > 1e-9 || d < -1e-9 {
+					fmt.Printf("MISMATCH %s[%d]: %v != %v\n", name, i, got[i], want[i])
+					ok = false
+					break
+				}
+			}
+		}
+		fmt.Printf("matches sequential reference: %v\n", ok)
+		if !ok {
+			os.Exit(1)
+		}
+	}
+
+	if *printArrays {
+		names := make([]string, 0, len(res.Arrays))
+		for name := range res.Arrays {
+			names = append(names, name)
+		}
+		sort.Strings(names)
+		for _, name := range names {
+			vals := res.Arrays[name]
+			if len(vals) > 16 {
+				fmt.Printf("%s(1:16) = %v ...\n", name, vals[:16])
+			} else {
+				fmt.Printf("%s = %v\n", name, vals)
+			}
+		}
+	}
+}

@@ -1,0 +1,249 @@
+// Package fortd is an interprocedural Fortran D compiler and
+// distributed-memory machine simulator, reproducing
+//
+//	Hall, Hiranandani, Kennedy, Tseng:
+//	"Interprocedural Compilation of Fortran D for MIMD
+//	Distributed-Memory Machines", Supercomputing '92.
+//
+// The compiler translates sequential Fortran 77 programs annotated with
+// Fortran D data-placement directives (DECOMPOSITION, ALIGN,
+// DISTRIBUTE) into SPMD node programs with explicit message passing.
+// Interprocedural analyses — reaching decompositions, procedure
+// cloning, delayed instantiation of the computation partition,
+// communication and dynamic data decomposition, interprocedural RSD
+// summaries, overlap calculation, and live-decomposition optimization —
+// let it compile each procedure in a single pass while generating
+// caller-level vectorized communication.
+//
+// Basic usage:
+//
+//	prog, err := fortd.Compile(src, fortd.DefaultOptions())
+//	res, err := prog.Run(fortd.RunOptions{Init: map[string][]float64{"X": x0}})
+//	fmt.Println(res.Stats)
+package fortd
+
+import (
+	"fmt"
+
+	"fortd/internal/ast"
+	"fortd/internal/codegen"
+	"fortd/internal/core"
+	"fortd/internal/decomp"
+	"fortd/internal/livedecomp"
+	"fortd/internal/machine"
+	"fortd/internal/parser"
+	"fortd/internal/spmd"
+)
+
+// Strategy selects the compilation strategy: the paper's
+// interprocedural compilation or one of its two baselines.
+type Strategy = codegen.Strategy
+
+// Compilation strategies.
+const (
+	// Interprocedural is the paper's contribution: single-pass
+	// reverse-topological compilation with delayed instantiation.
+	Interprocedural = codegen.StrategyInterproc
+	// RuntimeResolution resolves ownership and communication per
+	// element reference at run time (Figure 3 baseline).
+	RuntimeResolution = codegen.StrategyRuntime
+	// Immediate performs compile-time analysis but instantiates
+	// partitions and communication inside each procedure, without
+	// crossing procedure boundaries (Figure 12 baseline).
+	Immediate = codegen.StrategyImmediate
+)
+
+// RemapLevel is the dynamic data decomposition optimization ladder of
+// Figure 16.
+type RemapLevel = livedecomp.Level
+
+// Remap optimization levels.
+const (
+	RemapNone  = livedecomp.OptNone
+	RemapLive  = livedecomp.OptLive
+	RemapHoist = livedecomp.OptHoist
+	RemapKills = livedecomp.OptKills
+)
+
+// MachineConfig is the simulated machine's size and cost model.
+type MachineConfig = machine.Config
+
+// Stats reports a simulated run's communication and time statistics.
+type Stats = machine.Stats
+
+// DefaultMachine returns an iPSC/860-like cost model with p processors.
+func DefaultMachine(p int) MachineConfig { return machine.DefaultConfig(p) }
+
+// Options configures compilation.
+type Options struct {
+	// P is the number of processors to compile for (0: read the main
+	// program's n$proc PARAMETER, defaulting to 4).
+	P int
+	// Strategy selects interprocedural compilation or a baseline.
+	Strategy Strategy
+	// RemapOpt sets the dynamic-decomposition optimization level.
+	RemapOpt RemapLevel
+	// CloneLimit bounds procedure cloning; 0 disables cloning and
+	// forces run-time resolution on decomposition conflicts.
+	CloneLimit int
+}
+
+// DefaultOptions enables the full interprocedural pipeline.
+func DefaultOptions() Options {
+	d := core.DefaultOptions()
+	return Options{Strategy: d.Strategy, RemapOpt: d.RemapOpt, CloneLimit: d.CloneLimit}
+}
+
+// Report summarizes what code generation did.
+type Report = core.Report
+
+// Program is a compiled Fortran D program.
+type Program struct {
+	c *core.Compilation
+}
+
+// Compile compiles Fortran D source text.
+func Compile(src string, opts Options) (*Program, error) {
+	c, err := core.Compile(src, core.Options{
+		P: opts.P, Strategy: opts.Strategy,
+		RemapOpt: opts.RemapOpt, CloneLimit: opts.CloneLimit,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &Program{c: c}, nil
+}
+
+// P returns the processor count the program was compiled for.
+func (p *Program) P() int { return p.c.P }
+
+// Listing renders the generated SPMD program as source text.
+func (p *Program) Listing() string { return ast.Print(p.c.Program) }
+
+// SourceListing renders the original input program.
+func (p *Program) SourceListing() string { return ast.Print(p.c.Source) }
+
+// Report returns code generation statistics.
+func (p *Program) Report() Report { return p.c.Report }
+
+// Clones maps generated procedure clones to their originals.
+func (p *Program) Clones() map[string]string { return p.c.Reach.ClonedFrom }
+
+// OverlapExtent reports the overlap region estimated for (procedure,
+// array) in the given dimension with the given local block size,
+// e.g. (1, 30) for the paper's REAL X(30).
+func (p *Program) OverlapExtent(proc, array string, dim, blockSize int) (lo, hi int) {
+	return p.c.Overlaps.Extents(proc, array, dim, blockSize)
+}
+
+// RunOptions configures a simulated execution.
+type RunOptions struct {
+	// Init seeds main-program arrays (row-major global order).
+	Init map[string][]float64
+	// InitScalars seeds main-program scalars.
+	InitScalars map[string]float64
+	// Machine overrides the cost model (zero value: DefaultMachine(P)).
+	Machine MachineConfig
+}
+
+// Result is the outcome of a simulated run.
+type Result struct {
+	// Stats holds simulated time, message and word counts.
+	Stats Stats
+	// Arrays holds the main program's arrays, assembled from the
+	// owning processors.
+	Arrays map[string][]float64
+}
+
+// Run executes the compiled SPMD program on the simulated machine.
+func (p *Program) Run(opts RunOptions) (*Result, error) {
+	cfg := opts.Machine
+	if cfg.P == 0 {
+		cfg = machine.DefaultConfig(p.c.P)
+	}
+	rr, err := spmd.Run(p.c.Program, cfg, spmd.Options{
+		Dists: p.c.MainDists, Init: opts.Init, InitScalars: opts.InitScalars,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &Result{Stats: rr.Stats, Arrays: rr.Arrays}, nil
+}
+
+// DataflowProblem is one row of the paper's Table 1: an
+// interprocedural data-flow problem, its propagation direction over
+// the call graph, the compilation phase that solves it, and the
+// package implementing it here.
+type DataflowProblem = core.DataflowProblem
+
+// Table1 returns the paper's Table 1 as implemented by this compiler.
+func Table1() []DataflowProblem { return core.Table1() }
+
+// RunSPMD executes hand-written SPMD node-program text directly on the
+// simulated machine, without compiling it — the way the paper's
+// hand-coded comparison points run. DISTRIBUTE directives in the main
+// program supply the distribution descriptors used for allgather/remap
+// semantics and result assembly; they generate no code.
+func RunSPMD(src string, p int, opts RunOptions) (*Result, error) {
+	prog, err := parser.Parse(src)
+	if err != nil {
+		return nil, err
+	}
+	main := prog.Main()
+	if main == nil {
+		return nil, fmt.Errorf("fortd: SPMD text has no main program")
+	}
+	dists := map[string]*decomp.Dist{}
+	env := ast.MapEnv{}
+	for _, s := range main.Symbols.Symbols() {
+		if s.Kind == ast.SymConstant {
+			env[s.Name] = s.ConstValue
+		}
+	}
+	ast.WalkStmts(main.Body, func(s ast.Stmt) bool {
+		d, ok := s.(*ast.Distribute)
+		if !ok {
+			return true
+		}
+		sym := main.Symbols.Lookup(d.Target)
+		if sym == nil || sym.Kind != ast.SymArray {
+			return true
+		}
+		sizes := make([]int, len(sym.Dims))
+		for i, dim := range sym.Dims {
+			lo, okLo := ast.EvalInt(dim.Lo, env)
+			hi, okHi := ast.EvalInt(dim.Hi, env)
+			if !okLo || !okHi {
+				return true
+			}
+			sizes[i] = hi - lo + 1
+		}
+		if dist, err := decomp.NewDist(decomp.NewDecomp(d.Specs...), sizes, p); err == nil {
+			dists[d.Target] = dist
+		}
+		return true
+	})
+	cfg := opts.Machine
+	if cfg.P == 0 {
+		cfg = machine.DefaultConfig(p)
+	}
+	rr, err := spmd.Run(prog, cfg, spmd.Options{
+		Dists: dists, Init: opts.Init, InitScalars: opts.InitScalars,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &Result{Stats: rr.Stats, Arrays: rr.Arrays}, nil
+}
+
+// RunReference executes the original sequential program (one
+// processor, no communication) and returns the reference result.
+func (p *Program) RunReference(opts RunOptions) (*Result, error) {
+	rr, err := spmd.RunSequential(p.c.Source, spmd.Options{
+		Init: opts.Init, InitScalars: opts.InitScalars,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &Result{Stats: rr.Stats, Arrays: rr.Arrays}, nil
+}

@@ -1,0 +1,237 @@
+package fortd
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestCompileAndRunQuickstart(t *testing.T) {
+	prog, err := Compile(Fig1Src(100, 4), DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if prog.P() != 4 {
+		t.Errorf("P = %d", prog.P())
+	}
+	res, err := prog.Run(RunOptions{Init: map[string][]float64{"X": Ramp(100)}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref, err := prog.RunReference(RunOptions{Init: map[string][]float64{"X": Ramp(100)}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range ref.Arrays["X"] {
+		if math.Abs(res.Arrays["X"][i]-ref.Arrays["X"][i]) > 1e-9 {
+			t.Fatalf("X[%d] = %v, want %v", i, res.Arrays["X"][i], ref.Arrays["X"][i])
+		}
+	}
+	if res.Stats.Messages != 3 {
+		t.Errorf("messages = %d", res.Stats.Messages)
+	}
+}
+
+func TestListingAndReport(t *testing.T) {
+	prog, err := Compile(Fig4Src(100, 4), DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := prog.Listing()
+	if !strings.Contains(text, "F1$row") {
+		t.Error("listing missing clone")
+	}
+	src := prog.SourceListing()
+	if strings.Contains(src, "my$p") {
+		t.Error("source listing contains generated code")
+	}
+	r := prog.Report()
+	if r.Cloned == 0 || r.Messages == 0 {
+		t.Errorf("report = %+v", r)
+	}
+	clones := prog.Clones()
+	if clones["F1$row"] != "F1" {
+		t.Errorf("clones = %v", clones)
+	}
+}
+
+func TestOverlapExtentAPI(t *testing.T) {
+	prog, err := Compile(Fig1Src(100, 4), DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	lo, hi := prog.OverlapExtent("F1", "X", 0, 25)
+	if lo != 1 || hi != 30 {
+		t.Errorf("extent = [%d:%d], want [1:30]", lo, hi)
+	}
+}
+
+func TestCustomMachineConfig(t *testing.T) {
+	prog, err := Compile(Fig1Src(100, 4), DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cheap := MachineConfig{P: 4, Latency: 1, PerWord: 0.01, FlopCost: 0.1}
+	expensive := MachineConfig{P: 4, Latency: 10000, PerWord: 10, FlopCost: 0.1}
+	init := map[string][]float64{"X": Ramp(100)}
+	r1, err := prog.Run(RunOptions{Init: init, Machine: cheap})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := prog.Run(RunOptions{Init: init, Machine: expensive})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r2.Stats.Time <= r1.Stats.Time {
+		t.Errorf("expensive machine not slower: %.1f vs %.1f", r2.Stats.Time, r1.Stats.Time)
+	}
+}
+
+func TestTable1Coverage(t *testing.T) {
+	rows := Table1()
+	if len(rows) != 12 {
+		t.Fatalf("Table 1 has %d rows, want 12", len(rows))
+	}
+	// the paper's directions
+	want := map[string]string{
+		"Reaching decompositions": "↓",
+		"Local iteration sets":    "↑",
+		"Nonlocal index sets":     "↑",
+		"Overlaps":                "l",
+		"Live decompositions":     "↑",
+		"Loop structure":          "↓",
+	}
+	for _, row := range rows {
+		if dir, ok := want[row.Name]; ok && row.Direction.String() != dir {
+			t.Errorf("%s direction = %s, want %s", row.Name, row.Direction, dir)
+		}
+		if row.Package == "" {
+			t.Errorf("%s has no implementing package", row.Name)
+		}
+	}
+}
+
+func TestStrategiesAgreeOnResults(t *testing.T) {
+	init := map[string][]float64{"X": Ramp(100)}
+	var want []float64
+	for _, s := range []Strategy{Interprocedural, Immediate, RuntimeResolution} {
+		opts := DefaultOptions()
+		opts.Strategy = s
+		prog, err := Compile(Fig1Src(100, 4), opts)
+		if err != nil {
+			t.Fatalf("%v: %v", s, err)
+		}
+		res, err := prog.Run(RunOptions{Init: init})
+		if err != nil {
+			t.Fatalf("%v: %v", s, err)
+		}
+		if want == nil {
+			want = res.Arrays["X"]
+			continue
+		}
+		for i := range want {
+			if math.Abs(res.Arrays["X"][i]-want[i]) > 1e-9 {
+				t.Fatalf("%v: X[%d] = %v, want %v", s, i, res.Arrays["X"][i], want[i])
+			}
+		}
+	}
+}
+
+func TestCompileErrors(t *testing.T) {
+	bad := []string{
+		"",                        // empty
+		"PROGRAM P\nfoo bar\nEND", // parse error
+		"PROGRAM P\ncall P\nEND",  // self-recursion
+	}
+	for _, src := range bad {
+		if _, err := Compile(src, DefaultOptions()); err == nil {
+			t.Errorf("no error for %q", src)
+		}
+	}
+}
+
+func TestWorkloadGeneratorsParse(t *testing.T) {
+	for name, src := range map[string]string{
+		"fig1":  Fig1Src(200, 8),
+		"fig4":  Fig4Src(60, 2),
+		"fig15": Fig15Src(5, 4),
+		"dgefa": DgefaSrc(32, 4),
+		"jac1d": Jacobi1DSrc(64, 3, 4),
+		"jac2d": Jacobi2DSrc(16, 2, 4),
+	} {
+		if _, err := Compile(src, DefaultOptions()); err != nil {
+			t.Errorf("%s: %v", name, err)
+		}
+	}
+}
+
+// TestCompileDeterminism: compiling the same source repeatedly yields
+// byte-identical SPMD listings (no map-iteration order leaks).
+func TestCompileDeterminism(t *testing.T) {
+	for name, src := range map[string]string{
+		"fig4":  Fig4Src(100, 4),
+		"dgefa": DgefaSrc(32, 4),
+		"fig15": Fig15Src(5, 4),
+		"adi":   ADISrc(16, 2, 4, true),
+	} {
+		var first string
+		for trial := 0; trial < 10; trial++ {
+			prog, err := Compile(src, DefaultOptions())
+			if err != nil {
+				t.Fatalf("%s: %v", name, err)
+			}
+			text := prog.Listing()
+			if trial == 0 {
+				first = text
+				continue
+			}
+			if text != first {
+				t.Fatalf("%s: listing differs between compiles", name)
+			}
+		}
+	}
+}
+
+// TestDgefaApproachesHandWritten reproduces the paper's headline §9
+// claim: the interprocedurally compiled dgefa approaches hand-written
+// message-passing code, while the baselines are far away.
+func TestDgefaApproachesHandWritten(t *testing.T) {
+	const n, p = 64, 4
+	init := map[string][]float64{"a": DgefaMatrix(n)}
+
+	// the hand-written program is plain SPMD text executed directly
+	handRes, err := RunSPMD(DgefaHandSrc(n, p), p, RunOptions{Init: init})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	compiled, err := Compile(DgefaSrc(n, p), DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	compRes, err := compiled.Run(RunOptions{Init: init})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref, err := compiled.RunReference(RunOptions{Init: init})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// both must be correct
+	for i, want := range ref.Arrays["a"] {
+		if d := compRes.Arrays["a"][i] - want; d > 1e-6 || d < -1e-6 {
+			t.Fatalf("compiled a[%d] = %v, want %v", i, compRes.Arrays["a"][i], want)
+		}
+		if d := handRes.Arrays["a"][i] - want; d > 1e-6 || d < -1e-6 {
+			t.Fatalf("hand a[%d] = %v, want %v", i, handRes.Arrays["a"][i], want)
+		}
+	}
+
+	ratio := compRes.Stats.Time / handRes.Stats.Time
+	if ratio > 2.0 {
+		t.Errorf("compiled/hand = %.2f (compiled %.0fµs, hand %.0fµs): not 'closely approaching'",
+			ratio, compRes.Stats.Time, handRes.Stats.Time)
+	}
+	t.Logf("hand=%.0fµs compiled=%.0fµs ratio=%.2f", handRes.Stats.Time, compRes.Stats.Time, ratio)
+}

@@ -1,0 +1,3 @@
+module fortd
+
+go 1.22

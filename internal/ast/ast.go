@@ -1,0 +1,471 @@
+// Package ast defines the abstract syntax tree for the Fortran 77 /
+// Fortran D subset accepted by the compiler, plus the extended output
+// statements (send, recv, remap) that appear in generated SPMD node
+// programs. The same tree type is used on both sides of compilation,
+// mirroring the source-to-source structure of the original Fortran D
+// compiler built on ParaScope.
+package ast
+
+import "fmt"
+
+// DataType is the declared type of a variable.
+type DataType int
+
+const (
+	TypeReal DataType = iota
+	TypeInteger
+	TypeDouble
+	TypeLogical
+)
+
+func (t DataType) String() string {
+	switch t {
+	case TypeReal:
+		return "REAL"
+	case TypeInteger:
+		return "INTEGER"
+	case TypeDouble:
+		return "DOUBLE PRECISION"
+	case TypeLogical:
+		return "LOGICAL"
+	}
+	return "UNKNOWN"
+}
+
+// DistKind is the distribution format of one decomposition dimension.
+type DistKind int
+
+const (
+	DistNone DistKind = iota // ":" — dimension is not distributed
+	DistBlock
+	DistCyclic
+	DistBlockCyclic
+)
+
+func (k DistKind) String() string {
+	switch k {
+	case DistNone:
+		return ":"
+	case DistBlock:
+		return "BLOCK"
+	case DistCyclic:
+		return "CYCLIC"
+	case DistBlockCyclic:
+		return "BLOCK_CYCLIC"
+	}
+	return "?"
+}
+
+// DistSpec describes the distribution of a single dimension.
+type DistSpec struct {
+	Kind      DistKind
+	BlockSize int // for DistBlockCyclic
+}
+
+func (d DistSpec) String() string {
+	if d.Kind == DistBlockCyclic {
+		return fmt.Sprintf("CYCLIC(%d)", d.BlockSize)
+	}
+	return d.Kind.String()
+}
+
+// Position locates a construct in the source text.
+type Position struct {
+	Line int
+}
+
+func (p Position) String() string { return fmt.Sprintf("line %d", p.Line) }
+
+// ---------------------------------------------------------------------------
+// Expressions
+
+// Expr is the interface implemented by all expression nodes.
+type Expr interface {
+	exprNode()
+	String() string
+}
+
+// Ident is a reference to a scalar variable or loop index.
+type Ident struct {
+	Name string
+}
+
+// IntLit is an integer literal.
+type IntLit struct {
+	Value int
+}
+
+// RealLit is a floating-point literal.
+type RealLit struct {
+	Value float64
+}
+
+// ArrayRef is a subscripted reference to a declared array.
+type ArrayRef struct {
+	Name string
+	Subs []Expr
+}
+
+// FuncCall is a reference to an intrinsic or external function.
+type FuncCall struct {
+	Name string
+	Args []Expr
+}
+
+// BinOp enumerates binary operators.
+type BinOp int
+
+const (
+	OpAdd BinOp = iota
+	OpSub
+	OpMul
+	OpDiv
+	OpPow
+	OpEQ
+	OpNE
+	OpLT
+	OpLE
+	OpGT
+	OpGE
+	OpAnd
+	OpOr
+)
+
+var binOpNames = map[BinOp]string{
+	OpAdd: "+", OpSub: "-", OpMul: "*", OpDiv: "/", OpPow: "**",
+	OpEQ: ".EQ.", OpNE: ".NE.", OpLT: ".LT.", OpLE: ".LE.",
+	OpGT: ".GT.", OpGE: ".GE.", OpAnd: ".AND.", OpOr: ".OR.",
+}
+
+func (op BinOp) String() string { return binOpNames[op] }
+
+// Binary is a binary expression X op Y.
+type Binary struct {
+	Op   BinOp
+	X, Y Expr
+}
+
+// Unary is a unary expression: negation or .NOT.
+type Unary struct {
+	Op string // "-" or ".NOT."
+	X  Expr
+}
+
+func (*Ident) exprNode()    {}
+func (*IntLit) exprNode()   {}
+func (*RealLit) exprNode()  {}
+func (*ArrayRef) exprNode() {}
+func (*FuncCall) exprNode() {}
+func (*Binary) exprNode()   {}
+func (*Unary) exprNode()    {}
+
+func (e *Ident) String() string   { return e.Name }
+func (e *IntLit) String() string  { return fmt.Sprintf("%d", e.Value) }
+func (e *RealLit) String() string { return fmt.Sprintf("%g", e.Value) }
+
+func (e *ArrayRef) String() string {
+	s := e.Name + "("
+	for i, sub := range e.Subs {
+		if i > 0 {
+			s += ","
+		}
+		s += sub.String()
+	}
+	return s + ")"
+}
+
+func (e *FuncCall) String() string {
+	s := e.Name + "("
+	for i, a := range e.Args {
+		if i > 0 {
+			s += ","
+		}
+		s += a.String()
+	}
+	return s + ")"
+}
+
+func (e *Binary) String() string {
+	return fmt.Sprintf("(%s %s %s)", e.X.String(), e.Op.String(), e.Y.String())
+}
+
+func (e *Unary) String() string { return e.Op + e.X.String() }
+
+// ---------------------------------------------------------------------------
+// Statements
+
+// Stmt is the interface implemented by all statement nodes.
+type Stmt interface {
+	stmtNode()
+	Pos() Position
+}
+
+type stmtBase struct {
+	Position Position
+}
+
+func (s stmtBase) Pos() Position { return s.Position }
+
+// Assign is an assignment statement. Lhs is *Ident or *ArrayRef.
+type Assign struct {
+	stmtBase
+	Lhs Expr
+	Rhs Expr
+}
+
+// Do is a DO loop with unit or explicit step.
+type Do struct {
+	stmtBase
+	Var  string
+	Lo   Expr
+	Hi   Expr
+	Step Expr // nil means 1
+	Body []Stmt
+}
+
+// If is a block IF statement.
+type If struct {
+	stmtBase
+	Cond Expr
+	Then []Stmt
+	Else []Stmt
+}
+
+// Call invokes a subroutine. Site is a unique call-site identifier
+// assigned by the parser, used by interprocedural analysis.
+type Call struct {
+	stmtBase
+	Name string
+	Args []Expr
+	Site int
+}
+
+// Return exits the enclosing procedure.
+type Return struct {
+	stmtBase
+}
+
+// Decomposition declares an abstract index domain (Fortran D).
+type Decomposition struct {
+	stmtBase
+	Name string
+	Dims []int
+}
+
+// AlignTerm describes how one array dimension maps onto a decomposition
+// dimension: array dimension ArrayDim (0-based) maps to the decomposition
+// dimension in whose slot this term appears, displaced by Offset.
+// ArrayDim < 0 means the decomposition dimension is unmapped (collapsed).
+type AlignTerm struct {
+	ArrayDim int
+	Offset   int
+}
+
+// Align maps an array onto a decomposition (Fortran D). Terms has one
+// entry per decomposition dimension.
+type Align struct {
+	stmtBase
+	Array  string
+	Target string
+	Terms  []AlignTerm
+}
+
+// Distribute assigns distribution formats to a decomposition's dimensions
+// (Fortran D). Target may also name an array directly, which distributes
+// its implicit default decomposition.
+type Distribute struct {
+	stmtBase
+	Target string
+	Specs  []DistSpec
+}
+
+// ---------------------------------------------------------------------------
+// Output-language statements (appear only in generated SPMD programs)
+
+// SecDim is one dimension of an array section in the output language,
+// with expression bounds so that bounds may involve my$p etc.
+type SecDim struct {
+	Lo, Hi Expr
+}
+
+// Send transmits the section of Array to processor Dest.
+type Send struct {
+	stmtBase
+	Array string
+	Sec   []SecDim
+	Dest  Expr
+}
+
+// Recv receives the section of Array from processor Src.
+type Recv struct {
+	stmtBase
+	Array string
+	Sec   []SecDim
+	Src   Expr
+}
+
+// Broadcast sends the section of Array from processor Root to all others.
+type Broadcast struct {
+	stmtBase
+	Array string
+	Sec   []SecDim
+	Root  Expr
+}
+
+// AllGather makes the section of Array, distributed across processors,
+// fully replicated on every processor (each owner contributes its part).
+type AllGather struct {
+	stmtBase
+	Array string
+	Sec   []SecDim
+}
+
+// GlobalReduce combines every processor's private copy of a scalar with
+// the given operation and leaves the result on all processors (the
+// combining step of a recognized reduction).
+type GlobalReduce struct {
+	stmtBase
+	Var string
+	Op  string // "+", "MAX", "MIN"
+}
+
+// Remap invokes the data-remapping library routine, physically moving
+// Array between two distributions. InPlace marks the array-kill
+// optimization (§6.3): only the descriptor is updated, no data moves.
+type Remap struct {
+	stmtBase
+	Array   string
+	From    []DistSpec
+	To      []DistSpec
+	InPlace bool
+}
+
+func (*Assign) stmtNode()        {}
+func (*Do) stmtNode()            {}
+func (*If) stmtNode()            {}
+func (*Call) stmtNode()          {}
+func (*Return) stmtNode()        {}
+func (*Decomposition) stmtNode() {}
+func (*Align) stmtNode()         {}
+func (*Distribute) stmtNode()    {}
+func (*Send) stmtNode()          {}
+func (*Recv) stmtNode()          {}
+func (*Broadcast) stmtNode()     {}
+func (*AllGather) stmtNode()     {}
+func (*GlobalReduce) stmtNode()  {}
+func (*Remap) stmtNode()         {}
+
+// ---------------------------------------------------------------------------
+// Declarations, procedures, programs
+
+// Extent is one declared dimension of an array, lo:hi. Lo defaults to 1.
+type Extent struct {
+	Lo, Hi Expr
+}
+
+// SymKind classifies a symbol.
+type SymKind int
+
+const (
+	SymScalar SymKind = iota
+	SymArray
+	SymDecomposition
+	SymConstant // PARAMETER constant
+)
+
+// Symbol is one entry in a procedure's symbol table.
+type Symbol struct {
+	Name        string
+	Kind        SymKind
+	Type        DataType
+	Dims        []Extent // arrays and decompositions
+	IsFormal    bool
+	FormalIndex int    // position in the parameter list, -1 otherwise
+	Common      string // common block name, "" if local
+	ConstValue  int    // value for SymConstant
+}
+
+// NumDims reports the declared rank.
+func (s *Symbol) NumDims() int { return len(s.Dims) }
+
+// SymbolTable maps names to symbols, preserving declaration order.
+type SymbolTable struct {
+	Order []string
+	table map[string]*Symbol
+}
+
+// NewSymbolTable returns an empty symbol table.
+func NewSymbolTable() *SymbolTable {
+	return &SymbolTable{table: make(map[string]*Symbol)}
+}
+
+// Define inserts sym, replacing any prior definition of the same name.
+func (t *SymbolTable) Define(sym *Symbol) {
+	if _, ok := t.table[sym.Name]; !ok {
+		t.Order = append(t.Order, sym.Name)
+	}
+	t.table[sym.Name] = sym
+}
+
+// Lookup returns the symbol for name, or nil.
+func (t *SymbolTable) Lookup(name string) *Symbol { return t.table[name] }
+
+// Symbols returns all symbols in declaration order.
+func (t *SymbolTable) Symbols() []*Symbol {
+	out := make([]*Symbol, 0, len(t.Order))
+	for _, n := range t.Order {
+		out = append(out, t.table[n])
+	}
+	return out
+}
+
+// Procedure is a PROGRAM or SUBROUTINE unit.
+type Procedure struct {
+	Name    string
+	IsMain  bool
+	Params  []string
+	Symbols *SymbolTable
+	Body    []Stmt
+}
+
+// Formal returns the symbol of the i-th formal parameter.
+func (p *Procedure) Formal(i int) *Symbol {
+	if i < 0 || i >= len(p.Params) {
+		return nil
+	}
+	return p.Symbols.Lookup(p.Params[i])
+}
+
+// Program is a whole Fortran D program: a main program plus subroutines.
+type Program struct {
+	Units []*Procedure
+	procs map[string]*Procedure
+}
+
+// NewProgram assembles a program from its units and indexes them by name.
+func NewProgram(units []*Procedure) *Program {
+	p := &Program{Units: units, procs: make(map[string]*Procedure)}
+	for _, u := range units {
+		p.procs[u.Name] = u
+	}
+	return p
+}
+
+// Proc returns the unit named name, or nil.
+func (p *Program) Proc(name string) *Procedure { return p.procs[name] }
+
+// Main returns the main program unit, or nil.
+func (p *Program) Main() *Procedure {
+	for _, u := range p.Units {
+		if u.IsMain {
+			return u
+		}
+	}
+	return nil
+}
+
+// AddProc registers a new unit (used by procedure cloning).
+func (p *Program) AddProc(u *Procedure) {
+	p.Units = append(p.Units, u)
+	p.procs[u.Name] = u
+}

@@ -1,0 +1,190 @@
+package ast
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestEvalIntBasics(t *testing.T) {
+	cases := []struct {
+		e    Expr
+		env  Env
+		want int
+		ok   bool
+	}{
+		{Int(7), nil, 7, true},
+		{Add(Int(2), Int(3)), nil, 5, true},
+		{Sub(Int(2), Int(3)), nil, -1, true},
+		{Mul(Int(4), Int(3)), nil, 12, true},
+		{&Binary{Op: OpDiv, X: Int(7), Y: Int(2)}, nil, 3, true},
+		{&Binary{Op: OpPow, X: Int(2), Y: Int(10)}, nil, 1024, true},
+		{&Unary{Op: "-", X: Int(5)}, nil, -5, true},
+		{Id("n"), MapEnv{"n": 42}, 42, true},
+		{Id("n"), nil, 0, false},
+		{Min(Int(3), Int(9)), nil, 3, true},
+		{Max(Int(3), Int(9)), nil, 9, true},
+		{&FuncCall{Name: "MOD", Args: []Expr{Int(17), Int(5)}}, nil, 2, true},
+	}
+	for _, c := range cases {
+		got, ok := EvalInt(c.e, c.env)
+		if ok != c.ok || (ok && got != c.want) {
+			t.Errorf("EvalInt(%s) = %d,%v want %d,%v", c.e, got, ok, c.want, c.ok)
+		}
+	}
+}
+
+// TestFoldingIdentities: the constructors fold constants and elide
+// identities so generated code stays readable.
+func TestFoldingIdentities(t *testing.T) {
+	if got := Add(Id("x"), Int(0)); got.String() != "x" {
+		t.Errorf("x+0 = %s", got)
+	}
+	if got := Mul(Int(1), Id("x")); got.String() != "x" {
+		t.Errorf("1*x = %s", got)
+	}
+	if got := Mul(Int(0), Id("x")); got.String() != "0" {
+		t.Errorf("0*x = %s", got)
+	}
+	if got := Sub(Id("x"), Int(0)); got.String() != "x" {
+		t.Errorf("x-0 = %s", got)
+	}
+	if got := Add(Int(2), Int(3)); got.String() != "5" {
+		t.Errorf("2+3 = %s", got)
+	}
+}
+
+// Property: folded arithmetic matches direct arithmetic.
+func TestFoldProperty(t *testing.T) {
+	f := func(a, b int16) bool {
+		x, y := int(a), int(b)
+		s, ok := EvalInt(Add(Int(x), Int(y)), nil)
+		if !ok || s != x+y {
+			return false
+		}
+		m, ok := EvalInt(Mul(Int(x), Int(y)), nil)
+		return ok && m == x*y
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCloneExprIndependence(t *testing.T) {
+	orig := &Binary{Op: OpAdd, X: Id("i"), Y: Int(5)}
+	cp := CloneExpr(orig).(*Binary)
+	cp.Y = Int(9)
+	if orig.Y.String() != "5" {
+		t.Error("clone shares structure with original")
+	}
+}
+
+func TestSubstituteExpr(t *testing.T) {
+	e := &Binary{Op: OpAdd, X: Id("i"), Y: Int(5)}
+	got := SubstituteExpr(CloneExpr(e), "i", Int(10))
+	v, ok := EvalInt(got, nil)
+	if !ok || v != 15 {
+		t.Errorf("substitute = %s", got)
+	}
+	// array names are not substituted
+	ar := &ArrayRef{Name: "i", Subs: []Expr{Id("i")}}
+	got2 := SubstituteExpr(ar, "i", Int(3)).(*ArrayRef)
+	if got2.Name != "i" {
+		t.Error("array name wrongly substituted")
+	}
+	if got2.Subs[0].String() != "3" {
+		t.Error("subscript not substituted")
+	}
+}
+
+func TestCloneStmtDeep(t *testing.T) {
+	do := &Do{
+		Var: "i", Lo: Int(1), Hi: Int(10),
+		Body: []Stmt{
+			&Assign{Lhs: &ArrayRef{Name: "X", Subs: []Expr{Id("i")}}, Rhs: Int(0)},
+		},
+	}
+	cp := CloneStmt(do).(*Do)
+	cp.Body[0].(*Assign).Rhs = Int(9)
+	if do.Body[0].(*Assign).Rhs.String() != "0" {
+		t.Error("CloneStmt shares body")
+	}
+}
+
+func TestCloneProcedure(t *testing.T) {
+	syms := NewSymbolTable()
+	syms.Define(&Symbol{Name: "X", Kind: SymArray, Dims: []Extent{{Lo: Int(1), Hi: Int(100)}}, IsFormal: true, FormalIndex: 0})
+	p := &Procedure{
+		Name: "F1", Params: []string{"X"}, Symbols: syms,
+		Body: []Stmt{&Assign{Lhs: &ArrayRef{Name: "X", Subs: []Expr{Int(1)}}, Rhs: Int(0)}},
+	}
+	c := CloneProcedure(p, "F1$row")
+	if c.Name != "F1$row" || len(c.Body) != 1 {
+		t.Fatalf("clone = %+v", c)
+	}
+	c.Symbols.Lookup("X").Dims[0] = Extent{Lo: Int(1), Hi: Int(30)}
+	if p.Symbols.Lookup("X").Dims[0].Hi.String() != "100" {
+		t.Error("clone shares symbol dims")
+	}
+}
+
+func TestWalkStmtsPruning(t *testing.T) {
+	body := []Stmt{
+		&Do{Var: "i", Lo: Int(1), Hi: Int(2), Body: []Stmt{
+			&Assign{Lhs: Id("x"), Rhs: Int(1)},
+		}},
+		&Assign{Lhs: Id("y"), Rhs: Int(2)},
+	}
+	var all, pruned int
+	WalkStmts(body, func(s Stmt) bool { all++; return true })
+	WalkStmts(body, func(s Stmt) bool { pruned++; return false })
+	if all != 3 {
+		t.Errorf("all = %d", all)
+	}
+	if pruned != 2 {
+		t.Errorf("pruned = %d (children must be skipped)", pruned)
+	}
+}
+
+func TestSymbolTableOrder(t *testing.T) {
+	tb := NewSymbolTable()
+	tb.Define(&Symbol{Name: "b"})
+	tb.Define(&Symbol{Name: "a"})
+	tb.Define(&Symbol{Name: "b"}) // redefinition keeps position
+	syms := tb.Symbols()
+	if len(syms) != 2 || syms[0].Name != "b" || syms[1].Name != "a" {
+		t.Errorf("order = %v", tb.Order)
+	}
+}
+
+func TestExprStrings(t *testing.T) {
+	e := &Binary{Op: OpLE, X: Id("i"), Y: &Binary{Op: OpMul, X: Id("b"), Y: Int(25)}}
+	if got := e.String(); got != "(i .LE. (b * 25))" {
+		t.Errorf("String = %q", got)
+	}
+	u := &Unary{Op: ".NOT.", X: Id("p")}
+	if u.String() != ".NOT.p" {
+		t.Errorf("unary = %q", u)
+	}
+}
+
+func TestPrintProgramStructure(t *testing.T) {
+	syms := NewSymbolTable()
+	syms.Define(&Symbol{Name: "X", Kind: SymArray, Type: TypeReal, Dims: []Extent{{Lo: Int(1), Hi: Int(8)}}})
+	main := &Procedure{
+		Name: "P", IsMain: true, Symbols: syms,
+		Body: []Stmt{
+			&Send{Array: "X", Sec: []SecDim{{Lo: Int(1), Hi: Int(4)}}, Dest: Int(1)},
+			&Remap{Array: "X", To: []DistSpec{{Kind: ast_DistCyclic}}},
+		},
+	}
+	text := Print(NewProgram([]*Procedure{main}))
+	for _, want := range []string{"PROGRAM P", "REAL X(8)", "send X(1:4) to 1", "remap X(CYCLIC)", "END"} {
+		if !strings.Contains(text, want) {
+			t.Errorf("missing %q in:\n%s", want, text)
+		}
+	}
+}
+
+// alias to keep the composite literal readable above
+const ast_DistCyclic = DistCyclic

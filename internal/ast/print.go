@@ -1,0 +1,147 @@
+package ast
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Print renders a whole program as Fortran D source text (including any
+// generated send/recv/remap statements in the commented library-call
+// style used in the paper's output listings).
+func Print(p *Program) string {
+	var b strings.Builder
+	for i, u := range p.Units {
+		if i > 0 {
+			b.WriteString("\n")
+		}
+		PrintProcedure(&b, u)
+	}
+	return b.String()
+}
+
+// PrintProcedure renders one unit.
+func PrintProcedure(b *strings.Builder, u *Procedure) {
+	if u.IsMain {
+		fmt.Fprintf(b, "      PROGRAM %s\n", u.Name)
+	} else {
+		fmt.Fprintf(b, "      SUBROUTINE %s(%s)\n", u.Name, strings.Join(u.Params, ","))
+	}
+	printDecls(b, u)
+	printStmts(b, u.Body, 1)
+	b.WriteString("      END\n")
+}
+
+func printDecls(b *strings.Builder, u *Procedure) {
+	for _, s := range u.Symbols.Symbols() {
+		switch s.Kind {
+		case SymConstant:
+			fmt.Fprintf(b, "      PARAMETER (%s = %d)\n", s.Name, s.ConstValue)
+		case SymArray:
+			fmt.Fprintf(b, "      %s %s(%s)\n", s.Type, s.Name, extentList(s.Dims))
+		case SymDecomposition:
+			fmt.Fprintf(b, "      DECOMPOSITION %s(%s)\n", s.Name, extentList(s.Dims))
+		case SymScalar:
+			if !s.IsFormal && s.Common == "" {
+				continue // implicit scalars are not printed
+			}
+		}
+		if s.Common != "" {
+			fmt.Fprintf(b, "      COMMON /%s/ %s\n", s.Common, s.Name)
+		}
+	}
+}
+
+func extentList(dims []Extent) string {
+	parts := make([]string, len(dims))
+	for i, d := range dims {
+		lo, isOne := EvalInt(d.Lo, nil)
+		if isOne && lo == 1 {
+			parts[i] = d.Hi.String()
+		} else {
+			parts[i] = d.Lo.String() + ":" + d.Hi.String()
+		}
+	}
+	return strings.Join(parts, ",")
+}
+
+func printStmts(b *strings.Builder, body []Stmt, depth int) {
+	ind := strings.Repeat("  ", depth) + "    "
+	for _, s := range body {
+		switch st := s.(type) {
+		case *Assign:
+			fmt.Fprintf(b, "%s%s = %s\n", ind, st.Lhs, st.Rhs)
+		case *Do:
+			step := ""
+			if st.Step != nil {
+				step = "," + st.Step.String()
+			}
+			fmt.Fprintf(b, "%sdo %s = %s,%s%s\n", ind, st.Var, st.Lo, st.Hi, step)
+			printStmts(b, st.Body, depth+1)
+			fmt.Fprintf(b, "%senddo\n", ind)
+		case *If:
+			fmt.Fprintf(b, "%sif (%s) then\n", ind, st.Cond)
+			printStmts(b, st.Then, depth+1)
+			if len(st.Else) > 0 {
+				fmt.Fprintf(b, "%selse\n", ind)
+				printStmts(b, st.Else, depth+1)
+			}
+			fmt.Fprintf(b, "%sendif\n", ind)
+		case *Call:
+			args := make([]string, len(st.Args))
+			for i, a := range st.Args {
+				args[i] = a.String()
+			}
+			fmt.Fprintf(b, "%scall %s(%s)\n", ind, st.Name, strings.Join(args, ","))
+		case *Return:
+			fmt.Fprintf(b, "%sreturn\n", ind)
+		case *Decomposition:
+			// re-printed from the symbol table; skip
+		case *Align:
+			fmt.Fprintf(b, "%sALIGN %s with %s\n", ind, st.Array, st.Target)
+		case *Distribute:
+			specs := make([]string, len(st.Specs))
+			for i, sp := range st.Specs {
+				specs[i] = sp.String()
+			}
+			fmt.Fprintf(b, "%sDISTRIBUTE %s(%s)\n", ind, st.Target, strings.Join(specs, ","))
+		case *Send:
+			fmt.Fprintf(b, "%ssend %s(%s) to %s\n", ind, st.Array, secString(st.Sec), st.Dest)
+		case *Recv:
+			fmt.Fprintf(b, "%srecv %s(%s) from %s\n", ind, st.Array, secString(st.Sec), st.Src)
+		case *Broadcast:
+			fmt.Fprintf(b, "%sbroadcast %s(%s) from %s\n", ind, st.Array, secString(st.Sec), st.Root)
+		case *AllGather:
+			fmt.Fprintf(b, "%sallgather %s(%s)\n", ind, st.Array, secString(st.Sec))
+		case *GlobalReduce:
+			name := map[string]string{"+": "globalsum", "MAX": "globalmax", "MIN": "globalmin"}[st.Op]
+			if name == "" {
+				name = "globalsum"
+			}
+			fmt.Fprintf(b, "%s%s %s\n", ind, name, st.Var)
+		case *Remap:
+			kind := "remap"
+			if st.InPlace {
+				kind = "markas"
+			}
+			specs := make([]string, len(st.To))
+			for i, sp := range st.To {
+				specs[i] = sp.String()
+			}
+			fmt.Fprintf(b, "%s%s %s(%s)\n", ind, kind, st.Array, strings.Join(specs, ","))
+		default:
+			fmt.Fprintf(b, "%s! <unknown stmt %T>\n", ind, s)
+		}
+	}
+}
+
+func secString(sec []SecDim) string {
+	parts := make([]string, len(sec))
+	for i, d := range sec {
+		if ExprEqual(d.Lo, d.Hi) {
+			parts[i] = d.Lo.String()
+		} else {
+			parts[i] = d.Lo.String() + ":" + d.Hi.String()
+		}
+	}
+	return strings.Join(parts, ",")
+}

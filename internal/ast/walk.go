@@ -1,0 +1,241 @@
+package ast
+
+// WalkStmts applies fn to every statement in body, recursively, in
+// source order. If fn returns false the children of that statement are
+// not visited.
+func WalkStmts(body []Stmt, fn func(Stmt) bool) {
+	for _, s := range body {
+		if !fn(s) {
+			continue
+		}
+		switch st := s.(type) {
+		case *Do:
+			WalkStmts(st.Body, fn)
+		case *If:
+			WalkStmts(st.Then, fn)
+			WalkStmts(st.Else, fn)
+		}
+	}
+}
+
+// WalkExprs applies fn to every expression appearing in body, including
+// subexpressions (pre-order).
+func WalkExprs(body []Stmt, fn func(Expr)) {
+	WalkStmts(body, func(s Stmt) bool {
+		for _, e := range StmtExprs(s) {
+			walkExpr(e, fn)
+		}
+		return true
+	})
+}
+
+func walkExpr(e Expr, fn func(Expr)) {
+	if e == nil {
+		return
+	}
+	fn(e)
+	switch x := e.(type) {
+	case *ArrayRef:
+		for _, sub := range x.Subs {
+			walkExpr(sub, fn)
+		}
+	case *FuncCall:
+		for _, a := range x.Args {
+			walkExpr(a, fn)
+		}
+	case *Binary:
+		walkExpr(x.X, fn)
+		walkExpr(x.Y, fn)
+	case *Unary:
+		walkExpr(x.X, fn)
+	}
+}
+
+// StmtExprs returns the top-level expressions contained directly in s
+// (not those of nested statements).
+func StmtExprs(s Stmt) []Expr {
+	switch st := s.(type) {
+	case *Assign:
+		return []Expr{st.Lhs, st.Rhs}
+	case *Do:
+		out := []Expr{st.Lo, st.Hi}
+		if st.Step != nil {
+			out = append(out, st.Step)
+		}
+		return out
+	case *If:
+		return []Expr{st.Cond}
+	case *Call:
+		return st.Args
+	case *Send:
+		out := []Expr{st.Dest}
+		for _, d := range st.Sec {
+			out = append(out, d.Lo, d.Hi)
+		}
+		return out
+	case *Recv:
+		out := []Expr{st.Src}
+		for _, d := range st.Sec {
+			out = append(out, d.Lo, d.Hi)
+		}
+		return out
+	case *Broadcast:
+		out := []Expr{st.Root}
+		for _, d := range st.Sec {
+			out = append(out, d.Lo, d.Hi)
+		}
+		return out
+	}
+	return nil
+}
+
+// CloneExpr returns a deep copy of e.
+func CloneExpr(e Expr) Expr {
+	switch x := e.(type) {
+	case nil:
+		return nil
+	case *Ident:
+		return &Ident{Name: x.Name}
+	case *IntLit:
+		return &IntLit{Value: x.Value}
+	case *RealLit:
+		return &RealLit{Value: x.Value}
+	case *ArrayRef:
+		subs := make([]Expr, len(x.Subs))
+		for i, s := range x.Subs {
+			subs[i] = CloneExpr(s)
+		}
+		return &ArrayRef{Name: x.Name, Subs: subs}
+	case *FuncCall:
+		args := make([]Expr, len(x.Args))
+		for i, a := range x.Args {
+			args[i] = CloneExpr(a)
+		}
+		return &FuncCall{Name: x.Name, Args: args}
+	case *Binary:
+		return &Binary{Op: x.Op, X: CloneExpr(x.X), Y: CloneExpr(x.Y)}
+	case *Unary:
+		return &Unary{Op: x.Op, X: CloneExpr(x.X)}
+	}
+	return e
+}
+
+// CloneStmts returns a deep copy of body.
+func CloneStmts(body []Stmt) []Stmt {
+	out := make([]Stmt, len(body))
+	for i, s := range body {
+		out[i] = CloneStmt(s)
+	}
+	return out
+}
+
+// CloneStmt returns a deep copy of s.
+func CloneStmt(s Stmt) Stmt {
+	switch st := s.(type) {
+	case *Assign:
+		return &Assign{stmtBase: st.stmtBase, Lhs: CloneExpr(st.Lhs), Rhs: CloneExpr(st.Rhs)}
+	case *Do:
+		return &Do{
+			stmtBase: st.stmtBase, Var: st.Var,
+			Lo: CloneExpr(st.Lo), Hi: CloneExpr(st.Hi), Step: CloneExpr(st.Step),
+			Body: CloneStmts(st.Body),
+		}
+	case *If:
+		return &If{stmtBase: st.stmtBase, Cond: CloneExpr(st.Cond), Then: CloneStmts(st.Then), Else: CloneStmts(st.Else)}
+	case *Call:
+		args := make([]Expr, len(st.Args))
+		for i, a := range st.Args {
+			args[i] = CloneExpr(a)
+		}
+		return &Call{stmtBase: st.stmtBase, Name: st.Name, Args: args, Site: st.Site}
+	case *Return:
+		return &Return{stmtBase: st.stmtBase}
+	case *Decomposition:
+		dims := append([]int(nil), st.Dims...)
+		return &Decomposition{stmtBase: st.stmtBase, Name: st.Name, Dims: dims}
+	case *Align:
+		terms := append([]AlignTerm(nil), st.Terms...)
+		return &Align{stmtBase: st.stmtBase, Array: st.Array, Target: st.Target, Terms: terms}
+	case *Distribute:
+		specs := append([]DistSpec(nil), st.Specs...)
+		return &Distribute{stmtBase: st.stmtBase, Target: st.Target, Specs: specs}
+	case *Send:
+		return &Send{stmtBase: st.stmtBase, Array: st.Array, Sec: cloneSec(st.Sec), Dest: CloneExpr(st.Dest)}
+	case *Recv:
+		return &Recv{stmtBase: st.stmtBase, Array: st.Array, Sec: cloneSec(st.Sec), Src: CloneExpr(st.Src)}
+	case *Broadcast:
+		return &Broadcast{stmtBase: st.stmtBase, Array: st.Array, Sec: cloneSec(st.Sec), Root: CloneExpr(st.Root)}
+	case *AllGather:
+		return &AllGather{stmtBase: st.stmtBase, Array: st.Array, Sec: cloneSec(st.Sec)}
+	case *GlobalReduce:
+		return &GlobalReduce{stmtBase: st.stmtBase, Var: st.Var, Op: st.Op}
+	case *Remap:
+		return &Remap{
+			stmtBase: st.stmtBase, Array: st.Array,
+			From:    append([]DistSpec(nil), st.From...),
+			To:      append([]DistSpec(nil), st.To...),
+			InPlace: st.InPlace,
+		}
+	}
+	return s
+}
+
+func cloneSec(sec []SecDim) []SecDim {
+	out := make([]SecDim, len(sec))
+	for i, d := range sec {
+		out[i] = SecDim{Lo: CloneExpr(d.Lo), Hi: CloneExpr(d.Hi)}
+	}
+	return out
+}
+
+// CloneProcedure deep-copies a procedure under a new name.
+func CloneProcedure(p *Procedure, newName string) *Procedure {
+	syms := NewSymbolTable()
+	for _, s := range p.Symbols.Symbols() {
+		cp := *s
+		cp.Dims = make([]Extent, len(s.Dims))
+		for i, d := range s.Dims {
+			cp.Dims[i] = Extent{Lo: CloneExpr(d.Lo), Hi: CloneExpr(d.Hi)}
+		}
+		syms.Define(&cp)
+	}
+	return &Procedure{
+		Name:    newName,
+		IsMain:  p.IsMain,
+		Params:  append([]string(nil), p.Params...),
+		Symbols: syms,
+		Body:    CloneStmts(p.Body),
+	}
+}
+
+// SubstituteExpr replaces every occurrence of identifier name in e with
+// repl, returning the rewritten expression. Array names are not touched.
+func SubstituteExpr(e Expr, name string, repl Expr) Expr {
+	switch x := e.(type) {
+	case nil:
+		return nil
+	case *Ident:
+		if x.Name == name {
+			return CloneExpr(repl)
+		}
+		return x
+	case *ArrayRef:
+		for i, s := range x.Subs {
+			x.Subs[i] = SubstituteExpr(s, name, repl)
+		}
+		return x
+	case *FuncCall:
+		for i, a := range x.Args {
+			x.Args[i] = SubstituteExpr(a, name, repl)
+		}
+		return x
+	case *Binary:
+		x.X = SubstituteExpr(x.X, name, repl)
+		x.Y = SubstituteExpr(x.Y, name, repl)
+		return x
+	case *Unary:
+		x.X = SubstituteExpr(x.X, name, repl)
+		return x
+	}
+	return e
+}

@@ -1,0 +1,181 @@
+// Package cfg builds per-procedure control-flow graphs for the
+// structured statement forms of the Fortran subset (straight-line code,
+// DO loops, block and logical IFs). The graphs feed the iterative
+// data-flow solver in package dataflow, which underlies the
+// flow-sensitive decomposition analyses of §5.2 and §6.1.
+package cfg
+
+import (
+	"fmt"
+	"strings"
+
+	"fortd/internal/ast"
+)
+
+// Node is one control-flow node. Stmt is nil for the synthetic entry,
+// exit and join nodes.
+type Node struct {
+	ID    int
+	Stmt  ast.Stmt
+	Kind  NodeKind
+	Succs []*Node
+	Preds []*Node
+	// Loop points at the Do statement whose header this node is.
+	Loop *ast.Do
+}
+
+// NodeKind classifies synthetic nodes.
+type NodeKind int
+
+const (
+	KindStmt NodeKind = iota
+	KindEntry
+	KindExit
+	KindJoin
+	KindLoopHead
+)
+
+func (k NodeKind) String() string {
+	switch k {
+	case KindStmt:
+		return "stmt"
+	case KindEntry:
+		return "entry"
+	case KindExit:
+		return "exit"
+	case KindJoin:
+		return "join"
+	case KindLoopHead:
+		return "loop"
+	}
+	return "?"
+}
+
+// Graph is the control-flow graph of one procedure.
+type Graph struct {
+	Proc  *ast.Procedure
+	Entry *Node
+	Exit  *Node
+	Nodes []*Node
+}
+
+// Build constructs the CFG for proc.
+func Build(proc *ast.Procedure) *Graph {
+	g := &Graph{Proc: proc}
+	g.Entry = g.newNode(nil, KindEntry)
+	g.Exit = g.newNode(nil, KindExit)
+	last := g.buildSeq(proc.Body, g.Entry)
+	if last != nil {
+		g.connect(last, g.Exit)
+	}
+	return g
+}
+
+func (g *Graph) newNode(s ast.Stmt, kind NodeKind) *Node {
+	n := &Node{ID: len(g.Nodes), Stmt: s, Kind: kind}
+	g.Nodes = append(g.Nodes, n)
+	return n
+}
+
+func (g *Graph) connect(from, to *Node) {
+	from.Succs = append(from.Succs, to)
+	to.Preds = append(to.Preds, from)
+}
+
+// buildSeq threads the statements of body after prev, returning the
+// node control falls out of (nil if control cannot reach the end, e.g.
+// after RETURN).
+func (g *Graph) buildSeq(body []ast.Stmt, prev *Node) *Node {
+	cur := prev
+	for _, s := range body {
+		if cur == nil {
+			// unreachable code after RETURN: still build nodes, but
+			// leave them disconnected from the main flow
+			cur = g.newNode(nil, KindJoin)
+		}
+		switch st := s.(type) {
+		case *ast.Do:
+			head := g.newNode(st, KindLoopHead)
+			head.Loop = st
+			g.connect(cur, head)
+			bodyEnd := g.buildSeq(st.Body, head)
+			if bodyEnd != nil {
+				g.connect(bodyEnd, head) // back edge
+			}
+			after := g.newNode(nil, KindJoin)
+			g.connect(head, after)
+			cur = after
+		case *ast.If:
+			cond := g.newNode(st, KindStmt)
+			g.connect(cur, cond)
+			join := g.newNode(nil, KindJoin)
+			thenEnd := g.buildSeq(st.Then, cond)
+			if thenEnd != nil {
+				g.connect(thenEnd, join)
+			}
+			if len(st.Else) > 0 {
+				elseEnd := g.buildSeq(st.Else, cond)
+				if elseEnd != nil {
+					g.connect(elseEnd, join)
+				}
+			} else {
+				g.connect(cond, join)
+			}
+			if len(join.Preds) == 0 {
+				cur = nil
+				continue
+			}
+			cur = join
+		case *ast.Return:
+			n := g.newNode(st, KindStmt)
+			g.connect(cur, n)
+			g.connect(n, g.Exit)
+			cur = nil
+		default:
+			n := g.newNode(st, KindStmt)
+			g.connect(cur, n)
+			cur = n
+		}
+	}
+	return cur
+}
+
+// ReversePostorder returns the nodes in reverse postorder from the
+// entry, the canonical iteration order for forward data-flow problems.
+func (g *Graph) ReversePostorder() []*Node {
+	seen := make([]bool, len(g.Nodes))
+	var order []*Node
+	var dfs func(n *Node)
+	dfs = func(n *Node) {
+		seen[n.ID] = true
+		for _, s := range n.Succs {
+			if !seen[s.ID] {
+				dfs(s)
+			}
+		}
+		order = append(order, n)
+	}
+	dfs(g.Entry)
+	// reverse
+	for i, j := 0, len(order)-1; i < j; i, j = i+1, j-1 {
+		order[i], order[j] = order[j], order[i]
+	}
+	return order
+}
+
+// String renders the graph for debugging.
+func (g *Graph) String() string {
+	var b strings.Builder
+	for _, n := range g.Nodes {
+		label := n.Kind.String()
+		if n.Stmt != nil {
+			label = fmt.Sprintf("%T", n.Stmt)
+		}
+		succ := make([]string, len(n.Succs))
+		for i, s := range n.Succs {
+			succ[i] = fmt.Sprintf("%d", s.ID)
+		}
+		fmt.Fprintf(&b, "%3d %-14s -> %s\n", n.ID, label, strings.Join(succ, ","))
+	}
+	return b.String()
+}

@@ -1,0 +1,144 @@
+package cfg
+
+import (
+	"testing"
+
+	"fortd/internal/ast"
+	"fortd/internal/parser"
+)
+
+func build(t *testing.T, src string) *Graph {
+	t.Helper()
+	u, err := parser.ParseProcedure(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return Build(u)
+}
+
+func TestStraightLine(t *testing.T) {
+	g := build(t, `
+      PROGRAM P
+      x = 1
+      y = 2
+      END
+`)
+	// entry → x → y → exit
+	if len(g.Entry.Succs) != 1 {
+		t.Fatalf("entry succs = %d", len(g.Entry.Succs))
+	}
+	n := g.Entry.Succs[0]
+	if _, ok := n.Stmt.(*ast.Assign); !ok {
+		t.Fatalf("first node = %v", n.Kind)
+	}
+	if len(g.Exit.Preds) != 1 {
+		t.Errorf("exit preds = %d", len(g.Exit.Preds))
+	}
+}
+
+func TestLoopBackEdge(t *testing.T) {
+	g := build(t, `
+      PROGRAM P
+      do i = 1,10
+        x = x + 1
+      enddo
+      END
+`)
+	var head *Node
+	for _, n := range g.Nodes {
+		if n.Kind == KindLoopHead {
+			head = n
+		}
+	}
+	if head == nil {
+		t.Fatal("no loop head")
+	}
+	// head has two successors (body, after) and two predecessors
+	// (entry-side, back edge)
+	if len(head.Succs) != 2 {
+		t.Errorf("head succs = %d", len(head.Succs))
+	}
+	if len(head.Preds) != 2 {
+		t.Errorf("head preds = %d", len(head.Preds))
+	}
+}
+
+func TestIfJoin(t *testing.T) {
+	g := build(t, `
+      PROGRAM P
+      if (x .gt. 0) then
+        y = 1
+      else
+        y = 2
+      endif
+      z = 3
+      END
+`)
+	var join *Node
+	for _, n := range g.Nodes {
+		if n.Kind == KindJoin && len(n.Preds) == 2 {
+			join = n
+		}
+	}
+	if join == nil {
+		t.Fatalf("no 2-pred join node:\n%s", g.String())
+	}
+}
+
+func TestIfWithoutElse(t *testing.T) {
+	g := build(t, `
+      PROGRAM P
+      if (x .gt. 0) then
+        y = 1
+      endif
+      END
+`)
+	// the condition node must have 2 successors (then, fallthrough)
+	var cond *Node
+	for _, n := range g.Nodes {
+		if _, ok := n.Stmt.(*ast.If); ok {
+			cond = n
+		}
+	}
+	if cond == nil || len(cond.Succs) != 2 {
+		t.Fatalf("cond = %+v\n%s", cond, g.String())
+	}
+}
+
+func TestReturnEdgesToExit(t *testing.T) {
+	g := build(t, `
+      SUBROUTINE S(x)
+      if (x .gt. 0) then
+        return
+      endif
+      x = 1
+      END
+`)
+	if len(g.Exit.Preds) != 2 {
+		t.Errorf("exit preds = %d (return + fallthrough)\n%s", len(g.Exit.Preds), g.String())
+	}
+}
+
+func TestReversePostorderStartsAtEntry(t *testing.T) {
+	g := build(t, `
+      PROGRAM P
+      do i = 1,10
+        if (x .gt. 0) then
+          y = 1
+        endif
+      enddo
+      END
+`)
+	order := g.ReversePostorder()
+	if order[0] != g.Entry {
+		t.Error("RPO must start at entry")
+	}
+	// every reachable node appears exactly once
+	seen := map[int]bool{}
+	for _, n := range order {
+		if seen[n.ID] {
+			t.Errorf("node %d repeated", n.ID)
+		}
+		seen[n.ID] = true
+	}
+}

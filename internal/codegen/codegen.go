@@ -1,0 +1,422 @@
+// Package codegen generates the SPMD node program (§3 step 7): it
+// instantiates the data and computation partitions (reduced loop
+// bounds, ownership guards), inserts the optimized communication
+// (vectorized send/recv pairs, broadcasts, allgathers), places the
+// dynamic-decomposition remapping calls, and — for the baselines the
+// paper compares against — emits run-time resolution code (Figure 3)
+// and immediate-instantiation code (Figure 12).
+package codegen
+
+import (
+	"fmt"
+	"strings"
+
+	"fortd/internal/ast"
+	"fortd/internal/comm"
+	"fortd/internal/decomp"
+	"fortd/internal/livedecomp"
+	"fortd/internal/overlap"
+	"fortd/internal/partition"
+)
+
+// Strategy selects the compilation strategy.
+type Strategy int
+
+const (
+	// StrategyInterproc is the paper's contribution: interprocedural
+	// analysis with delayed instantiation.
+	StrategyInterproc Strategy = iota
+	// StrategyRuntime is the Figure 3 baseline: ownership and
+	// communication resolved per reference at run time.
+	StrategyRuntime
+	// StrategyImmediate is the Figure 12 baseline: compile-time
+	// analysis but no delayed instantiation across procedures.
+	StrategyImmediate
+)
+
+func (s Strategy) String() string {
+	switch s {
+	case StrategyInterproc:
+		return "interprocedural"
+	case StrategyRuntime:
+		return "runtime-resolution"
+	case StrategyImmediate:
+		return "immediate"
+	}
+	return "?"
+}
+
+// Input carries one procedure's analyses into code generation.
+type Input struct {
+	Proc    *ast.Procedure
+	Plan    *partition.Plan
+	Comm    *comm.Result
+	Remaps  *livedecomp.Placement
+	Overlap *overlap.Analysis
+	DistOf  partition.DistOf
+	Env     ast.Env
+	P       int
+}
+
+// Result is the generated procedure plus bookkeeping.
+type Result struct {
+	// Body is the rewritten statement list.
+	Body []ast.Stmt
+	// MessagesInserted counts communication statements emitted.
+	MessagesInserted int
+	// GuardsInserted counts ownership guards emitted.
+	GuardsInserted int
+	// LoopsReduced counts loops whose bounds were rewritten.
+	LoopsReduced int
+	// RemapsInserted counts remapping calls emitted.
+	RemapsInserted int
+	// BuffersUsed lists arrays stored in buffers instead of overlaps.
+	BuffersUsed []string
+	// MessagesAggregated counts duplicate messages removed (§5.4).
+	MessagesAggregated int
+	// Reductions counts recognized scalar reductions.
+	Reductions int
+}
+
+// anchors collects generated statements keyed to insertion points.
+type anchors struct {
+	beforeStmt map[ast.Stmt][]ast.Stmt
+	afterStmt  map[ast.Stmt][]ast.Stmt
+	atLoopTop  map[*ast.Do][]ast.Stmt
+	beforeLoop map[*ast.Do][]ast.Stmt
+	afterLoop  map[*ast.Do][]ast.Stmt
+	prologue   []ast.Stmt
+}
+
+func newAnchors() *anchors {
+	return &anchors{
+		beforeStmt: map[ast.Stmt][]ast.Stmt{},
+		afterStmt:  map[ast.Stmt][]ast.Stmt{},
+		atLoopTop:  map[*ast.Do][]ast.Stmt{},
+		beforeLoop: map[*ast.Do][]ast.Stmt{},
+		afterLoop:  map[*ast.Do][]ast.Stmt{},
+	}
+}
+
+// Generate rewrites one procedure into its SPMD form.
+func Generate(in *Input) (*Result, error) {
+	res := &Result{}
+	a := newAnchors()
+
+	// my$p = myproc()
+	a.prologue = append(a.prologue, &ast.Assign{
+		Lhs: ast.Id(partition.MyP),
+		Rhs: &ast.FuncCall{Name: "myproc"},
+	})
+
+	// communication statements
+	if in.Comm != nil {
+		for _, acc := range in.Comm.Accesses {
+			if acc.Delay || acc.Kind == comm.KLocal {
+				continue
+			}
+			stmts, err := emitAccess(in, acc)
+			if err != nil {
+				return nil, err
+			}
+			res.MessagesInserted += len(stmts)
+			anchorComm(a, stmts, acc.AtLoop, acc.Nest, acc.Stmt)
+		}
+		for _, cc := range in.Comm.CallComms {
+			if cc.Delay {
+				continue
+			}
+			stmts, err := emitCallComm(in, cc)
+			if err != nil {
+				return nil, err
+			}
+			res.MessagesInserted += len(stmts)
+			switch {
+			case cc.AtLoop != nil:
+				nest := make([]*ast.Do, 0, len(cc.Site.Nest))
+				for _, li := range cc.Site.Nest {
+					nest = append(nest, li.Loop)
+				}
+				anchorComm(a, stmts, cc.AtLoop, nest, cc.Site.Stmt)
+			case cc.BeforeLoop != nil:
+				a.beforeLoop[cc.BeforeLoop] = append(a.beforeLoop[cc.BeforeLoop], stmts...)
+			default:
+				a.beforeStmt[cc.Site.Stmt] = append(a.beforeStmt[cc.Site.Stmt], stmts...)
+			}
+		}
+	}
+
+	// remapping calls
+	if in.Remaps != nil {
+		emitRemaps := func(ops []*livedecomp.Op) []ast.Stmt {
+			out := make([]ast.Stmt, 0, len(ops))
+			for _, op := range ops {
+				out = append(out, remapStmt(in, op))
+				res.RemapsInserted++
+			}
+			return out
+		}
+		for s, ops := range in.Remaps.BeforeStmt {
+			a.beforeStmt[s] = append(a.beforeStmt[s], emitRemaps(ops)...)
+		}
+		for s, ops := range in.Remaps.AfterStmt {
+			a.afterStmt[s] = append(a.afterStmt[s], emitRemaps(ops)...)
+		}
+		for l, ops := range in.Remaps.BeforeLoop {
+			a.beforeLoop[l] = append(a.beforeLoop[l], emitRemaps(ops)...)
+		}
+		for l, ops := range in.Remaps.AfterLoop {
+			a.afterLoop[l] = append(a.afterLoop[l], emitRemaps(ops)...)
+		}
+	}
+
+	// recognized reductions: accumulate into a private partial inside
+	// the reduced loop, then combine globally after it
+	replace := map[ast.Stmt]ast.Stmt{}
+	if in.Plan != nil {
+		for _, item := range in.Plan.Items {
+			if item.Red == nil || item.Loop == nil {
+				continue
+			}
+			if _, ok := in.Plan.LoopBounds[item.Loop]; !ok {
+				return nil, errUnsupported("reduction loop for %s lost its bounds reduction", item.Red.Var)
+			}
+			partial := item.Red.Var + "$red"
+			newRhs := ast.SubstituteExpr(ast.CloneExpr(item.Stmt.Rhs), item.Red.Var, ast.Id(partial))
+			replace[item.Stmt] = &ast.Assign{Lhs: ast.Id(partial), Rhs: newRhs}
+
+			var identity ast.Expr
+			switch item.Red.Op {
+			case "MAX":
+				identity = &ast.RealLit{Value: -1e300}
+			case "MIN":
+				identity = &ast.RealLit{Value: 1e300}
+			default:
+				identity = &ast.RealLit{Value: 0}
+			}
+			a.beforeLoop[item.Loop] = append(a.beforeLoop[item.Loop],
+				&ast.Assign{Lhs: ast.Id(partial), Rhs: identity})
+
+			var combine ast.Stmt
+			switch item.Red.Op {
+			case "MAX", "MIN":
+				combine = &ast.Assign{
+					Lhs: ast.Id(item.Red.Var),
+					Rhs: &ast.FuncCall{Name: item.Red.Op, Args: []ast.Expr{ast.Id(item.Red.Var), ast.Id(partial)}},
+				}
+			default:
+				combine = &ast.Assign{
+					Lhs: ast.Id(item.Red.Var),
+					Rhs: ast.Add(ast.Id(item.Red.Var), ast.Id(partial)),
+				}
+			}
+			a.afterLoop[item.Loop] = append(a.afterLoop[item.Loop],
+				&ast.GlobalReduce{Var: partial, Op: item.Red.Op}, combine)
+			res.Reductions++
+			res.MessagesInserted++
+		}
+	}
+
+	// guards per partitioning item
+	guards := map[ast.Stmt]ast.Expr{}
+	if in.Plan != nil {
+		for _, item := range in.Plan.Items {
+			if !item.Guard || item.C == nil {
+				continue
+			}
+			lhs := item.Stmt.Lhs.(*ast.ArrayRef)
+			idx := ast.CloneExpr(lhs.Subs[item.DistDim])
+			guards[item.Stmt] = ast.Cmp(ast.OpEQ,
+				partition.OwnerExpr(item.Dist, idx), ast.Id(partition.MyP))
+			res.GuardsInserted++
+		}
+		for _, cc := range in.Plan.CallCons {
+			if !cc.Guard || cc.C == nil {
+				continue
+			}
+			guards[cc.Site.Stmt] = guardForCall(cc)
+			res.GuardsInserted++
+		}
+	}
+
+	// aggregation (§5.4): duplicate messages to the same destination at
+	// the same program point collapse to one
+	res.MessagesAggregated += aggregateAnchors(a)
+	res.MessagesInserted -= res.MessagesAggregated
+
+	body := rewriteBody(in, a, guards, replace, in.Proc.Body, res)
+	res.Body = append(a.prologue, body...)
+	return res, nil
+}
+
+// aggregateAnchors removes textually identical communication statements
+// anchored at the same insertion point, returning how many were
+// dropped. (Two references to the same nonlocal element in one
+// statement otherwise generate two identical broadcasts.)
+func aggregateAnchors(a *anchors) int {
+	dropped := 0
+	dedupe := func(stmts []ast.Stmt) []ast.Stmt {
+		seen := map[string]bool{}
+		out := stmts[:0]
+		for _, s := range stmts {
+			if !isCommStmt(s) {
+				out = append(out, s)
+				continue
+			}
+			key := stmtKey(s)
+			if seen[key] {
+				dropped++
+				continue
+			}
+			seen[key] = true
+			out = append(out, s)
+		}
+		return out
+	}
+	for k, v := range a.beforeStmt {
+		a.beforeStmt[k] = dedupe(v)
+	}
+	for k, v := range a.afterStmt {
+		a.afterStmt[k] = dedupe(v)
+	}
+	for k, v := range a.atLoopTop {
+		a.atLoopTop[k] = dedupe(v)
+	}
+	for k, v := range a.beforeLoop {
+		a.beforeLoop[k] = dedupe(v)
+	}
+	for k, v := range a.afterLoop {
+		a.afterLoop[k] = dedupe(v)
+	}
+	a.prologue = dedupe(a.prologue)
+	return dropped
+}
+
+func isCommStmt(s ast.Stmt) bool {
+	switch st := s.(type) {
+	case *ast.Send, *ast.Recv, *ast.Broadcast, *ast.AllGather:
+		return true
+	case *ast.If:
+		// guarded send/recv pairs emitted by emitShift
+		if len(st.Then) == 1 && len(st.Else) == 0 {
+			return isCommStmt(st.Then[0])
+		}
+	}
+	return false
+}
+
+func stmtKey(s ast.Stmt) string {
+	var b strings.Builder
+	p := &ast.Procedure{Name: "k", Symbols: ast.NewSymbolTable(), Body: []ast.Stmt{s}}
+	ast.PrintProcedure(&b, p)
+	return b.String()
+}
+
+// guardForCall builds the ownership guard wrapping a call whose delayed
+// constraint could not be absorbed: the test is on the caller-side
+// expression bound to the callee formal carrying the constraint.
+func guardForCall(cc *partition.CallConstraint) ast.Expr {
+	var idx ast.Expr = ast.Int(1)
+	if cc.Actual != nil {
+		idx = ast.CloneExpr(cc.Actual)
+	}
+	return partition.GuardExpr(cc.C, idx)
+}
+
+// anchorComm places generated comm statements. A message constrained to
+// level ℓ is anchored just before its consumer at that level: before
+// the next-deeper loop when the consumer sits inside one (hoisted out
+// of the deeper loops — message vectorization), or directly before the
+// consuming statement. Unconstrained messages hoist before the
+// outermost enclosing loop.
+func anchorComm(a *anchors, stmts []ast.Stmt, atLoop *ast.Do, nest []*ast.Do, stmt ast.Stmt) {
+	switch {
+	case atLoop != nil:
+		for i, l := range nest {
+			if l != atLoop {
+				continue
+			}
+			if i+1 < len(nest) {
+				a.beforeLoop[nest[i+1]] = append(a.beforeLoop[nest[i+1]], stmts...)
+			} else if stmt != nil {
+				a.beforeStmt[stmt] = append(a.beforeStmt[stmt], stmts...)
+			} else {
+				a.atLoopTop[atLoop] = append(a.atLoopTop[atLoop], stmts...)
+			}
+			return
+		}
+		a.atLoopTop[atLoop] = append(a.atLoopTop[atLoop], stmts...)
+	case len(nest) > 0:
+		a.beforeLoop[nest[0]] = append(a.beforeLoop[nest[0]], stmts...)
+	case stmt != nil:
+		a.beforeStmt[stmt] = append(a.beforeStmt[stmt], stmts...)
+	default:
+		a.prologue = append(a.prologue, stmts...)
+	}
+}
+
+// rewriteBody produces the transformed statement list.
+func rewriteBody(in *Input, a *anchors, guards map[ast.Stmt]ast.Expr, replace map[ast.Stmt]ast.Stmt, body []ast.Stmt, res *Result) []ast.Stmt {
+	var out []ast.Stmt
+	for _, s := range body {
+		out = append(out, a.beforeStmt[s]...)
+		switch st := s.(type) {
+		case *ast.Decomposition, *ast.Align, *ast.Distribute:
+			// directives are compiled away; remap calls were anchored
+			// before them when needed
+		case *ast.Do:
+			out = append(out, a.beforeLoop[st]...)
+			nl := &ast.Do{Var: st.Var, Lo: ast.CloneExpr(st.Lo), Hi: ast.CloneExpr(st.Hi)}
+			nl.Position = st.Pos()
+			if st.Step != nil {
+				nl.Step = ast.CloneExpr(st.Step)
+			}
+			if in.Plan != nil {
+				if c, ok := in.Plan.LoopBounds[st]; ok {
+					if lo, hi, step, okB := partition.BoundExprs(c, nl.Lo, nl.Hi, nl.Step); okB {
+						nl.Lo, nl.Hi, nl.Step = lo, hi, step
+						res.LoopsReduced++
+					}
+				}
+			}
+			inner := rewriteBody(in, a, guards, replace, st.Body, res)
+			nl.Body = append(append([]ast.Stmt{}, a.atLoopTop[st]...), inner...)
+			out = append(out, nl)
+			out = append(out, a.afterLoop[st]...)
+		case *ast.If:
+			ni := &ast.If{Cond: ast.CloneExpr(st.Cond)}
+			ni.Position = st.Pos()
+			ni.Then = rewriteBody(in, a, guards, replace, st.Then, res)
+			ni.Else = rewriteBody(in, a, guards, replace, st.Else, res)
+			out = append(out, ni)
+		default:
+			cp := ast.CloneStmt(s)
+			if r, ok := replace[s]; ok {
+				cp = r
+			}
+			if g, ok := guards[s]; ok {
+				wrapped := &ast.If{Cond: g, Then: []ast.Stmt{cp}}
+				wrapped.Position = s.Pos()
+				out = append(out, wrapped)
+			} else {
+				out = append(out, cp)
+			}
+		}
+		out = append(out, a.afterStmt[s]...)
+	}
+	return out
+}
+
+// remapStmt materializes one remap operation.
+func remapStmt(in *Input, op *livedecomp.Op) ast.Stmt {
+	to := append([]ast.DistSpec(nil), op.To.Specs...)
+	return &ast.Remap{Array: op.Array, To: to, InPlace: op.InPlace}
+}
+
+// errUnsupported flags generation gaps explicitly rather than emitting
+// wrong code.
+func errUnsupported(what string, args ...interface{}) error {
+	return fmt.Errorf("codegen: unsupported: "+what, args...)
+}
+
+var _ = decomp.Replicated

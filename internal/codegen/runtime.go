@@ -1,0 +1,249 @@
+package codegen
+
+import (
+	"fortd/internal/ast"
+	"fortd/internal/decomp"
+	"fortd/internal/partition"
+)
+
+// GenerateRuntime rewrites a procedure with run-time resolution
+// (Figure 3): every assignment to a distributed array is guarded by an
+// ownership test evaluated per iteration, and every potentially
+// nonlocal right-hand-side reference sends one element-message from its
+// owner to the computing processor. This is the baseline the paper's
+// interprocedural compilation avoids.
+func GenerateRuntime(proc *ast.Procedure, distOf partition.DistOf, entryDists map[string]*decomp.Dist, p int) (*Result, error) {
+	res := &Result{}
+	body, err := runtimeBody(proc, distOf, p, proc.Body, res)
+	if err != nil {
+		return nil, err
+	}
+	// Fortran D scoping: dynamic redistribution inside a procedure is
+	// undone on return — restore each redistributed array to its entry
+	// distribution
+	if !proc.IsMain {
+		redistributed := map[string]bool{}
+		ast.WalkStmts(proc.Body, func(s ast.Stmt) bool {
+			if d, ok := s.(*ast.Distribute); ok {
+				if sym := proc.Symbols.Lookup(d.Target); sym != nil && sym.Kind == ast.SymArray {
+					redistributed[d.Target] = true
+				}
+			}
+			return true
+		})
+		for arr := range redistributed {
+			entry := entryDists[arr]
+			if entry == nil || len(entry.Specs) == 0 {
+				continue
+			}
+			body = append(body, &ast.Remap{Array: arr, To: append([]ast.DistSpec(nil), entry.Specs...)})
+			res.RemapsInserted++
+		}
+	}
+	prologue := []ast.Stmt{&ast.Assign{
+		Lhs: ast.Id(partition.MyP),
+		Rhs: &ast.FuncCall{Name: "myproc"},
+	}}
+	res.Body = append(prologue, body...)
+	return res, nil
+}
+
+func runtimeBody(proc *ast.Procedure, distOf partition.DistOf, p int, body []ast.Stmt, res *Result) ([]ast.Stmt, error) {
+	var out []ast.Stmt
+	for _, s := range body {
+		switch st := s.(type) {
+		case *ast.Decomposition, *ast.Align:
+			// directives: decomposition state is static per procedure
+			// under run-time resolution as well
+		case *ast.Distribute:
+			sym := proc.Symbols.Lookup(st.Target)
+			if sym != nil && sym.Kind == ast.SymArray {
+				out = append(out, &ast.Remap{Array: st.Target, To: append([]ast.DistSpec(nil), st.Specs...)})
+				res.RemapsInserted++
+			}
+		case *ast.Do:
+			// distributed reads in the bounds resolve before the loop
+			out = append(out, resolveReads(distOf, st, res, st.Lo, st.Hi, st.Step)...)
+			nl := &ast.Do{Var: st.Var, Lo: ast.CloneExpr(st.Lo), Hi: ast.CloneExpr(st.Hi)}
+			if st.Step != nil {
+				nl.Step = ast.CloneExpr(st.Step)
+			}
+			inner, err := runtimeBody(proc, distOf, p, st.Body, res)
+			if err != nil {
+				return nil, err
+			}
+			nl.Body = inner
+			out = append(out, nl)
+		case *ast.If:
+			// every processor must take the same branch: distributed
+			// reads in the condition are broadcast from their owners
+			out = append(out, resolveReads(distOf, st, res, st.Cond)...)
+			ni := &ast.If{Cond: ast.CloneExpr(st.Cond)}
+			thenB, err := runtimeBody(proc, distOf, p, st.Then, res)
+			if err != nil {
+				return nil, err
+			}
+			elseB, err := runtimeBody(proc, distOf, p, st.Else, res)
+			if err != nil {
+				return nil, err
+			}
+			ni.Then, ni.Else = thenB, elseB
+			out = append(out, ni)
+		case *ast.Assign:
+			stmts, err := runtimeAssign(proc, distOf, st, res)
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, stmts...)
+		default:
+			out = append(out, ast.CloneStmt(s))
+		}
+	}
+	return out, nil
+}
+
+// ownerOf returns the owner expression of a reference's distributed
+// element, or nil when the array is replicated (owned everywhere).
+func ownerOf(distOf partition.DistOf, ref *ast.ArrayRef, at ast.Stmt) (ast.Expr, *decomp.Dist) {
+	dist, ok := distOf(ref.Name, at)
+	if !ok || dist == nil || dist.IsReplicated() {
+		return nil, nil
+	}
+	dim := dist.DistDim()
+	if dim >= len(ref.Subs) {
+		return nil, nil
+	}
+	return partition.OwnerExpr(dist, ast.CloneExpr(ref.Subs[dim])), dist
+}
+
+// resolveReads emits one element broadcast per distributed array
+// reference in the given expressions (deduplicated), making the values
+// available on every processor.
+func resolveReads(distOf partition.DistOf, at ast.Stmt, res *Result, exprs ...ast.Expr) []ast.Stmt {
+	var out []ast.Stmt
+	seen := map[string]bool{}
+	var rec func(e ast.Expr)
+	rec = func(e ast.Expr) {
+		switch x := e.(type) {
+		case nil:
+		case *ast.ArrayRef:
+			for _, sub := range x.Subs {
+				rec(sub)
+			}
+			owner, _ := ownerOf(distOf, x, at)
+			if owner == nil {
+				return
+			}
+			key := x.String()
+			if seen[key] {
+				return
+			}
+			seen[key] = true
+			sec := make([]ast.SecDim, len(x.Subs))
+			for d, sub := range x.Subs {
+				sec[d] = ast.SecDim{Lo: ast.CloneExpr(sub), Hi: ast.CloneExpr(sub)}
+			}
+			out = append(out, &ast.Broadcast{Array: x.Name, Sec: sec, Root: owner})
+			res.MessagesInserted++
+		case *ast.FuncCall:
+			for _, a := range x.Args {
+				rec(a)
+			}
+		case *ast.Binary:
+			rec(x.X)
+			rec(x.Y)
+		case *ast.Unary:
+			rec(x.X)
+		}
+	}
+	for _, e := range exprs {
+		rec(e)
+	}
+	return out
+}
+
+// runtimeAssign compiles one assignment in the Figure 3 style.
+func runtimeAssign(proc *ast.Procedure, distOf partition.DistOf, st *ast.Assign, res *Result) ([]ast.Stmt, error) {
+	var out []ast.Stmt
+	replicated := true // scalar lhs: every processor computes
+	lhsOwner := myP()
+	if lhs, ok := st.Lhs.(*ast.ArrayRef); ok {
+		if o, _ := ownerOf(distOf, lhs, st); o != nil {
+			lhsOwner = o
+			replicated = false
+		}
+	}
+	iCompute := ast.Cmp(ast.OpEQ, myP(), ast.CloneExpr(lhsOwner))
+
+	// one element message per distributed rhs reference whose owner
+	// differs from the computing processor
+	var rhsRefs []*ast.ArrayRef
+	collect := func(e ast.Expr) {
+		var rec func(e ast.Expr)
+		rec = func(e ast.Expr) {
+			switch x := e.(type) {
+			case *ast.ArrayRef:
+				rhsRefs = append(rhsRefs, x)
+				for _, sub := range x.Subs {
+					rec(sub)
+				}
+			case *ast.FuncCall:
+				for _, a := range x.Args {
+					rec(a)
+				}
+			case *ast.Binary:
+				rec(x.X)
+				rec(x.Y)
+			case *ast.Unary:
+				rec(x.X)
+			}
+		}
+		rec(e)
+	}
+	collect(st.Rhs)
+	if lhs, ok := st.Lhs.(*ast.ArrayRef); ok {
+		for _, sub := range lhs.Subs {
+			collect(sub)
+		}
+	}
+	for _, ref := range rhsRefs {
+		srcOwner, dist := ownerOf(distOf, ref, st)
+		if srcOwner == nil {
+			continue
+		}
+		sec := make([]ast.SecDim, len(ref.Subs))
+		for d, sub := range ref.Subs {
+			sec[d] = ast.SecDim{Lo: ast.CloneExpr(sub), Hi: ast.CloneExpr(sub)}
+		}
+		if replicated {
+			// every processor computes: the owner broadcasts the element
+			out = append(out, &ast.Broadcast{Array: ref.Name, Sec: sec, Root: ast.CloneExpr(srcOwner)})
+			res.MessagesInserted++
+			continue
+		}
+		_ = dist
+		differ := ast.Cmp(ast.OpNE, ast.CloneExpr(srcOwner), ast.CloneExpr(lhsOwner))
+		iOwnSrc := ast.Cmp(ast.OpEQ, myP(), ast.CloneExpr(srcOwner))
+		send := &ast.Send{Array: ref.Name, Sec: sec, Dest: ast.CloneExpr(lhsOwner)}
+		recvSec := make([]ast.SecDim, len(sec))
+		for i, d := range sec {
+			recvSec[i] = ast.SecDim{Lo: ast.CloneExpr(d.Lo), Hi: ast.CloneExpr(d.Hi)}
+		}
+		recv := &ast.Recv{Array: ref.Name, Sec: recvSec, Src: ast.CloneExpr(srcOwner)}
+		out = append(out, &ast.If{
+			Cond: differ,
+			Then: []ast.Stmt{
+				&ast.If{Cond: iOwnSrc, Then: []ast.Stmt{send}},
+				&ast.If{Cond: ast.CloneExpr(iCompute), Then: []ast.Stmt{recv}},
+			},
+		})
+		res.MessagesInserted += 2
+	}
+	if replicated {
+		out = append(out, ast.CloneStmt(st))
+	} else {
+		out = append(out, &ast.If{Cond: iCompute, Then: []ast.Stmt{ast.CloneStmt(st)}})
+		res.GuardsInserted++
+	}
+	return out, nil
+}

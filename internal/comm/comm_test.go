@@ -1,0 +1,442 @@
+package comm
+
+import (
+	"testing"
+
+	"fortd/internal/acg"
+	"fortd/internal/ast"
+	"fortd/internal/decomp"
+	"fortd/internal/depend"
+	"fortd/internal/parser"
+	"fortd/internal/partition"
+	"fortd/internal/rsd"
+)
+
+type fixture struct {
+	prog     *ast.Program
+	graph    *acg.Graph
+	sections map[string]*SectionSummary
+}
+
+func parseAll(t *testing.T, src string) *fixture {
+	t.Helper()
+	prog, err := parser.Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := acg.Build(prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return &fixture{prog: prog, graph: g, sections: ComputeSections(g)}
+}
+
+func analyzeProc(t *testing.T, f *fixture, name string, distOf partition.DistOf) *Result {
+	t.Helper()
+	n := f.graph.Nodes[name]
+	proc := n.Proc
+	env := ConstEnv(proc)
+	deps := depend.Analyze(proc, env)
+	plan := partition.Compute(proc, n, distOf, func(string) map[string]*partition.Constraint { return nil }, env)
+	return Analyze(proc, n, plan, deps, distOf, func(string) []*Delayed { return nil }, f.sections, env)
+}
+
+func blockDistOf(n, p int) partition.DistOf {
+	d := decomp.MustDist(decomp.NewDecomp(decomp.Block), []int{n}, p)
+	return func(string, ast.Stmt) (*decomp.Dist, bool) { return d, true }
+}
+
+// TestShiftClassification: X(i+5) against partition variable i is a
+// +5 shift, hoisted out of the loop (no carried true dependence).
+func TestShiftClassification(t *testing.T) {
+	f := parseAll(t, `
+      PROGRAM P
+      REAL X(100)
+      do i = 1,95
+        X(i) = F(X(i+5))
+      enddo
+      END
+`)
+	res := analyzeProc(t, f, "P", blockDistOf(100, 4))
+	if len(res.Accesses) != 1 {
+		t.Fatalf("accesses = %d", len(res.Accesses))
+	}
+	acc := res.Accesses[0]
+	if acc.Kind != KShift || acc.Shift != 5 {
+		t.Errorf("access = %v shift %d", acc.Kind, acc.Shift)
+	}
+	if acc.AtLoop != nil || acc.Delay {
+		t.Errorf("shift should be hoisted: AtLoop=%v Delay=%v", acc.AtLoop, acc.Delay)
+	}
+}
+
+// TestLocalClassification: X(i) against partition variable i needs no
+// communication; a recurrence X(i-1) does, inside the loop.
+func TestRecurrenceStaysInLoop(t *testing.T) {
+	f := parseAll(t, `
+      PROGRAM P
+      REAL X(100)
+      do i = 2,100
+        X(i) = X(i-1)
+      enddo
+      END
+`)
+	res := analyzeProc(t, f, "P", blockDistOf(100, 4))
+	if len(res.Accesses) != 1 {
+		t.Fatalf("accesses = %v", res.Accesses)
+	}
+	acc := res.Accesses[0]
+	if acc.Kind != KShift || acc.Shift != -1 {
+		t.Errorf("kind=%v shift=%d", acc.Kind, acc.Shift)
+	}
+	if acc.AtLoop == nil {
+		t.Error("carried true dependence must keep the message in the loop")
+	}
+}
+
+// TestPointClassification: a scalar assignment reading a distributed
+// element is a broadcast keyed to the subscript.
+func TestPointClassification(t *testing.T) {
+	f := parseAll(t, `
+      PROGRAM P
+      REAL X(100)
+      do k = 1,100
+        t = X(k) + 1.0
+      enddo
+      END
+`)
+	res := analyzeProc(t, f, "P", blockDistOf(100, 4))
+	if len(res.Accesses) != 1 {
+		t.Fatalf("accesses = %v", res.Accesses)
+	}
+	acc := res.Accesses[0]
+	if acc.Kind != KPoint {
+		t.Fatalf("kind = %v, want broadcast", acc.Kind)
+	}
+	if acc.AtLoop == nil || acc.AtLoop.Var != "k" {
+		t.Errorf("broadcast must be pinned to the k loop")
+	}
+}
+
+// TestDelayedShift: F1$row's boundary shift anchored on formal i is
+// delayed to the caller.
+func TestDelayedShift(t *testing.T) {
+	f := parseAll(t, `
+      SUBROUTINE F2(Z,i)
+      REAL Z(100,100)
+      do k = 1,95
+        Z(k,i) = F(Z(k+5,i))
+      enddo
+      END
+`)
+	d := decomp.MustDist(decomp.NewDecomp(decomp.Block, decomp.Collapsed), []int{100, 100}, 4)
+	res := analyzeProc(t, f, "F2", func(string, ast.Stmt) (*decomp.Dist, bool) { return d, true })
+	if len(res.Accesses) != 1 || !res.Accesses[0].Delay {
+		t.Fatalf("accesses = %+v, want delayed", res.Accesses)
+	}
+	if len(res.Delayed) != 1 {
+		t.Fatalf("delayed = %v", res.Delayed)
+	}
+	del := res.Delayed[0]
+	if del.Kind != KShift || del.Shift != 5 || del.Array != "Z" {
+		t.Errorf("delayed = %+v", del)
+	}
+	if !del.Section.Symbolic() {
+		t.Errorf("delayed section should anchor i: %v", del.Section)
+	}
+}
+
+// TestSectionSummaries: interprocedural RSD write/read sets translate
+// formals to actuals and expand caller loop anchors.
+func TestSectionSummaries(t *testing.T) {
+	f := parseAll(t, `
+      PROGRAM P
+      REAL A(100,100)
+      do i = 1,100
+        call S(A,i)
+      enddo
+      END
+      SUBROUTINE S(Z,i)
+      REAL Z(100,100)
+      do k = 1,50
+        Z(k,i) = Z(k+1,i) + 1.0
+      enddo
+      END
+`)
+	s := f.sections["S"]
+	if s == nil {
+		t.Fatal("no summary for S")
+	}
+	w := s.Writes["Z"]
+	if len(w) != 1 {
+		t.Fatalf("writes = %v", w)
+	}
+	want := rsd.New("Z", rsd.Range(1, 50), rsd.SymPoint("i", 0))
+	if !w[0].Equal(want) {
+		t.Errorf("write section = %v, want %v", w[0], want)
+	}
+	// main's summary has the anchor expanded over the i loop
+	m := f.sections["P"]
+	mw := m.Writes["A"]
+	if len(mw) != 1 {
+		t.Fatalf("main writes = %v", mw)
+	}
+	wantMain := rsd.New("A", rsd.Range(1, 50), rsd.Range(1, 100))
+	if !mw[0].Equal(wantMain) {
+		t.Errorf("main write section = %v, want %v", mw[0], wantMain)
+	}
+}
+
+// TestCarriedAt: the RSD-based caller-loop dependence test — identical
+// anchor windows mean distance 0 (vectorizable), differing windows or
+// unanchored overlap mean carried.
+func TestCarriedAt(t *testing.T) {
+	read := rsd.New("X", rsd.Range(26, 30), rsd.SymPoint("i", 0))
+	sameIter := []*rsd.Section{rsd.New("X", rsd.Range(1, 100), rsd.SymPoint("i", 0))}
+	if carriedAt(sameIter, read, "i") {
+		t.Error("distance-0 anchored write must not be carried")
+	}
+	shifted := []*rsd.Section{rsd.New("X", rsd.Range(1, 100), rsd.SymPoint("i", -1))}
+	if !carriedAt(shifted, read, "i") {
+		t.Error("shifted anchored write must be carried")
+	}
+	unanchored := []*rsd.Section{rsd.New("X", rsd.Range(1, 100), rsd.Range(1, 100))}
+	if !carriedAt(unanchored, read, "i") {
+		t.Error("unanchored overlapping write must be carried")
+	}
+	disjoint := []*rsd.Section{rsd.New("X", rsd.Range(90, 100), rsd.SymPoint("i", 0))}
+	if carriedAt(disjoint, read, "i") {
+		t.Error("disjoint write must not be carried")
+	}
+	otherArray := []*rsd.Section{rsd.New("Y", rsd.Range(1, 100), rsd.SymPoint("i", -1))}
+	if carriedAt(otherArray, read, "i") {
+		t.Error("write to a different array must not be carried")
+	}
+}
+
+// TestReplicatedNoComm: references to replicated arrays never
+// communicate.
+func TestReplicatedNoComm(t *testing.T) {
+	f := parseAll(t, `
+      PROGRAM P
+      REAL W(50)
+      do i = 1,50
+        x = x + W(i)
+      enddo
+      END
+`)
+	rep := decomp.MustDist(decomp.Replicated, []int{50}, 4)
+	res := analyzeProc(t, f, "P", func(string, ast.Stmt) (*decomp.Dist, bool) { return rep, true })
+	if len(res.Accesses) != 0 {
+		t.Errorf("accesses = %v", res.Accesses)
+	}
+}
+
+// TestKillsViaSections: covered by livedecomp, but the read filter must
+// keep subscript-only references out of the written set.
+func TestRefSectionConstLoop(t *testing.T) {
+	u, err := parser.ParseProcedure(`
+      SUBROUTINE S(A)
+      REAL A(10,20)
+      do i = 2,9
+        do j = 1,20
+          A(i,j) = 0.0
+        enddo
+      enddo
+      END
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	refs := depend.CollectRefs(u)
+	sec := RefSection(u, refs[0].Expr, refs[0].Nest, nil)
+	want := rsd.New("A", rsd.Range(2, 9), rsd.Range(1, 20))
+	if !sec.Equal(want) {
+		t.Errorf("section = %v, want %v", sec, want)
+	}
+}
+
+// TestGatherForCyclicShift: a shifted access on a cyclic distribution
+// degrades to an allgather rather than a wrong neighbor exchange.
+func TestGatherForCyclicShift(t *testing.T) {
+	f := parseAll(t, `
+      PROGRAM P
+      REAL X(100)
+      do i = 1,95
+        X(i) = F(X(i+5))
+      enddo
+      END
+`)
+	d := decomp.MustDist(decomp.NewDecomp(decomp.Cyclic), []int{100}, 4)
+	res := analyzeProc(t, f, "P", func(string, ast.Stmt) (*decomp.Dist, bool) { return d, true })
+	if len(res.Accesses) != 1 || res.Accesses[0].Kind != KGather {
+		t.Errorf("accesses = %+v, want allgather", res.Accesses)
+	}
+}
+
+// TestInstantiateVectorizesAtCaller: the Figure 10 flow at unit level —
+// a delayed shift anchored on formal i expands over the caller's i loop
+// and hoists before it.
+func TestInstantiateVectorizesAtCaller(t *testing.T) {
+	f := parseAll(t, `
+      PROGRAM P1
+      REAL X(100,100)
+      do i = 1,100
+        call F1(X,i)
+      enddo
+      END
+      SUBROUTINE F1(Z,i)
+      REAL Z(100,100)
+      do k = 1,95
+        Z(k,i) = F(Z(k+5,i))
+      enddo
+      END
+`)
+	d := &Delayed{
+		Array: "Z", Kind: KShift, Shift: 5,
+		DistKey: "(BLOCK,:)", DistDim: 0,
+		Section: rsd.New("Z", rsd.Range(6, 100), rsd.SymPoint("i", 0)),
+	}
+	dist := decomp.MustDist(decomp.NewDecomp(decomp.Block, decomp.Collapsed), []int{100, 100}, 4)
+	distOf := func(string, ast.Stmt) (*decomp.Dist, bool) { return dist, true }
+	res := analyzeWithDelayed(t, f, "P1", distOf, d)
+	if len(res.CallComms) != 1 {
+		t.Fatalf("call comms = %v", res.CallComms)
+	}
+	cc := res.CallComms[0]
+	if cc.Delay || cc.AtLoop != nil || cc.BeforeLoop == nil {
+		t.Fatalf("placement = %+v, want hoisted before the i loop", cc)
+	}
+	want := rsd.New("X", rsd.Range(6, 100), rsd.Range(1, 100))
+	if !cc.Section.Equal(want) {
+		t.Errorf("section = %v, want %v", cc.Section, want)
+	}
+}
+
+// TestInstantiateCarriedStaysInLoop: when the callee also writes the
+// array at shifted anchor offsets, the caller loop carries a true
+// dependence and the message stays inside the loop.
+func TestInstantiateCarriedStaysInLoop(t *testing.T) {
+	f := parseAll(t, `
+      PROGRAM P1
+      REAL X(100,100)
+      do i = 2,100
+        call F1(X,i)
+      enddo
+      END
+      SUBROUTINE F1(Z,i)
+      REAL Z(100,100)
+      do k = 1,95
+        Z(k,i) = F(Z(k+5,i-1))
+      enddo
+      END
+`)
+	d := &Delayed{
+		Array: "Z", Kind: KShift, Shift: 5,
+		DistKey: "(BLOCK,:)", DistDim: 0,
+		Section: rsd.New("Z", rsd.Range(6, 100), rsd.SymPoint("i", -1)),
+	}
+	dist := decomp.MustDist(decomp.NewDecomp(decomp.Block, decomp.Collapsed), []int{100, 100}, 4)
+	distOf := func(string, ast.Stmt) (*decomp.Dist, bool) { return dist, true }
+	res := analyzeWithDelayed(t, f, "P1", distOf, d)
+	if len(res.CallComms) != 1 {
+		t.Fatalf("call comms = %v", res.CallComms)
+	}
+	if res.CallComms[0].AtLoop == nil {
+		t.Errorf("carried dependence must pin the message in the loop: %+v", res.CallComms[0])
+	}
+}
+
+// TestInstantiateReDelays: a middle procedure passing its own formal
+// onward re-delays the communication to its callers.
+func TestInstantiateReDelays(t *testing.T) {
+	f := parseAll(t, `
+      SUBROUTINE MID(W,j)
+      REAL W(100,100)
+      call F1(W,j)
+      END
+      SUBROUTINE F1(Z,i)
+      REAL Z(100,100)
+      do k = 1,95
+        Z(k,i) = F(Z(k+5,i))
+      enddo
+      END
+`)
+	d := &Delayed{
+		Array: "Z", Kind: KShift, Shift: 5,
+		DistKey: "(BLOCK,:)", DistDim: 0,
+		Section: rsd.New("Z", rsd.Range(6, 100), rsd.SymPoint("i", 0)),
+	}
+	dist := decomp.MustDist(decomp.NewDecomp(decomp.Block, decomp.Collapsed), []int{100, 100}, 4)
+	distOf := func(string, ast.Stmt) (*decomp.Dist, bool) { return dist, true }
+	res := analyzeWithDelayed(t, f, "MID", distOf, d)
+	if len(res.CallComms) != 1 || !res.CallComms[0].Delay {
+		t.Fatalf("expected re-delay: %+v", res.CallComms)
+	}
+	if len(res.Delayed) != 1 {
+		t.Fatalf("delayed = %v", res.Delayed)
+	}
+	out := res.Delayed[0]
+	if out.Array != "W" || !out.Section.Symbolic() {
+		t.Errorf("re-delayed = %+v section %v", out, out.Section)
+	}
+	// the anchor is renamed to MID's formal
+	if out.Section.Dims[1].Var != "j" {
+		t.Errorf("anchor = %q, want j", out.Section.Dims[1].Var)
+	}
+}
+
+// analyzeWithDelayed runs Analyze for one procedure with a synthetic
+// delayed descriptor attached to its callee.
+func analyzeWithDelayed(t *testing.T, f *fixture, name string, distOf partition.DistOf, d *Delayed) *Result {
+	t.Helper()
+	n := f.graph.Nodes[name]
+	proc := n.Proc
+	env := ConstEnv(proc)
+	deps := depend.Analyze(proc, env)
+	plan := partition.Compute(proc, n, distOf, func(string) map[string]*partition.Constraint { return nil }, env)
+	return Analyze(proc, n, plan, deps, distOf,
+		func(callee string) []*Delayed {
+			if callee == "F1" {
+				return []*Delayed{d}
+			}
+			return nil
+		}, f.sections, env)
+}
+
+// TestInstantiatePointAtDefiningLoop: a delayed broadcast keyed to a
+// formal lands at the caller loop defining the variable.
+func TestInstantiatePointAtDefiningLoop(t *testing.T) {
+	f := parseAll(t, `
+      PROGRAM P1
+      REAL X(100,100)
+      do k = 1,99
+        call F1(X,k)
+      enddo
+      END
+      SUBROUTINE F1(Z,kk)
+      REAL Z(100,100)
+      do i = 1,100
+        Z(i,kk) = Z(i,kk) * 2.0
+      enddo
+      END
+`)
+	d := &Delayed{
+		Array: "Z", Kind: KPoint, PointVar: "kk", PointOff: 0,
+		DistKey: "(:,CYCLIC)", DistDim: 1,
+		Section: rsd.New("Z", rsd.Range(1, 100), rsd.SymPoint("kk", 0)),
+	}
+	dist := decomp.MustDist(decomp.NewDecomp(decomp.Collapsed, decomp.Cyclic), []int{100, 100}, 4)
+	distOf := func(string, ast.Stmt) (*decomp.Dist, bool) { return dist, true }
+	res := analyzeWithDelayed(t, f, "P1", distOf, d)
+	if len(res.CallComms) != 1 {
+		t.Fatalf("call comms = %v", res.CallComms)
+	}
+	cc := res.CallComms[0]
+	if cc.AtLoop == nil || cc.AtLoop.Var != "k" {
+		t.Errorf("broadcast must pin to the k loop: %+v", cc)
+	}
+	if cc.PointVar != "k" {
+		t.Errorf("point var = %q", cc.PointVar)
+	}
+}

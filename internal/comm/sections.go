@@ -1,0 +1,284 @@
+// Package comm implements communication analysis and optimization
+// (§3 step 4–5, §5.4, Figure 11): classifying nonlocal references,
+// message vectorization driven by dependence level, interprocedural RSD
+// summaries of array side effects, and delayed instantiation of
+// communication across procedure boundaries.
+package comm
+
+import (
+	"fortd/internal/acg"
+	"fortd/internal/ast"
+	"fortd/internal/depend"
+	"fortd/internal/rsd"
+)
+
+// SectionSummary holds the interprocedural regular-section summaries of
+// one procedure: the regions of formal-parameter and common arrays it
+// (or its descendants) may write and read, expressed in the procedure's
+// own name space. Dimensions indexed by formal scalars are kept
+// symbolic (anchored), which is what lets callers expand them over
+// their own loops.
+type SectionSummary struct {
+	Writes map[string][]*rsd.Section
+	Reads  map[string][]*rsd.Section
+}
+
+func newSectionSummary() *SectionSummary {
+	return &SectionSummary{
+		Writes: map[string][]*rsd.Section{},
+		Reads:  map[string][]*rsd.Section{},
+	}
+}
+
+func (s *SectionSummary) addWrite(sec *rsd.Section) {
+	s.Writes[sec.Array] = rsd.MergeList(append(s.Writes[sec.Array], sec))
+}
+
+func (s *SectionSummary) addRead(sec *rsd.Section) {
+	s.Reads[sec.Array] = rsd.MergeList(append(s.Reads[sec.Array], sec))
+}
+
+// ComputeSections builds section summaries for every procedure,
+// bottom-up over the acyclic call graph (the interprocedural RSD
+// propagation of §5.4: "references within a procedure are put into RSD
+// form ... propagated to calling procedures and translated").
+func ComputeSections(g *acg.Graph) map[string]*SectionSummary {
+	out := map[string]*SectionSummary{}
+	for _, n := range g.ReverseTopoOrder() {
+		out[n.Name()] = procSections(n, out)
+	}
+	return out
+}
+
+func procSections(n *acg.Node, done map[string]*SectionSummary) *SectionSummary {
+	proc := n.Proc
+	sum := newSectionSummary()
+	env := ConstEnv(proc)
+
+	var nest []*ast.Do
+	addRef := func(ref *ast.ArrayRef, write bool) {
+		sec := RefSection(proc, ref, nest, env)
+		if sec == nil {
+			return
+		}
+		if write {
+			sum.addWrite(sec)
+		} else {
+			sum.addRead(sec)
+		}
+	}
+	var collectExpr func(e ast.Expr)
+	collectExpr = func(e ast.Expr) {
+		switch x := e.(type) {
+		case *ast.ArrayRef:
+			addRef(x, false)
+			for _, s := range x.Subs {
+				collectExpr(s)
+			}
+		case *ast.FuncCall:
+			for _, a := range x.Args {
+				collectExpr(a)
+			}
+		case *ast.Binary:
+			collectExpr(x.X)
+			collectExpr(x.Y)
+		case *ast.Unary:
+			collectExpr(x.X)
+		}
+	}
+	var walk func(body []ast.Stmt)
+	walk = func(body []ast.Stmt) {
+		for _, s := range body {
+			switch st := s.(type) {
+			case *ast.Assign:
+				if lhs, ok := st.Lhs.(*ast.ArrayRef); ok {
+					addRef(lhs, true)
+					for _, sub := range lhs.Subs {
+						collectExpr(sub)
+					}
+				}
+				collectExpr(st.Rhs)
+			case *ast.Do:
+				nest = append(nest, st)
+				walk(st.Body)
+				nest = nest[:len(nest)-1]
+			case *ast.If:
+				collectExpr(st.Cond)
+				walk(st.Then)
+				walk(st.Else)
+			case *ast.Call:
+				site := siteOf(n, st)
+				callee := done[st.Name]
+				if site == nil || callee == nil {
+					continue
+				}
+				for _, secs := range callee.Writes {
+					for _, sec := range secs {
+						if t := TranslateSection(sec, site, proc, nest, env); t != nil {
+							sum.addWrite(t)
+						}
+					}
+				}
+				for _, secs := range callee.Reads {
+					for _, sec := range secs {
+						if t := TranslateSection(sec, site, proc, nest, env); t != nil {
+							sum.addRead(t)
+						}
+					}
+				}
+			}
+		}
+	}
+	walk(proc.Body)
+
+	// Keep only names visible to callers (formals, commons); purely
+	// local arrays cannot be summarized upward.
+	filter := func(m map[string][]*rsd.Section) {
+		for name := range m {
+			sym := proc.Symbols.Lookup(name)
+			if sym == nil || (!sym.IsFormal && sym.Common == "") {
+				delete(m, name)
+			}
+		}
+	}
+	if !proc.IsMain {
+		filter(sum.Writes)
+		filter(sum.Reads)
+	}
+	return sum
+}
+
+// RefSection converts one array reference into a regular section: loop
+// variables with constant bounds expand to their ranges, formal scalars
+// stay symbolic, and anything else widens to the declared extent.
+func RefSection(proc *ast.Procedure, ref *ast.ArrayRef, nest []*ast.Do, env ast.Env) *rsd.Section {
+	sym := proc.Symbols.Lookup(ref.Name)
+	if sym == nil || sym.Kind != ast.SymArray {
+		return nil
+	}
+	dims := make([]rsd.Dim, len(ref.Subs))
+	for d, sub := range ref.Subs {
+		dims[d] = SubDim(proc, sym, d, sub, nest, env)
+	}
+	return &rsd.Section{Array: ref.Name, Dims: dims}
+}
+
+// SubDim converts one subscript into an RSD dimension.
+func SubDim(proc *ast.Procedure, sym *ast.Symbol, d int, sub ast.Expr, nest []*ast.Do, env ast.Env) rsd.Dim {
+	v, a, c, ok := depend.LinearSubscript(sub, env)
+	if ok {
+		switch {
+		case v == "":
+			return rsd.Point(c)
+		case a == 1 || a == -1 || a > 1:
+			if loop := loopIn(nest, v); loop != nil {
+				lo, okLo := ast.EvalInt(loop.Lo, env)
+				hi, okHi := ast.EvalInt(loop.Hi, env)
+				step := 1
+				if loop.Step != nil {
+					step, _ = ast.EvalInt(loop.Step, env)
+				}
+				if okLo && okHi && step >= 1 {
+					if a > 0 {
+						return rsd.Strided(a*lo+c, a*hi+c, a*step)
+					}
+					return rsd.Strided(a*hi+c, a*lo+c, -a*step)
+				}
+				// non-constant loop bounds: widen to the declared extent
+				return declaredDim(sym, d, env)
+			}
+			if s := proc.Symbols.Lookup(v); s != nil && (s.IsFormal || s.Common != "") && a == 1 {
+				return rsd.SymPoint(v, c)
+			}
+		}
+	}
+	return declaredDim(sym, d, env)
+}
+
+func declaredDim(sym *ast.Symbol, d int, env ast.Env) rsd.Dim {
+	if d >= len(sym.Dims) {
+		return rsd.Range(1, 1)
+	}
+	lo, okLo := ast.EvalInt(sym.Dims[d].Lo, env)
+	hi, okHi := ast.EvalInt(sym.Dims[d].Hi, env)
+	if !okLo || !okHi {
+		return rsd.Range(1, 1<<20) // adjustable bounds: unknown extent
+	}
+	return rsd.Range(lo, hi)
+}
+
+// TranslateSection maps a callee-space section through a call site into
+// the caller's space: the array is renamed formal→actual, symbolic
+// anchors naming formal scalars are renamed to the actuals, and anchors
+// that land on caller loop variables with constant bounds are expanded
+// (Bind) — the upward half of the Translate function of Figure 6
+// applied to RSDs.
+func TranslateSection(sec *rsd.Section, site *acg.CallSite, caller *ast.Procedure, nest []*ast.Do, env ast.Env) *rsd.Section {
+	callee := site.Callee.Proc
+	calleeSym := callee.Symbols.Lookup(sec.Array)
+	var out *rsd.Section
+	vars := map[string]string{}
+	for _, b := range site.Bindings {
+		if b.ActualName != "" {
+			vars[b.Formal] = b.ActualName
+		}
+	}
+	switch {
+	case calleeSym != nil && calleeSym.IsFormal:
+		actual := ""
+		if calleeSym.FormalIndex < len(site.Bindings) {
+			actual = site.Bindings[calleeSym.FormalIndex].ActualName
+		}
+		if actual == "" {
+			return nil
+		}
+		out = sec.Rename(actual, vars)
+	case calleeSym != nil && calleeSym.Common != "":
+		out = sec.Rename(sec.Array, vars)
+	default:
+		return nil
+	}
+	// expand anchors that are loop variables of the caller
+	for _, d := range out.Dims {
+		if d.Var == "" {
+			continue
+		}
+		if loop := loopIn(nest, d.Var); loop != nil {
+			lo, okLo := ast.EvalInt(loop.Lo, env)
+			hi, okHi := ast.EvalInt(loop.Hi, env)
+			if okLo && okHi {
+				out = out.Bind(d.Var, lo, hi)
+			}
+		}
+	}
+	return out
+}
+
+// ConstEnv exposes a procedure's PARAMETER constants.
+func ConstEnv(proc *ast.Procedure) ast.Env {
+	env := ast.MapEnv{}
+	for _, s := range proc.Symbols.Symbols() {
+		if s.Kind == ast.SymConstant {
+			env[s.Name] = s.ConstValue
+		}
+	}
+	return env
+}
+
+func loopIn(nest []*ast.Do, v string) *ast.Do {
+	for i := len(nest) - 1; i >= 0; i-- {
+		if nest[i].Var == v {
+			return nest[i]
+		}
+	}
+	return nil
+}
+
+func siteOf(n *acg.Node, call *ast.Call) *acg.CallSite {
+	for _, s := range n.Calls {
+		if s.Stmt == call {
+			return s
+		}
+	}
+	return nil
+}

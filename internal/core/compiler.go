@@ -1,0 +1,519 @@
+// Package core is the Fortran D compiler driver: it wires the analyses
+// into the 3-phase ParaScope structure (§4) — local analysis,
+// interprocedural propagation, and interprocedural code generation in
+// reverse topological order, one pass per procedure (§5) — and produces
+// the SPMD program the node interpreter executes.
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"fortd/internal/acg"
+	"fortd/internal/ast"
+	"fortd/internal/codegen"
+	"fortd/internal/comm"
+	"fortd/internal/decomp"
+	"fortd/internal/depend"
+	"fortd/internal/livedecomp"
+	"fortd/internal/overlap"
+	"fortd/internal/parser"
+	"fortd/internal/partition"
+	"fortd/internal/reach"
+	"fortd/internal/symconst"
+)
+
+// Options configures a compilation.
+type Options struct {
+	// P overrides the processor count (0: use the main program's
+	// n$proc PARAMETER, default 4).
+	P int
+	// Strategy selects interprocedural compilation or one of the
+	// paper's baselines.
+	Strategy codegen.Strategy
+	// RemapOpt is the dynamic-decomposition optimization level ladder
+	// of Figure 16.
+	RemapOpt livedecomp.Level
+	// CloneLimit bounds procedure cloning (Figure 8); 0 disables it.
+	CloneLimit int
+}
+
+// DefaultOptions enables everything the paper's compiler does.
+func DefaultOptions() Options {
+	return Options{
+		Strategy:   codegen.StrategyInterproc,
+		RemapOpt:   livedecomp.OptKills,
+		CloneLimit: 64,
+	}
+}
+
+// Report aggregates per-procedure code generation statistics.
+type Report struct {
+	Messages     int
+	Guards       int
+	LoopsReduced int
+	Remaps       int
+	Cloned       int
+	RuntimeProcs []string
+	PerProc      map[string]*codegen.Result
+}
+
+// Compilation is the result of compiling a Fortran D program.
+type Compilation struct {
+	// Program is the generated SPMD program.
+	Program *ast.Program
+	// Source is an untransformed copy of the input program (for
+	// reference runs).
+	Source *ast.Program
+	// P is the compiled-for processor count.
+	P int
+	// MainDists gives the initial distribution of the main program's
+	// arrays (for the node interpreter).
+	MainDists map[string]*decomp.Dist
+	// Reach is the reaching-decomposition solution.
+	Reach *reach.Result
+	// Overlaps is the overlap analysis.
+	Overlaps *overlap.Analysis
+	Report   Report
+	Options  Options
+	// Interfaces holds, per procedure, a canonical rendering of the
+	// summary information it exposes to callers (delayed iteration
+	// sets, delayed communication, decomposition summary sets) — the
+	// interprocedural "interface" recompilation analysis compares.
+	Interfaces map[string]string
+	// InputsUsed holds, per procedure, a canonical rendering of all
+	// interprocedural information consumed when compiling it.
+	InputsUsed map[string]string
+}
+
+// Compile parses and compiles Fortran D source text.
+func Compile(src string, opts Options) (*Compilation, error) {
+	prog, err := parser.Parse(src)
+	if err != nil {
+		return nil, err
+	}
+	return CompileProgram(prog, opts)
+}
+
+// CompileProgram compiles an already-parsed program. The program is
+// transformed in place; a deep copy is kept as Compilation.Source.
+func CompileProgram(prog *ast.Program, opts Options) (*Compilation, error) {
+	source := cloneProgram(prog)
+	g, err := acg.Build(prog)
+	if err != nil {
+		return nil, err
+	}
+
+	// Phase 1+2: reaching decompositions with cloning.
+	reachRes, err := reach.Analyze(g, reach.Options{CloneLimit: opts.CloneLimit})
+	if err != nil {
+		return nil, err
+	}
+	g = reachRes.Graph
+
+	p := opts.P
+	if p == 0 {
+		p = nprocOf(prog)
+	}
+	if p < 1 {
+		return nil, fmt.Errorf("core: invalid processor count %d", p)
+	}
+
+	c := &Compilation{
+		Program:    prog,
+		Source:     source,
+		P:          p,
+		MainDists:  map[string]*decomp.Dist{},
+		Reach:      reachRes,
+		Options:    opts,
+		Report:     Report{PerProc: map[string]*codegen.Result{}},
+		Interfaces: map[string]string{},
+		InputsUsed: map[string]string{},
+	}
+	c.Report.Cloned = len(reachRes.ClonedFrom)
+	for name := range reachRes.RuntimeResolution {
+		c.Report.RuntimeProcs = append(c.Report.RuntimeProcs, name)
+	}
+	sort.Strings(c.Report.RuntimeProcs)
+
+	sections := comm.ComputeSections(g)
+	c.Overlaps = overlap.ComputeEstimates(g)
+	consts := symconst.Compute(g)
+	killTest := func(site *acg.CallSite, arr string) bool {
+		return livedecomp.KillsArray(site, arr, sections)
+	}
+
+	// Phase 3: interprocedural code generation, one pass per procedure
+	// in reverse topological order (callees first).
+	partDelayed := map[string]map[string]*partition.Constraint{}
+	commDelayed := map[string][]*comm.Delayed{}
+	decompSums := map[string]*livedecomp.Summary{}
+	newBodies := map[string][]ast.Stmt{}
+
+	for _, n := range g.ReverseTopoOrder() {
+		proc := n.Proc
+		// the procedure's PARAMETER constants plus interprocedurally
+		// propagated constant formals
+		env := consts.Env(proc.Name)
+		dists, atStmt, entry := c.procDists(proc, env)
+		distOf := func(array string, at ast.Stmt) (*decomp.Dist, bool) {
+			if at != nil {
+				if m, ok := atStmt[at]; ok {
+					if d, ok := m[array]; ok {
+						return d, true
+					}
+				}
+			}
+			d, ok := dists[array]
+			return d, ok
+		}
+		if proc.IsMain {
+			for arr, d := range dists {
+				c.MainDists[arr] = d
+			}
+		}
+
+		runtimeProc := opts.Strategy == codegen.StrategyRuntime ||
+			len(reachRes.RuntimeResolution[proc.Name]) > 0
+		if runtimeProc {
+			entryDists := map[string]*decomp.Dist{}
+			for arr, d := range entry {
+				if dist := mkDistFor(proc, arr, d, env, c.P); dist != nil {
+					entryDists[arr] = dist
+				}
+			}
+			res, err := codegen.GenerateRuntime(proc, distOf, entryDists, p)
+			if err != nil {
+				return nil, fmt.Errorf("%s: %v", proc.Name, err)
+			}
+			c.record(proc.Name, res)
+			newBodies[proc.Name] = res.Body
+			partDelayed[proc.Name] = map[string]*partition.Constraint{}
+			commDelayed[proc.Name] = nil
+			decompSums[proc.Name] = &livedecomp.Summary{
+				Use: map[string]bool{}, Kill: map[string]bool{},
+				Before: map[string]decomp.Decomp{}, After: map[string]decomp.Decomp{},
+				Final: map[string]decomp.Decomp{},
+			}
+			c.Interfaces[proc.Name] = "runtime-resolution"
+			reachView := map[string]decompSetView{}
+			for v, set := range c.Reach.Reaching[proc.Name] {
+				reachView[v] = set
+			}
+			c.InputsUsed[proc.Name] = inputsString(n, reachView, c.Interfaces)
+			continue
+		}
+
+		immediate := opts.Strategy == codegen.StrategyImmediate
+		delayedConsOf := func(name string) map[string]*partition.Constraint {
+			if immediate {
+				return nil
+			}
+			return partDelayed[name]
+		}
+		delayedCommOf := func(name string) []*comm.Delayed {
+			if immediate {
+				return nil
+			}
+			return commDelayed[name]
+		}
+
+		deps := depend.Analyze(proc, env)
+		plan := partition.Compute(proc, n, distOf, delayedConsOf, env)
+		if immediate {
+			forceLocalPlan(plan)
+		}
+		commRes := comm.Analyze(proc, n, plan, deps, distOf, delayedCommOf, sections, env)
+		if immediate {
+			for _, acc := range commRes.Accesses {
+				acc.Delay = false
+			}
+			commRes.Delayed = nil
+		}
+		// communication placed inside a loop requires every processor
+		// to execute all its iterations: drop those reductions
+		for _, acc := range commRes.Accesses {
+			if acc.AtLoop != nil && !acc.Delay {
+				plan.DropLoopReduction(acc.AtLoop)
+			}
+		}
+		for _, cc := range commRes.CallComms {
+			if cc.AtLoop != nil && !cc.Delay {
+				plan.DropLoopReduction(cc.AtLoop)
+			}
+		}
+
+		// §6.4: Fortran D disallows dynamic data decomposition for
+		// aliased variables — reject calls that pass the same array to
+		// two formals when the callee remaps either of them
+		if err := checkAliasRestriction(n, decompSums); err != nil {
+			return nil, err
+		}
+
+		remapLevel := opts.RemapOpt
+		remaps, decompSum := livedecomp.Analyze(proc, n, entry, decompSums, killTest, remapLevel)
+
+		// overlap bookkeeping: shifts extend the block boundary
+		for _, acc := range commRes.Accesses {
+			if acc.Kind != comm.KShift || acc.Delay {
+				continue
+			}
+			lo, hi := 0, 0
+			if acc.Shift > 0 {
+				hi = acc.Shift
+			} else {
+				lo = -acc.Shift
+			}
+			c.Overlaps.RecordActual(proc.Name, acc.Array, acc.DistDim, lo, hi)
+		}
+
+		gen, err := codegen.Generate(&codegen.Input{
+			Proc: proc, Plan: plan, Comm: commRes, Remaps: remaps,
+			Overlap: c.Overlaps, DistOf: distOf, Env: env, P: p,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("%s: %v", proc.Name, err)
+		}
+		c.record(proc.Name, gen)
+		newBodies[proc.Name] = gen.Body
+
+		partDelayed[proc.Name] = plan.Delayed
+		commDelayed[proc.Name] = commRes.Delayed
+		decompSums[proc.Name] = decompSum
+
+		c.Interfaces[proc.Name] = interfaceString(plan.Delayed, commRes.Delayed, decompSum)
+		reachView := map[string]decompSetView{}
+		for v, set := range c.Reach.Reaching[proc.Name] {
+			reachView[v] = set
+		}
+		c.InputsUsed[proc.Name] = inputsString(n, reachView, c.Interfaces)
+	}
+
+	// swap in the generated bodies
+	for _, u := range prog.Units {
+		if body, ok := newBodies[u.Name]; ok {
+			u.Body = body
+		}
+	}
+	return c, nil
+}
+
+func (c *Compilation) record(name string, res *codegen.Result) {
+	c.Report.PerProc[name] = res
+	c.Report.Messages += res.MessagesInserted
+	c.Report.Guards += res.GuardsInserted
+	c.Report.LoopsReduced += res.LoopsReduced
+	c.Report.Remaps += res.RemapsInserted
+}
+
+// procDists derives each array's distribution at its first use in proc
+// and at every statement (so dynamic redistribution within a procedure
+// resolves per program point), plus the entry decompositions for
+// livedecomp.
+func (c *Compilation) procDists(proc *ast.Procedure, env ast.Env) (map[string]*decomp.Dist, map[ast.Stmt]map[string]*decomp.Dist, map[string]decomp.Decomp) {
+	reaching := c.Reach.Reaching[proc.Name]
+	st := reach.NewState(proc, reaching)
+	firstUse := map[string]decomp.Decomp{}
+	atStmtDecomp := map[ast.Stmt]map[string]decomp.Decomp{}
+	record := func(name string, s *reach.State) {
+		if _, seen := firstUse[name]; seen {
+			return
+		}
+		if d, ok := s.Lookup(name).Single(); ok {
+			firstUse[name] = d
+		}
+	}
+	recordAt := func(stmt ast.Stmt, name string, s *reach.State) {
+		if d, ok := s.Lookup(name).Single(); ok {
+			m := atStmtDecomp[stmt]
+			if m == nil {
+				m = map[string]decomp.Decomp{}
+				atStmtDecomp[stmt] = m
+			}
+			m[name] = d
+		}
+	}
+	st.WalkBody(proc.Body, func(s ast.Stmt, cur *reach.State) {
+		for _, e := range ast.StmtExprs(s) {
+			collectArrays(e, func(name string) { record(name, cur); recordAt(s, name, cur) })
+		}
+		switch x := s.(type) {
+		case *ast.Assign:
+			if lhs, ok := x.Lhs.(*ast.ArrayRef); ok {
+				record(lhs.Name, cur)
+				recordAt(s, lhs.Name, cur)
+			}
+		case *ast.Call:
+			// whole arrays passed by name
+			for _, a := range x.Args {
+				if id, ok := a.(*ast.Ident); ok {
+					if sym := proc.Symbols.Lookup(id.Name); sym != nil && sym.Kind == ast.SymArray {
+						record(id.Name, cur)
+						recordAt(s, id.Name, cur)
+					}
+				}
+			}
+		}
+	})
+	// arrays that are declared and distributed but never referenced in
+	// this procedure still need a descriptor (e.g. main programs whose
+	// only use is passing the array onward)
+	final := reach.NewState(proc, reaching)
+	final.WalkBody(proc.Body, nil)
+	for _, sym := range proc.Symbols.Symbols() {
+		if sym.Kind != ast.SymArray {
+			continue
+		}
+		if _, seen := firstUse[sym.Name]; !seen {
+			if d, ok := final.Lookup(sym.Name).Single(); ok {
+				firstUse[sym.Name] = d
+			}
+		}
+	}
+	mkDist := func(name string, d decomp.Decomp) *decomp.Dist {
+		return mkDistFor(proc, name, d, env, c.P)
+	}
+	dists := map[string]*decomp.Dist{}
+	for name, d := range firstUse {
+		if dist := mkDist(name, d); dist != nil {
+			dists[name] = dist
+		}
+	}
+	atStmt := map[ast.Stmt]map[string]*decomp.Dist{}
+	for stmt, m := range atStmtDecomp {
+		for name, d := range m {
+			if dist := mkDist(name, d); dist != nil {
+				sm := atStmt[stmt]
+				if sm == nil {
+					sm = map[string]*decomp.Dist{}
+					atStmt[stmt] = sm
+				}
+				sm[name] = dist
+			}
+		}
+	}
+	// entry decomps for livedecomp: reaching singles for inherited vars
+	entry := map[string]decomp.Decomp{}
+	for v, set := range reaching {
+		if d, ok := set.Single(); ok {
+			entry[v] = d
+		}
+	}
+	return dists, atStmt, entry
+}
+
+// mkDistFor instantiates a decomposition against an array's declared
+// shape and the machine size, returning nil when bounds are not
+// compile-time constants.
+func mkDistFor(proc *ast.Procedure, name string, d decomp.Decomp, env ast.Env, p int) *decomp.Dist {
+	sym := proc.Symbols.Lookup(name)
+	if sym == nil || sym.Kind != ast.SymArray {
+		return nil
+	}
+	sizes := make([]int, len(sym.Dims))
+	for i, dim := range sym.Dims {
+		lo, okLo := ast.EvalInt(dim.Lo, env)
+		hi, okHi := ast.EvalInt(dim.Hi, env)
+		if !okLo || !okHi {
+			return nil
+		}
+		sizes[i] = hi - lo + 1
+	}
+	if len(d.Specs) != 0 && len(d.Specs) != len(sizes) {
+		return nil
+	}
+	dist, err := decomp.NewDist(d, sizes, p)
+	if err != nil {
+		return nil
+	}
+	return dist
+}
+
+func collectArrays(e ast.Expr, fn func(string)) {
+	switch x := e.(type) {
+	case *ast.ArrayRef:
+		fn(x.Name)
+		for _, s := range x.Subs {
+			collectArrays(s, fn)
+		}
+	case *ast.FuncCall:
+		for _, a := range x.Args {
+			collectArrays(a, fn)
+		}
+	case *ast.Binary:
+		collectArrays(x.X, fn)
+		collectArrays(x.Y, fn)
+	case *ast.Unary:
+		collectArrays(x.X, fn)
+	}
+}
+
+// checkAliasRestriction enforces §6.4: when a call site binds the same
+// caller array to multiple formals, the callee (or its descendants)
+// must not dynamically remap any of them — interprocedural live
+// decomposition analysis is Co-NP-complete under aliasing, so the
+// language forbids the combination.
+func checkAliasRestriction(n *acg.Node, sums map[string]*livedecomp.Summary) error {
+	for _, site := range n.Calls {
+		sum := sums[site.Callee.Name()]
+		if sum == nil || len(sum.Kill) == 0 {
+			return nil
+		}
+		byActual := map[string][]string{}
+		for _, b := range site.Bindings {
+			if b.ActualName == "" {
+				continue
+			}
+			sym := n.Proc.Symbols.Lookup(b.ActualName)
+			if sym == nil || sym.Kind != ast.SymArray {
+				continue
+			}
+			byActual[b.ActualName] = append(byActual[b.ActualName], b.Formal)
+		}
+		for actual, formals := range byActual {
+			if len(formals) < 2 {
+				continue
+			}
+			for _, formal := range formals {
+				if sum.Kill[formal] {
+					return fmt.Errorf(
+						"core: %s passes %s to aliased formals %v of %s, which dynamically remaps %s (forbidden, §6.4)",
+						n.Name(), actual, formals, site.Callee.Name(), formal)
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// forceLocalPlan demotes delayed constraints to local guards
+// (immediate-instantiation baseline, Figure 12).
+func forceLocalPlan(plan *partition.Plan) {
+	for _, it := range plan.Items {
+		if it.DelayVar != "" {
+			it.DelayVar = ""
+			it.Guard = true
+		}
+	}
+	plan.Delayed = map[string]*partition.Constraint{}
+}
+
+// nprocOf reads the main program's n$proc PARAMETER.
+func nprocOf(prog *ast.Program) int {
+	main := prog.Main()
+	if main == nil {
+		return 4
+	}
+	if s := main.Symbols.Lookup("n$proc"); s != nil && s.Kind == ast.SymConstant {
+		return s.ConstValue
+	}
+	return 4
+}
+
+func cloneProgram(prog *ast.Program) *ast.Program {
+	units := make([]*ast.Procedure, len(prog.Units))
+	for i, u := range prog.Units {
+		units[i] = ast.CloneProcedure(u, u.Name)
+	}
+	return ast.NewProgram(units)
+}

@@ -1,0 +1,209 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"fortd/internal/ast"
+)
+
+// TestSumReductionRecognized: s = s + X(i) over a distributed array
+// compiles to private partial accumulation plus one global combine
+// instead of per-element broadcasts.
+func TestSumReductionRecognized(t *testing.T) {
+	src := `
+      PROGRAM P
+      PARAMETER (n$proc = 4)
+      REAL X(100)
+      DISTRIBUTE X(BLOCK)
+      do i = 1,100
+        X(i) = i
+      enddo
+      s = 0.0
+      do i = 1,100
+        s = s + X(i)
+      enddo
+      X(1) = s
+      END
+`
+	c := compileSrc(t, src, DefaultOptions())
+	text := ast.Print(c.Program)
+	if !strings.Contains(text, "globalsum s$red") {
+		t.Errorf("missing global combine:\n%s", text)
+	}
+	if !strings.Contains(text, "s$red = (s$red + X(i))") {
+		t.Errorf("missing partial accumulation:\n%s", text)
+	}
+	par, seq := runBoth(t, c, nil)
+	assertSame(t, "X", par.Arrays["X"], seq.Arrays["X"])
+	// combine: binomial tree gather+bcast, no per-element broadcasts
+	if par.Stats.Messages > 8 {
+		t.Errorf("messages = %d, reduction should need only the combine", par.Stats.Messages)
+	}
+}
+
+// TestMaxReductionRecognized: the residual-norm pattern.
+func TestMaxReductionRecognized(t *testing.T) {
+	src := `
+      PROGRAM P
+      PARAMETER (n$proc = 4)
+      REAL X(64)
+      DISTRIBUTE X(CYCLIC)
+      do i = 1,64
+        X(i) = ABS(32.5 - i)
+      enddo
+      err = 0.0
+      do i = 1,64
+        err = MAX(err, X(i))
+      enddo
+      X(1) = err
+      END
+`
+	c := compileSrc(t, src, DefaultOptions())
+	if !strings.Contains(ast.Print(c.Program), "globalmax err$red") {
+		t.Errorf("missing global max:\n%s", ast.Print(c.Program))
+	}
+	par, seq := runBoth(t, c, nil)
+	assertSame(t, "X", par.Arrays["X"], seq.Arrays["X"])
+	if par.Arrays["X"][0] != 31.5 {
+		t.Errorf("max = %v, want 31.5", par.Arrays["X"][0])
+	}
+}
+
+// TestReductionMuchCheaperThanBroadcasts: against an artificial
+// non-reduction scalar access pattern of the same size.
+func TestReductionMuchCheaperThanBroadcasts(t *testing.T) {
+	reduction := `
+      PROGRAM P
+      PARAMETER (n$proc = 4)
+      REAL X(200)
+      DISTRIBUTE X(BLOCK)
+      s = 0.0
+      do i = 1,200
+        s = s + X(i)
+      enddo
+      X(1) = s
+      END
+`
+	// same data access, but the accumulator also feeds the array, so it
+	// is not a recognizable reduction and falls back to broadcasts
+	nonReduction := `
+      PROGRAM P
+      PARAMETER (n$proc = 4)
+      REAL X(200)
+      DISTRIBUTE X(BLOCK)
+      s = 0.0
+      do i = 1,200
+        s = s + X(i)
+        X(i) = s
+      enddo
+      END
+`
+	init := map[string][]float64{"X": initRamp(200)}
+	fast := compileSrc(t, reduction, DefaultOptions())
+	parF, seqF := runBoth(t, fast, init)
+	assertSame(t, "X", parF.Arrays["X"], seqF.Arrays["X"])
+
+	slow := compileSrc(t, nonReduction, DefaultOptions())
+	parS, seqS := runBoth(t, slow, init)
+	assertSame(t, "X", parS.Arrays["X"], seqS.Arrays["X"])
+
+	if parF.Stats.Messages*10 > parS.Stats.Messages {
+		t.Errorf("reduction msgs %d vs scan msgs %d: expected >10x gap",
+			parF.Stats.Messages, parS.Stats.Messages)
+	}
+}
+
+// TestReductionFallbackWhenAccumulatorUsed: a mid-loop read of the
+// accumulator blocks the transform but stays correct.
+func TestReductionFallbackWhenAccumulatorUsed(t *testing.T) {
+	src := `
+      PROGRAM P
+      PARAMETER (n$proc = 2)
+      REAL X(20), Y(20)
+      DISTRIBUTE X(BLOCK)
+      DISTRIBUTE Y(BLOCK)
+      do i = 1,20
+        X(i) = i
+      enddo
+      s = 0.0
+      do i = 1,20
+        s = s + X(i)
+        Y(i) = s
+      enddo
+      END
+`
+	c := compileSrc(t, src, DefaultOptions())
+	if strings.Contains(ast.Print(c.Program), "globalsum") {
+		t.Error("prefix-sum pattern must not be transformed")
+	}
+	par, seq := runBoth(t, c, nil)
+	assertSame(t, "Y", par.Arrays["Y"], seq.Arrays["Y"])
+}
+
+// TestReductionInterprocedural: the reduction sits in a callee whose
+// decomposition arrives interprocedurally.
+func TestReductionInterprocedural(t *testing.T) {
+	src := `
+      PROGRAM P
+      PARAMETER (n$proc = 4)
+      REAL X(100)
+      DISTRIBUTE X(BLOCK)
+      do i = 1,100
+        X(i) = 2.0
+      enddo
+      call total(X, 100)
+      END
+      SUBROUTINE total(X, n)
+      REAL X(100)
+      s = 0.0
+      do i = 1, n
+        s = s + X(i)
+      enddo
+      X(1) = s
+      END
+`
+	c := compileSrc(t, src, DefaultOptions())
+	if !strings.Contains(ast.Print(c.Program), "globalsum") {
+		t.Errorf("interprocedural reduction not recognized:\n%s", ast.Print(c.Program))
+	}
+	par, seq := runBoth(t, c, nil)
+	assertSame(t, "X", par.Arrays["X"], seq.Arrays["X"])
+	if par.Arrays["X"][0] != 200 {
+		t.Errorf("sum = %v, want 200", par.Arrays["X"][0])
+	}
+}
+
+// TestJacobiWithConvergenceCheck: the classic use of a MAX reduction —
+// per-step residual norm — stays cheap and correct.
+func TestJacobiWithConvergenceCheck(t *testing.T) {
+	src := `
+      PROGRAM JAC
+      PARAMETER (n$proc = 4)
+      REAL a(64), b(64), r(1)
+      DISTRIBUTE a(BLOCK)
+      DISTRIBUTE b(BLOCK)
+      do t = 1, 5
+        do i = 2, 63
+          b(i) = 0.5 * (a(i-1) + a(i+1))
+        enddo
+        err = 0.0
+        do i = 2, 63
+          err = MAX(err, ABS(b(i) - a(i)))
+        enddo
+        do i = 2, 63
+          a(i) = b(i)
+        enddo
+        r(1) = err
+      enddo
+      END
+`
+	c := compileSrc(t, src, DefaultOptions())
+	init := map[string][]float64{"a": jacobiInit(64)}
+	par, seq := runBoth(t, c, init)
+	assertSame(t, "a", par.Arrays["a"], seq.Arrays["a"])
+	assertSame(t, "r", par.Arrays["r"], seq.Arrays["r"])
+	if par.Arrays["r"][0] <= 0 {
+		t.Errorf("residual = %v", par.Arrays["r"][0])
+	}
+}

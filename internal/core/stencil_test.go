@@ -1,0 +1,265 @@
+package core
+
+import (
+	"fmt"
+	"testing"
+)
+
+// JacobiSrc builds a 1-D Jacobi relaxation with a time loop: the
+// boundary exchange must be re-issued every time step (the dependence
+// on the time loop is carried), but vectorized out of the sweep loops.
+func JacobiSrc(n, steps, p int) string {
+	return fmt.Sprintf(`
+      PROGRAM JAC
+      PARAMETER (n$proc = %d)
+      REAL a(%d), b(%d)
+      DISTRIBUTE a(BLOCK)
+      DISTRIBUTE b(BLOCK)
+      do t = 1, %d
+        do i = 2, %d
+          b(i) = 0.5 * (a(i-1) + a(i+1))
+        enddo
+        do i = 2, %d
+          a(i) = b(i)
+        enddo
+      enddo
+      END
+`, p, n, n, steps, n-1, n-1)
+}
+
+func jacobiInit(n int) []float64 {
+	a := make([]float64, n)
+	a[0] = 1
+	a[n-1] = 1
+	return a
+}
+
+// TestJacobiEndToEnd: boundary exchange every step, correct values.
+func TestJacobiEndToEnd(t *testing.T) {
+	const n, steps = 64, 10
+	c := compileSrc(t, JacobiSrc(n, steps, 4), DefaultOptions())
+	init := map[string][]float64{"a": jacobiInit(n)}
+	par, seq := runBoth(t, c, init)
+	assertSame(t, "a", par.Arrays["a"], seq.Arrays["a"])
+	assertSame(t, "b", par.Arrays["b"], seq.Arrays["b"])
+
+	// two shifts (±1), each an exchange across 3 boundaries, per step
+	want := int64(steps * 2 * 3)
+	if par.Stats.Messages != want {
+		t.Errorf("messages = %d, want %d (per-step boundary exchange)", par.Stats.Messages, want)
+	}
+}
+
+// Jacobi2DSrc is the 2-D five-point stencil on row-block distribution.
+func Jacobi2DSrc(n, steps, p int) string {
+	return fmt.Sprintf(`
+      PROGRAM JAC2
+      PARAMETER (n$proc = %d)
+      REAL a(%d,%d), b(%d,%d)
+      DISTRIBUTE a(BLOCK,:)
+      DISTRIBUTE b(BLOCK,:)
+      do t = 1, %d
+        do i = 2, %d
+          do j = 2, %d
+            b(i,j) = 0.25 * (a(i-1,j) + a(i+1,j) + a(i,j-1) + a(i,j+1))
+          enddo
+        enddo
+        do i = 2, %d
+          do j = 2, %d
+            a(i,j) = b(i,j)
+          enddo
+        enddo
+      enddo
+      END
+`, p, n, n, n, n, steps, n-1, n-1, n-1, n-1)
+}
+
+func TestJacobi2DEndToEnd(t *testing.T) {
+	const n, steps = 32, 4
+	c := compileSrc(t, Jacobi2DSrc(n, steps, 4), DefaultOptions())
+	init := make([]float64, n*n)
+	for j := 0; j < n; j++ {
+		init[j] = 1         // top row
+		init[(n-1)*n+j] = 1 // bottom row
+	}
+	par, seq := runBoth(t, c, map[string][]float64{"a": init})
+	assertSame(t, "a", par.Arrays["a"], seq.Arrays["a"])
+	if par.Stats.Messages == 0 {
+		t.Error("2-D Jacobi ran without communication")
+	}
+	// row-wise ghost exchange: messages carry whole boundary rows
+	if par.Stats.Words < int64(steps*2*3*(n-2)) {
+		t.Errorf("words = %d, too few for row exchanges", par.Stats.Words)
+	}
+}
+
+// TestJacobiInterprocedural: the sweep in a subroutine — the caller's
+// time loop must still carry the exchange.
+func TestJacobiInterprocedural(t *testing.T) {
+	const n, steps = 64, 8
+	src := fmt.Sprintf(`
+      PROGRAM JAC
+      PARAMETER (n$proc = 4)
+      REAL a(%d), b(%d)
+      DISTRIBUTE a(BLOCK)
+      DISTRIBUTE b(BLOCK)
+      do t = 1, %d
+        call sweep(a, b, %d)
+        call copy(a, b, %d)
+      enddo
+      END
+      SUBROUTINE sweep(a, b, n)
+      REAL a(%d), b(%d)
+      do i = 2, n-1
+        b(i) = 0.5 * (a(i-1) + a(i+1))
+      enddo
+      END
+      SUBROUTINE copy(a, b, n)
+      REAL a(%d), b(%d)
+      do i = 2, n-1
+        a(i) = b(i)
+      enddo
+      END
+`, n, n, steps, n, n, n, n, n, n)
+	c := compileSrc(t, src, DefaultOptions())
+	init := map[string][]float64{"a": jacobiInit(n)}
+	par, seq := runBoth(t, c, init)
+	assertSame(t, "a", par.Arrays["a"], seq.Arrays["a"])
+	if par.Stats.Messages == 0 {
+		t.Error("no communication")
+	}
+	// exchanges must happen once per time step, not once per program
+	// (carried) and not once per sweep iteration (vectorized)
+	perStep := par.Stats.Messages / int64(steps)
+	if perStep != 6 {
+		t.Errorf("messages per step = %d, want 6", perStep)
+	}
+}
+
+// TestColumnShift2D: a shift along the second (distributed) dimension —
+// column-block distribution with a(i,j-1) reads — exchanges boundary
+// columns.
+func TestColumnShift2D(t *testing.T) {
+	src := `
+      PROGRAM P
+      PARAMETER (n$proc = 4)
+      REAL a(24,24), b(24,24)
+      DISTRIBUTE a(:,BLOCK)
+      DISTRIBUTE b(:,BLOCK)
+      do i = 1, 24
+        do j = 2, 24
+          b(i,j) = a(i,j-1) + 2.0 * a(i,j)
+        enddo
+      enddo
+      END
+`
+	c := compileSrc(t, src, DefaultOptions())
+	init := map[string][]float64{"a": initRamp(24 * 24)}
+	par, seq := runBoth(t, c, init)
+	assertSame(t, "b", par.Arrays["b"], seq.Arrays["b"])
+	// one boundary column from each of 3 predecessors
+	if par.Stats.Messages != 3 {
+		t.Errorf("messages = %d, want 3", par.Stats.Messages)
+	}
+	if par.Stats.Words != 3*24 {
+		t.Errorf("words = %d, want 72 (whole boundary columns)", par.Stats.Words)
+	}
+}
+
+// TestTwoArraysDifferentDistSameLoop: reading a block array while
+// writing a cyclic one forces broadcasts but stays correct.
+func TestTwoArraysDifferentDistSameLoop(t *testing.T) {
+	src := `
+      PROGRAM P
+      PARAMETER (n$proc = 3)
+      REAL a(30), b(30)
+      DISTRIBUTE a(BLOCK)
+      DISTRIBUTE b(CYCLIC)
+      do i = 1, 30
+        a(i) = i
+      enddo
+      do i = 1, 30
+        b(i) = a(i) * 2.0
+      enddo
+      END
+`
+	c := compileSrc(t, src, DefaultOptions())
+	par, seq := runBoth(t, c, nil)
+	assertSame(t, "b", par.Arrays["b"], seq.Arrays["b"])
+}
+
+// TestDistributedRefInCondition: a distributed element read inside an
+// IF condition must be broadcast so every processor takes the same
+// branch.
+func TestDistributedRefInCondition(t *testing.T) {
+	src := `
+      PROGRAM P
+      PARAMETER (n$proc = 4)
+      REAL a(40), b(40)
+      DISTRIBUTE a(BLOCK)
+      DISTRIBUTE b(BLOCK)
+      do i = 1, 40
+        a(i) = i - 20.5
+      enddo
+      do i = 1, 40
+        if (a(i) .GT. 0) then
+          b(i) = 1.0
+        else
+          b(i) = -1.0
+        endif
+      enddo
+      END
+`
+	c := compileSrc(t, src, DefaultOptions())
+	par, seq := runBoth(t, c, nil)
+	assertSame(t, "b", par.Arrays["b"], seq.Arrays["b"])
+}
+
+// TestDistributedRefInLoopBound: loop bounds computed from distributed
+// data resolve before the loop.
+func TestDistributedRefInLoopBound(t *testing.T) {
+	src := `
+      PROGRAM P
+      PARAMETER (n$proc = 4)
+      REAL n(4), b(40)
+      DISTRIBUTE n(BLOCK)
+      DISTRIBUTE b(BLOCK)
+      n(2) = 17.0
+      do i = 1, n(2)
+        b(i) = i
+      enddo
+      END
+`
+	c := compileSrc(t, src, DefaultOptions())
+	par, seq := runBoth(t, c, nil)
+	assertSame(t, "b", par.Arrays["b"], seq.Arrays["b"])
+}
+
+// TestDistributedElementCallArg: an array element passed by value to a
+// subroutine is broadcast first.
+func TestDistributedElementCallArg(t *testing.T) {
+	src := `
+      PROGRAM P
+      PARAMETER (n$proc = 4)
+      REAL a(40), b(40)
+      DISTRIBUTE a(BLOCK)
+      DISTRIBUTE b(BLOCK)
+      do i = 1, 40
+        a(i) = i * 3
+      enddo
+      call setall(b, a(33))
+      END
+      SUBROUTINE setall(b, v)
+      REAL b(40)
+      do i = 1, 40
+        b(i) = v
+      enddo
+      END
+`
+	c := compileSrc(t, src, DefaultOptions())
+	par, seq := runBoth(t, c, nil)
+	assertSame(t, "b", par.Arrays["b"], seq.Arrays["b"])
+	if par.Arrays["b"][0] != 99 {
+		t.Errorf("b(1) = %v, want 99", par.Arrays["b"][0])
+	}
+}

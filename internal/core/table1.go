@@ -1,0 +1,67 @@
+package core
+
+// Direction is the propagation direction of an interprocedural
+// data-flow problem over the call graph (Table 1).
+type Direction int
+
+const (
+	TopDown Direction = iota
+	BottomUp
+	Bidirectional
+)
+
+func (d Direction) String() string {
+	switch d {
+	case TopDown:
+		return "↓"
+	case BottomUp:
+		return "↑"
+	case Bidirectional:
+		return "l"
+	}
+	return "?"
+}
+
+// Phase says when the problem is solved in the 3-phase structure.
+type Phase int
+
+const (
+	PhasePropagation Phase = iota
+	PhaseCodegen
+)
+
+func (p Phase) String() string {
+	if p == PhasePropagation {
+		return "interprocedural propagation"
+	}
+	return "code generation"
+}
+
+// DataflowProblem is one row of the paper's Table 1, mapped to the
+// package that implements it in this reproduction.
+type DataflowProblem struct {
+	Name      string
+	Direction Direction
+	Phase     Phase
+	Package   string
+}
+
+// Table1 returns the paper's interprocedural Fortran D data-flow
+// problems, their propagation directions, solution phases, and the
+// implementing modules.
+func Table1() []DataflowProblem {
+	return []DataflowProblem{
+		{"Call graph", BottomUp, PhasePropagation, "internal/acg"},
+		{"Loop structure", TopDown, PhasePropagation, "internal/acg"},
+		{"Array aliasing & reshaping", BottomUp, PhasePropagation, "internal/comm (sections)"},
+		{"Scalar & array side effects", Bidirectional, PhasePropagation, "internal/sideeffect"},
+		{"Symbolics & constants", Bidirectional, PhasePropagation, "internal/symconst"},
+		{"Reaching decompositions", TopDown, PhasePropagation, "internal/reach"},
+		{"Local iteration sets", BottomUp, PhaseCodegen, "internal/partition"},
+		{"Nonlocal index sets", BottomUp, PhaseCodegen, "internal/comm"},
+		{"Overlaps", Bidirectional, PhaseCodegen, "internal/overlap"},
+		{"Buffers", BottomUp, PhaseCodegen, "internal/overlap"},
+		{"Live decompositions", BottomUp, PhaseCodegen, "internal/livedecomp"},
+		{"Loop-invariant decomps", BottomUp, PhaseCodegen, "internal/livedecomp"},
+	}
+}

@@ -1,0 +1,344 @@
+// Package decomp implements the semantics of Fortran D data
+// decomposition: DECOMPOSITION / ALIGN / DISTRIBUTE statements, the
+// distribution functions (BLOCK, CYCLIC, BLOCK_CYCLIC) that map global
+// indices to owning processors, and the global↔local index conversions
+// used by data partitioning and code generation.
+//
+// The compiler supports the common case of the paper's programs: each
+// array has at most one distributed dimension, laid out over a
+// one-dimensional arrangement of n$proc processors.
+package decomp
+
+import (
+	"fmt"
+	"strings"
+
+	"fortd/internal/ast"
+	"fortd/internal/rsd"
+)
+
+// Decomp is the decomposition of one array: a distribution format per
+// array dimension. It is the ⟨D⟩ component of the paper's reaching
+// decomposition elements ⟨D, V⟩.
+type Decomp struct {
+	Specs []ast.DistSpec
+}
+
+// NewDecomp builds a Decomp from per-dimension formats.
+func NewDecomp(specs ...ast.DistSpec) Decomp { return Decomp{Specs: specs} }
+
+// Block and friends are convenient single-spec constructors.
+var (
+	Block       = ast.DistSpec{Kind: ast.DistBlock}
+	Cyclic      = ast.DistSpec{Kind: ast.DistCyclic}
+	Collapsed   = ast.DistSpec{Kind: ast.DistNone}
+	Replicated  = Decomp{} // zero value: no dimension distributed
+	replicatedK = "(replicated)"
+)
+
+// BlockCyclic returns a CYCLIC(k) spec.
+func BlockCyclic(k int) ast.DistSpec {
+	return ast.DistSpec{Kind: ast.DistBlockCyclic, BlockSize: k}
+}
+
+// Key returns a canonical string such as "(BLOCK,:)" used for set
+// membership and cloning decisions.
+func (d Decomp) Key() string {
+	if len(d.Specs) == 0 {
+		return replicatedK
+	}
+	parts := make([]string, len(d.Specs))
+	for i, s := range d.Specs {
+		parts[i] = s.String()
+	}
+	return "(" + strings.Join(parts, ",") + ")"
+}
+
+func (d Decomp) String() string { return d.Key() }
+
+// Equal reports whether two decompositions are identical.
+func (d Decomp) Equal(o Decomp) bool { return d.Key() == o.Key() }
+
+// IsReplicated reports whether no dimension is distributed.
+func (d Decomp) IsReplicated() bool {
+	for _, s := range d.Specs {
+		if s.Kind != ast.DistNone {
+			return false
+		}
+	}
+	return true
+}
+
+// DistDim returns the index of the distributed dimension, or -1.
+func (d Decomp) DistDim() int {
+	for i, s := range d.Specs {
+		if s.Kind != ast.DistNone {
+			return i
+		}
+	}
+	return -1
+}
+
+// Validate checks the single-distributed-dimension restriction.
+func (d Decomp) Validate() error {
+	n := 0
+	for _, s := range d.Specs {
+		if s.Kind != ast.DistNone {
+			n++
+		}
+	}
+	if n > 1 {
+		return fmt.Errorf("decomp: %s has %d distributed dimensions; only one is supported", d.Key(), n)
+	}
+	return nil
+}
+
+// ApplyAlign derives the decomposition of an aligned array from the
+// decomposition of its target. terms has one entry per target dimension;
+// terms[k].ArrayDim names the array dimension aligned with target
+// dimension k (or -1 when collapsed).
+func ApplyAlign(terms []ast.AlignTerm, target Decomp, arrayRank int) Decomp {
+	specs := make([]ast.DistSpec, arrayRank)
+	for i := range specs {
+		specs[i] = Collapsed
+	}
+	for k, t := range terms {
+		if t.ArrayDim >= 0 && t.ArrayDim < arrayRank && k < len(target.Specs) {
+			specs[t.ArrayDim] = target.Specs[k]
+		}
+	}
+	return Decomp{Specs: specs}
+}
+
+// ---------------------------------------------------------------------------
+// Dist: a decomposition bound to an array shape and machine size.
+
+// Dist is a Decomp instantiated for a concrete array (global sizes) on a
+// concrete machine (P processors). All index arithmetic is 1-based, as
+// in Fortran.
+type Dist struct {
+	Decomp
+	Sizes []int // global extent per dimension
+	P     int
+}
+
+// NewDist binds a decomposition to array sizes and a machine size.
+func NewDist(d Decomp, sizes []int, p int) (*Dist, error) {
+	if err := d.Validate(); err != nil {
+		return nil, err
+	}
+	if len(d.Specs) != 0 && len(d.Specs) != len(sizes) {
+		return nil, fmt.Errorf("decomp: rank mismatch: %s vs %d sizes", d.Key(), len(sizes))
+	}
+	if p < 1 {
+		return nil, fmt.Errorf("decomp: invalid processor count %d", p)
+	}
+	return &Dist{Decomp: d, Sizes: sizes, P: p}, nil
+}
+
+// MustDist is NewDist that panics on error (for tests and literals).
+func MustDist(d Decomp, sizes []int, p int) *Dist {
+	dist, err := NewDist(d, sizes, p)
+	if err != nil {
+		panic(err)
+	}
+	return dist
+}
+
+// BlockSize returns ceil(n/P) for the distributed dimension (block
+// distributions), or the CYCLIC(k) block factor.
+func (d *Dist) BlockSize() int {
+	dim := d.DistDim()
+	if dim < 0 {
+		return 0
+	}
+	switch d.Specs[dim].Kind {
+	case ast.DistBlock:
+		n := d.Sizes[dim]
+		return (n + d.P - 1) / d.P
+	case ast.DistCyclic:
+		return 1
+	case ast.DistBlockCyclic:
+		return d.Specs[dim].BlockSize
+	}
+	return 0
+}
+
+// Owner returns the processor owning the element at the given global
+// index vector (1-based). Replicated arrays are owned by every
+// processor; Owner returns 0 for them.
+func (d *Dist) Owner(idx []int) int {
+	dim := d.DistDim()
+	if dim < 0 {
+		return 0
+	}
+	return d.OwnerIndex(idx[dim])
+}
+
+// OwnerIndex returns the owner by the distributed-dimension coordinate i.
+func (d *Dist) OwnerIndex(i int) int {
+	dim := d.DistDim()
+	if dim < 0 {
+		return 0
+	}
+	switch d.Specs[dim].Kind {
+	case ast.DistBlock:
+		b := d.BlockSize()
+		o := (i - 1) / b
+		if o >= d.P {
+			o = d.P - 1
+		}
+		return o
+	case ast.DistCyclic:
+		return (i - 1) % d.P
+	case ast.DistBlockCyclic:
+		k := d.Specs[dim].BlockSize
+		return ((i - 1) / k) % d.P
+	}
+	return 0
+}
+
+// LocalSet returns the global indices of the distributed dimension owned
+// by processor p, as RSD dimensions (a single triplet for BLOCK and
+// CYCLIC; multiple blocks for CYCLIC(k)).
+func (d *Dist) LocalSet(p int) []rsd.Dim {
+	dim := d.DistDim()
+	if dim < 0 {
+		// replicated: every processor holds everything
+		if len(d.Sizes) == 0 {
+			return nil
+		}
+		return []rsd.Dim{rsd.Range(1, d.Sizes[0])}
+	}
+	n := d.Sizes[dim]
+	switch d.Specs[dim].Kind {
+	case ast.DistBlock:
+		b := d.BlockSize()
+		lo := p*b + 1
+		hi := (p + 1) * b
+		if hi > n {
+			hi = n
+		}
+		return []rsd.Dim{rsd.Range(lo, hi)}
+	case ast.DistCyclic:
+		if p+1 > n {
+			return []rsd.Dim{rsd.Range(1, 0)}
+		}
+		return []rsd.Dim{rsd.Strided(p+1, n, d.P)}
+	case ast.DistBlockCyclic:
+		k := d.Specs[dim].BlockSize
+		var out []rsd.Dim
+		for start := p*k + 1; start <= n; start += d.P * k {
+			end := start + k - 1
+			if end > n {
+				end = n
+			}
+			out = append(out, rsd.Range(start, end))
+		}
+		if len(out) == 0 {
+			out = []rsd.Dim{rsd.Range(1, 0)}
+		}
+		return out
+	}
+	return nil
+}
+
+// LocalCount returns the number of distributed-dimension indices owned
+// by processor p.
+func (d *Dist) LocalCount(p int) int {
+	total := 0
+	for _, dm := range d.LocalSet(p) {
+		total += dm.Count()
+	}
+	return total
+}
+
+// GlobalToLocal converts a global distributed-dimension index to the
+// processor-local storage index (1-based) on its owner.
+func (d *Dist) GlobalToLocal(i int) int {
+	dim := d.DistDim()
+	if dim < 0 {
+		return i
+	}
+	switch d.Specs[dim].Kind {
+	case ast.DistBlock:
+		b := d.BlockSize()
+		owner := d.OwnerIndex(i)
+		return i - owner*b
+	case ast.DistCyclic:
+		return (i-1)/d.P + 1
+	case ast.DistBlockCyclic:
+		k := d.Specs[dim].BlockSize
+		blk := (i - 1) / k
+		localBlk := blk / d.P
+		return localBlk*k + (i-1)%k + 1
+	}
+	return i
+}
+
+// LocalToGlobal converts a processor-local storage index on processor p
+// back to the global index.
+func (d *Dist) LocalToGlobal(p, l int) int {
+	dim := d.DistDim()
+	if dim < 0 {
+		return l
+	}
+	switch d.Specs[dim].Kind {
+	case ast.DistBlock:
+		return p*d.BlockSize() + l
+	case ast.DistCyclic:
+		return (l-1)*d.P + p + 1
+	case ast.DistBlockCyclic:
+		k := d.Specs[dim].BlockSize
+		localBlk := (l - 1) / k
+		return (localBlk*d.P+p)*k + (l-1)%k + 1
+	}
+	return l
+}
+
+// RemapWords counts the array elements that physically move when the
+// array is remapped from distribution d to distribution to: every
+// element whose owner changes must be communicated. For the common
+// block↔cyclic remap nearly all elements move; same-distribution remaps
+// move nothing; a remap that changes the distributed *dimension*
+// (e.g. (BLOCK,:) → (:,BLOCK)) moves everything except the elements
+// whose old and new owners coincide.
+func (d *Dist) RemapWords(to *Dist) int {
+	if d.Key() == to.Key() {
+		return 0
+	}
+	total := 1
+	for _, n := range d.Sizes {
+		total *= n
+	}
+	dimD := d.DistDim()
+	dimT := to.DistDim()
+	if dimD < 0 || dimT < 0 {
+		return total
+	}
+	if dimD == dimT {
+		// owner depends on the same coordinate in both distributions
+		rest := total / d.Sizes[dimD]
+		moved := 0
+		for i := 1; i <= d.Sizes[dimD]; i++ {
+			if d.OwnerIndex(i) != to.OwnerIndex(i) {
+				moved++
+			}
+		}
+		return moved * rest
+	}
+	// owners depend on different coordinates: count the pairs whose
+	// owners differ, times the product of the remaining extents
+	ni, nj := d.Sizes[dimD], to.Sizes[dimT]
+	rest := total / (ni * nj)
+	moved := 0
+	for i := 1; i <= ni; i++ {
+		oi := d.OwnerIndex(i)
+		for j := 1; j <= nj; j++ {
+			if oi != to.OwnerIndex(j) {
+				moved++
+			}
+		}
+	}
+	return moved * rest
+}

@@ -1,0 +1,251 @@
+// Package lexer tokenizes the Fortran 77 / Fortran D subset. Input is
+// free-form (column rules relaxed): one statement per line, '!' or 'c '
+// comments, case-insensitive keywords, and identifiers that may contain
+// '$' (the compiler's own generated names use my$p, ub$1, F1$row, ...).
+package lexer
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+)
+
+// Kind classifies a token.
+type Kind int
+
+const (
+	EOF Kind = iota
+	NEWLINE
+	IDENT
+	INT
+	REAL
+	STRING
+	// punctuation
+	LPAREN
+	RPAREN
+	COMMA
+	COLON
+	EQUALS
+	PLUS
+	MINUS
+	STAR
+	SLASH
+	POW // **
+	// relational / logical (from .EQ. style words)
+	RELOP // value holds the operator text: EQ NE LT LE GT GE AND OR NOT
+)
+
+// Token is one lexical unit.
+type Token struct {
+	Kind  Kind
+	Text  string
+	Line  int
+	Value float64 // for REAL
+	Int   int     // for INT
+}
+
+func (t Token) String() string {
+	switch t.Kind {
+	case EOF:
+		return "<eof>"
+	case NEWLINE:
+		return "<nl>"
+	default:
+		return t.Text
+	}
+}
+
+// Lexer scans source text into tokens.
+type Lexer struct {
+	src  string
+	pos  int
+	line int
+	toks []Token
+}
+
+// New prepares a lexer over src.
+func New(src string) *Lexer {
+	return &Lexer{src: src, line: 1}
+}
+
+// Tokenize scans the entire input, returning the token stream terminated
+// by EOF. Blank and comment lines produce no tokens; statement ends are
+// marked with NEWLINE.
+func Tokenize(src string) ([]Token, error) {
+	lx := New(src)
+	return lx.run()
+}
+
+func (lx *Lexer) run() ([]Token, error) {
+	lines := strings.Split(lx.src, "\n")
+	for i, raw := range lines {
+		lx.line = i + 1
+		line := strings.TrimRight(raw, " \t\r")
+		trimmed := strings.TrimSpace(line)
+		if trimmed == "" {
+			continue
+		}
+		lower := strings.ToLower(trimmed)
+		if strings.HasPrefix(trimmed, "!") || strings.HasPrefix(trimmed, "*") ||
+			lower == "c" || strings.HasPrefix(lower, "c ") {
+			continue
+		}
+		// strip trailing comment
+		if idx := strings.IndexByte(trimmed, '!'); idx >= 0 {
+			trimmed = strings.TrimSpace(trimmed[:idx])
+			if trimmed == "" {
+				continue
+			}
+		}
+		// optional statement label like "S1" used in the paper's figures:
+		// a token "s<digits>" followed by whitespace then more text is
+		// treated as a label and dropped.
+		if err := lx.scanLine(trimmed); err != nil {
+			return nil, err
+		}
+		lx.emit(Token{Kind: NEWLINE, Line: lx.line})
+	}
+	lx.emit(Token{Kind: EOF, Line: lx.line})
+	return lx.toks, nil
+}
+
+func (lx *Lexer) emit(t Token) { lx.toks = append(lx.toks, t) }
+
+func (lx *Lexer) scanLine(s string) error {
+	i := 0
+	n := len(s)
+	for i < n {
+		c := s[i]
+		switch {
+		case c == ' ' || c == '\t':
+			i++
+		case c == '(':
+			lx.emit(Token{Kind: LPAREN, Text: "(", Line: lx.line})
+			i++
+		case c == ')':
+			lx.emit(Token{Kind: RPAREN, Text: ")", Line: lx.line})
+			i++
+		case c == ',':
+			lx.emit(Token{Kind: COMMA, Text: ",", Line: lx.line})
+			i++
+		case c == ':':
+			lx.emit(Token{Kind: COLON, Text: ":", Line: lx.line})
+			i++
+		case c == '=':
+			lx.emit(Token{Kind: EQUALS, Text: "=", Line: lx.line})
+			i++
+		case c == '+':
+			lx.emit(Token{Kind: PLUS, Text: "+", Line: lx.line})
+			i++
+		case c == '-':
+			lx.emit(Token{Kind: MINUS, Text: "-", Line: lx.line})
+			i++
+		case c == '*':
+			if i+1 < n && s[i+1] == '*' {
+				lx.emit(Token{Kind: POW, Text: "**", Line: lx.line})
+				i += 2
+			} else {
+				lx.emit(Token{Kind: STAR, Text: "*", Line: lx.line})
+				i++
+			}
+		case c == '/':
+			lx.emit(Token{Kind: SLASH, Text: "/", Line: lx.line})
+			i++
+		case c == '.':
+			// .EQ. .NE. .LT. .LE. .GT. .GE. .AND. .OR. .NOT. .TRUE. .FALSE.
+			// or a real literal like .5
+			if i+1 < n && isDigit(s[i+1]) {
+				j := i + 1
+				for j < n && isDigit(s[j]) {
+					j++
+				}
+				txt := s[i:j]
+				var v float64
+				fmt.Sscanf(txt, "%g", &v)
+				lx.emit(Token{Kind: REAL, Text: txt, Value: v, Line: lx.line})
+				i = j
+				break
+			}
+			j := strings.IndexByte(s[i+1:], '.')
+			if j < 0 {
+				return fmt.Errorf("line %d: unterminated dotted operator", lx.line)
+			}
+			word := strings.ToUpper(s[i+1 : i+1+j])
+			switch word {
+			case "EQ", "NE", "LT", "LE", "GT", "GE", "AND", "OR", "NOT":
+				lx.emit(Token{Kind: RELOP, Text: word, Line: lx.line})
+			case "TRUE":
+				lx.emit(Token{Kind: INT, Text: "1", Int: 1, Line: lx.line})
+			case "FALSE":
+				lx.emit(Token{Kind: INT, Text: "0", Int: 0, Line: lx.line})
+			default:
+				return fmt.Errorf("line %d: unknown operator .%s.", lx.line, word)
+			}
+			i += j + 2
+		case isDigit(c):
+			j := i
+			for j < n && isDigit(s[j]) {
+				j++
+			}
+			isReal := false
+			if j < n && s[j] == '.' {
+				// not a dotted operator: digit '.' requires digit or non-letter after
+				if j+1 >= n || !unicode.IsLetter(rune(s[j+1])) {
+					isReal = true
+					j++
+					for j < n && isDigit(s[j]) {
+						j++
+					}
+				}
+			}
+			if j < n && (s[j] == 'e' || s[j] == 'E' || s[j] == 'd' || s[j] == 'D') &&
+				j+1 < n && (isDigit(s[j+1]) || s[j+1] == '+' || s[j+1] == '-') {
+				isReal = true
+				j++
+				if s[j] == '+' || s[j] == '-' {
+					j++
+				}
+				for j < n && isDigit(s[j]) {
+					j++
+				}
+			}
+			txt := s[i:j]
+			if isReal {
+				var v float64
+				fmt.Sscanf(strings.Map(expToE, txt), "%g", &v)
+				lx.emit(Token{Kind: REAL, Text: txt, Value: v, Line: lx.line})
+			} else {
+				var v int
+				fmt.Sscanf(txt, "%d", &v)
+				lx.emit(Token{Kind: INT, Text: txt, Int: v, Line: lx.line})
+			}
+			i = j
+		case c == '\'':
+			j := strings.IndexByte(s[i+1:], '\'')
+			if j < 0 {
+				return fmt.Errorf("line %d: unterminated string", lx.line)
+			}
+			lx.emit(Token{Kind: STRING, Text: s[i+1 : i+1+j], Line: lx.line})
+			i += j + 2
+		case unicode.IsLetter(rune(c)) || c == '_' || c == '$':
+			j := i
+			for j < n && (unicode.IsLetter(rune(s[j])) || isDigit(s[j]) || s[j] == '_' || s[j] == '$') {
+				j++
+			}
+			lx.emit(Token{Kind: IDENT, Text: s[i:j], Line: lx.line})
+			i = j
+		default:
+			return fmt.Errorf("line %d: unexpected character %q", lx.line, c)
+		}
+	}
+	return nil
+}
+
+func expToE(r rune) rune {
+	if r == 'd' || r == 'D' {
+		return 'e'
+	}
+	return r
+}
+
+func isDigit(c byte) bool { return c >= '0' && c <= '9' }

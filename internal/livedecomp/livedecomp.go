@@ -1,0 +1,580 @@
+// Package livedecomp optimizes dynamic data decomposition (§6):
+// placement of calls to the array-remapping library routines when
+// executable ALIGN/DISTRIBUTE statements change decompositions at run
+// time. It implements the full optimization ladder of Figure 16:
+//
+//	OptNone  — naive placement: remap before and after every call per
+//	           the callee's DecompBefore/DecompAfter sets (16a)
+//	OptLive  — live decompositions (Figure 17): dead remaps eliminated,
+//	           identical live remaps coalesced (16b)
+//	OptHoist — loop-invariant decompositions hoisted out of loops (16c)
+//	OptKills — array kills remap in place, no data motion (16d)
+//
+// Like the rest of the compiler, the callee's remapping needs are
+// delayed: a procedure that redistributes an inherited array does not
+// remap locally; it records DecompBefore/DecompAfter/DecompKill/
+// DecompUse summary sets that its callers instantiate and optimize.
+package livedecomp
+
+import (
+	"fortd/internal/acg"
+	"fortd/internal/ast"
+	"fortd/internal/decomp"
+	"fortd/internal/rsd"
+)
+
+// Level selects how aggressively remaps are optimized.
+type Level int
+
+const (
+	OptNone Level = iota
+	OptLive
+	OptHoist
+	OptKills
+)
+
+func (l Level) String() string {
+	switch l {
+	case OptNone:
+		return "none"
+	case OptLive:
+		return "live"
+	case OptHoist:
+		return "hoist"
+	case OptKills:
+		return "kills"
+	}
+	return "?"
+}
+
+// Summary is the per-procedure interprocedural solution of §6.1.
+type Summary struct {
+	// Use: variables that may use a decomposition reaching P.
+	Use map[string]bool
+	// Kill: variables that must be dynamically remapped when P runs.
+	Kill map[string]bool
+	// Before: decomposition each variable must be mapped to before P.
+	Before map[string]decomp.Decomp
+	// After: decomposition each variable must be restored to after P
+	// (the inherited decomposition).
+	After map[string]decomp.Decomp
+	// Final: the physical decomposition at P's exit when it differs
+	// from the inherited one (what the caller's data actually looks
+	// like on return until a restore executes).
+	Final map[string]decomp.Decomp
+}
+
+func newSummary() *Summary {
+	return &Summary{
+		Use: map[string]bool{}, Kill: map[string]bool{},
+		Before: map[string]decomp.Decomp{}, After: map[string]decomp.Decomp{},
+		Final: map[string]decomp.Decomp{},
+	}
+}
+
+// Op is one remap operation to be emitted.
+type Op struct {
+	Array   string
+	From    decomp.Decomp
+	To      decomp.Decomp
+	InPlace bool // array-kill optimization: update descriptor only
+}
+
+// Placement maps remap operations to their insertion anchors.
+type Placement struct {
+	BeforeStmt map[ast.Stmt][]*Op
+	AfterStmt  map[ast.Stmt][]*Op
+	BeforeLoop map[*ast.Do][]*Op
+	AfterLoop  map[*ast.Do][]*Op
+}
+
+func newPlacement() *Placement {
+	return &Placement{
+		BeforeStmt: map[ast.Stmt][]*Op{},
+		AfterStmt:  map[ast.Stmt][]*Op{},
+		BeforeLoop: map[*ast.Do][]*Op{},
+		AfterLoop:  map[*ast.Do][]*Op{},
+	}
+}
+
+// Count returns the number of placed remap operations.
+func (p *Placement) Count() int {
+	n := 0
+	for _, ops := range p.BeforeStmt {
+		n += len(ops)
+	}
+	for _, ops := range p.AfterStmt {
+		n += len(ops)
+	}
+	for _, ops := range p.BeforeLoop {
+		n += len(ops)
+	}
+	for _, ops := range p.AfterLoop {
+		n += len(ops)
+	}
+	return n
+}
+
+// Ops returns all placed operations (order unspecified).
+func (p *Placement) Ops() []*Op {
+	var out []*Op
+	for _, ops := range p.BeforeStmt {
+		out = append(out, ops...)
+	}
+	for _, ops := range p.AfterStmt {
+		out = append(out, ops...)
+	}
+	for _, ops := range p.BeforeLoop {
+		out = append(out, ops...)
+	}
+	for _, ops := range p.AfterLoop {
+		out = append(out, ops...)
+	}
+	return out
+}
+
+// ---------------------------------------------------------------------------
+// Event sequence
+
+type eventKind int
+
+const (
+	evUse eventKind = iota
+	evRemap
+	evLoopBegin
+	evLoopEnd
+)
+
+// event is one step in the linearized execution model of a procedure.
+type event struct {
+	kind    eventKind
+	array   string
+	decomp  decomp.Decomp // target decomposition for evRemap; required for evUse
+	killing bool          // evUse that overwrites the whole array without reading it
+	// anchors
+	stmt  ast.Stmt
+	after bool // anchor after stmt instead of before
+	loop  *ast.Do
+	// cond marks events under a conditional; they are never optimized
+	cond bool
+	// op, once materialized
+	op   *Op
+	dead bool
+}
+
+// ArrayInfo supplies per-array metadata the analysis needs.
+type ArrayInfo struct {
+	// Reads/Writes sections of a callee (caller-space) for kill tests.
+	Reads, Writes []*rsd.Section
+}
+
+// KillTest decides whether a given call kills (fully overwrites without
+// reading) the named caller-space array.
+type KillTest func(site *acg.CallSite, callerArray string) bool
+
+// Analyze computes remap placements for proc and its summary for
+// callers.
+//
+//   - entry maps each inherited array to the decomposition flowing in
+//     from the caller (unique after cloning).
+//   - summaries holds callee summaries (by procedure name).
+//   - node resolves call statements to call sites.
+//   - killTest implements §6.3's array-kill analysis.
+func Analyze(
+	proc *ast.Procedure,
+	node *acg.Node,
+	entry map[string]decomp.Decomp,
+	summaries map[string]*Summary,
+	killTest KillTest,
+	level Level,
+) (*Placement, *Summary) {
+	events, sum := buildEvents(proc, node, entry, summaries, killTest)
+	if level >= OptLive {
+		eliminateDead(events)
+		coalesce(events, entry, proc)
+	}
+	if level >= OptHoist {
+		hoist(events, entry, proc)
+	}
+	if level >= OptKills {
+		applyKills(events)
+	}
+	place := newPlacement()
+	for _, e := range events {
+		if e.kind != evRemap || e.dead {
+			continue
+		}
+		op := &Op{Array: e.array, To: e.decomp, InPlace: e.op != nil && e.op.InPlace}
+		switch {
+		case e.loop != nil && !e.after:
+			place.BeforeLoop[e.loop] = append(place.BeforeLoop[e.loop], op)
+		case e.loop != nil && e.after:
+			place.AfterLoop[e.loop] = append(place.AfterLoop[e.loop], op)
+		case e.after:
+			place.AfterStmt[e.stmt] = append(place.AfterStmt[e.stmt], op)
+		default:
+			place.BeforeStmt[e.stmt] = append(place.BeforeStmt[e.stmt], op)
+		}
+	}
+	return place, sum
+}
+
+// buildEvents linearizes proc into uses, remaps and loop markers, and
+// computes the summary sets. Remap events are generated naively (16a):
+// before/after every call needing a different decomposition, and at
+// every executable distribute/align affecting an already-used array.
+func buildEvents(
+	proc *ast.Procedure,
+	node *acg.Node,
+	entry map[string]decomp.Decomp,
+	summaries map[string]*Summary,
+	killTest KillTest,
+) ([]*event, *Summary) {
+	var events []*event
+	sum := newSummary()
+
+	// logical reaching decomposition per array during the walk
+	logical := map[string]decomp.Decomp{}
+	inherited := map[string]bool{}
+	firstUseSeen := map[string]bool{}
+	for _, s := range proc.Symbols.Symbols() {
+		if s.Kind != ast.SymArray {
+			continue
+		}
+		if (s.IsFormal || s.Common != "") && !proc.IsMain {
+			if d, ok := entry[s.Name]; ok {
+				logical[s.Name] = d
+			} else {
+				logical[s.Name] = decomp.Replicated
+			}
+			inherited[s.Name] = true
+		} else {
+			logical[s.Name] = decomp.Replicated
+		}
+	}
+	entryDecomp := map[string]decomp.Decomp{}
+	for k, v := range logical {
+		entryDecomp[k] = v
+	}
+	// alignment bookkeeping mirrors reach.State in miniature
+	aligns := map[string]ast.Align{}
+	decompSpecs := map[string]decomp.Decomp{}
+
+	// prescan: total use occurrences per array (references plus the
+	// synthetic uses at call sites), so the builder can tell whether an
+	// array is used again later — the test for delaying a restore remap
+	// to the callers
+	totalUses := prescanUses(proc, node, summaries)
+	usedSoFar := map[string]int{}
+
+	condDepth := 0
+	addUse := func(arr string, stmt ast.Stmt, killing bool) {
+		if _, ok := logical[arr]; !ok {
+			return
+		}
+		usedSoFar[arr]++
+		events = append(events, &event{
+			kind: evUse, array: arr, decomp: logical[arr],
+			killing: killing, stmt: stmt, cond: condDepth > 0,
+		})
+		if !firstUseSeen[arr] {
+			firstUseSeen[arr] = true
+			if inherited[arr] {
+				if !logical[arr].Equal(entryDecomp[arr]) {
+					sum.Before[arr] = logical[arr]
+				} else {
+					sum.Use[arr] = true
+				}
+			}
+		}
+	}
+	setDecomp := func(arr string, d decomp.Decomp, stmt ast.Stmt) {
+		cur := logical[arr]
+		logical[arr] = d
+		if cur.Equal(d) {
+			return
+		}
+		if inherited[arr] {
+			sum.Kill[arr] = true
+			if !firstUseSeen[arr] {
+				// change before any use: delayed to the caller, no
+				// local remap event
+				return
+			}
+		} else if !firstUseSeen[arr] {
+			// initial placement of a local array: no live values yet,
+			// so no physical remap — just record the layout
+			entryDecomp[arr] = d
+			return
+		}
+		events = append(events, &event{
+			kind: evRemap, array: arr, decomp: d, stmt: stmt, cond: condDepth > 0,
+		})
+	}
+
+	var exprUses func(e ast.Expr, stmt ast.Stmt)
+	exprUses = func(e ast.Expr, stmt ast.Stmt) {
+		switch x := e.(type) {
+		case *ast.ArrayRef:
+			addUse(x.Name, stmt, false)
+			for _, s := range x.Subs {
+				exprUses(s, stmt)
+			}
+		case *ast.FuncCall:
+			for _, a := range x.Args {
+				exprUses(a, stmt)
+			}
+		case *ast.Binary:
+			exprUses(x.X, stmt)
+			exprUses(x.Y, stmt)
+		case *ast.Unary:
+			exprUses(x.X, stmt)
+		}
+	}
+
+	var walk func(body []ast.Stmt)
+	walk = func(body []ast.Stmt) {
+		for _, s := range body {
+			switch st := s.(type) {
+			case *ast.Assign:
+				if lhs, ok := st.Lhs.(*ast.ArrayRef); ok {
+					addUse(lhs.Name, st, false)
+					for _, sub := range lhs.Subs {
+						exprUses(sub, st)
+					}
+				}
+				exprUses(st.Rhs, st)
+			case *ast.Do:
+				events = append(events, &event{kind: evLoopBegin, loop: st})
+				walk(st.Body)
+				events = append(events, &event{kind: evLoopEnd, loop: st})
+			case *ast.If:
+				exprUses(st.Cond, st)
+				condDepth++
+				walk(st.Then)
+				walk(st.Else)
+				condDepth--
+			case *ast.Distribute:
+				applyDistribute(proc, st, aligns, decompSpecs, setDecomp, logical)
+			case *ast.Align:
+				aligns[st.Array] = *st
+				if d, ok := decompSpecs[st.Target]; ok {
+					sym := proc.Symbols.Lookup(st.Array)
+					rank := 1
+					if sym != nil {
+						rank = sym.NumDims()
+					}
+					setDecomp(st.Array, decomp.ApplyAlign(st.Terms, d, rank), st)
+				}
+			case *ast.Call:
+				site := siteOf(node, st)
+				csum := summaries[st.Name]
+				if site == nil || csum == nil {
+					continue
+				}
+				vars := map[string]string{}
+				for _, b := range site.Bindings {
+					if b.ActualName != "" {
+						vars[b.Formal] = b.ActualName
+					}
+				}
+				translate := func(formal string) string {
+					sym := site.Callee.Proc.Symbols.Lookup(formal)
+					if sym != nil && sym.Common != "" {
+						return formal
+					}
+					if a, ok := vars[formal]; ok {
+						return a
+					}
+					return ""
+				}
+				// remaps required before the call, each followed by a
+				// synthetic use: the callee accesses the array under
+				// that decomposition. For an inherited array not yet
+				// used here, the mapping is delayed to our own callers
+				// (the wrapper case): no local event — the synthetic
+				// use records the requirement in DecompBefore.
+				for formal, d := range csum.Before {
+					arr := translate(formal)
+					if arr == "" {
+						continue
+					}
+					if !(inherited[arr] && !firstUseSeen[arr]) {
+						events = append(events, &event{
+							kind: evRemap, array: arr, decomp: d, stmt: st, cond: condDepth > 0,
+						})
+					}
+					logical[arr] = d
+					killing := killTest != nil && killTest(site, arr)
+					addUse(arr, st, killing)
+					markInherited(sum, inherited, firstUseSeen, arr, d, entryDecomp)
+				}
+				// uses inside the callee
+				for formal := range csum.Use {
+					arr := translate(formal)
+					if arr == "" {
+						continue
+					}
+					killing := killTest != nil && killTest(site, arr)
+					addUse(arr, st, killing)
+				}
+				// physical state on return + restore remap after call
+				for formal, d := range csum.Final {
+					arr := translate(formal)
+					if arr == "" {
+						continue
+					}
+					logical[arr] = d
+					markInherited(sum, inherited, firstUseSeen, arr, d, entryDecomp)
+				}
+				for formal, restore := range csum.After {
+					arr := translate(formal)
+					if arr == "" {
+						continue
+					}
+					// an inherited array with no later use delegates
+					// the restore to our own callers: the exit scan
+					// records it in DecompAfter/Final
+					if inherited[arr] && usedSoFar[arr] >= totalUses[arr] {
+						continue
+					}
+					events = append(events, &event{
+						kind: evRemap, array: arr, decomp: restore,
+						stmt: st, after: true, cond: condDepth > 0,
+					})
+					logical[arr] = restore
+				}
+			}
+		}
+	}
+	walk(proc.Body)
+
+	// finish the summary: Final/After for arrays whose decomposition
+	// differs at exit
+	for arr, d := range logical {
+		if !inherited[arr] {
+			continue
+		}
+		if !d.Equal(entryDecomp[arr]) || sum.Kill[arr] {
+			sum.Final[arr] = d
+			sum.After[arr] = entryDecomp[arr]
+		}
+	}
+	return events, sum
+}
+
+// prescanUses counts, per array, how many use occurrences the event
+// builder will emit: direct references plus one synthetic use per
+// callee-required decomposition (DecompUse and DecompBefore entries).
+func prescanUses(proc *ast.Procedure, node *acg.Node, summaries map[string]*Summary) map[string]int {
+	out := map[string]int{}
+	var countExpr func(e ast.Expr)
+	countExpr = func(e ast.Expr) {
+		switch x := e.(type) {
+		case *ast.ArrayRef:
+			out[x.Name]++
+			for _, s := range x.Subs {
+				countExpr(s)
+			}
+		case *ast.FuncCall:
+			for _, a := range x.Args {
+				countExpr(a)
+			}
+		case *ast.Binary:
+			countExpr(x.X)
+			countExpr(x.Y)
+		case *ast.Unary:
+			countExpr(x.X)
+		}
+	}
+	ast.WalkStmts(proc.Body, func(s ast.Stmt) bool {
+		switch st := s.(type) {
+		case *ast.Assign:
+			if lhs, ok := st.Lhs.(*ast.ArrayRef); ok {
+				out[lhs.Name]++
+				for _, sub := range lhs.Subs {
+					countExpr(sub)
+				}
+			}
+			countExpr(st.Rhs)
+		case *ast.If:
+			countExpr(st.Cond)
+		case *ast.Call:
+			site := siteOf(node, st)
+			csum := summaries[st.Name]
+			if site == nil || csum == nil {
+				return true
+			}
+			vars := map[string]string{}
+			for _, b := range site.Bindings {
+				if b.ActualName != "" {
+					vars[b.Formal] = b.ActualName
+				}
+			}
+			count := func(formal string) {
+				sym := site.Callee.Proc.Symbols.Lookup(formal)
+				if sym != nil && sym.Common != "" {
+					out[formal]++
+					return
+				}
+				if a, ok := vars[formal]; ok {
+					out[a]++
+				}
+			}
+			for formal := range csum.Use {
+				count(formal)
+			}
+			for formal := range csum.Before {
+				count(formal)
+			}
+		}
+		return true
+	})
+	return out
+}
+
+func markInherited(sum *Summary, inherited, firstUseSeen map[string]bool, arr string, d decomp.Decomp, entryDecomp map[string]decomp.Decomp) {
+	if inherited[arr] {
+		sum.Kill[arr] = true
+	}
+}
+
+func applyDistribute(
+	proc *ast.Procedure,
+	st *ast.Distribute,
+	aligns map[string]ast.Align,
+	decompSpecs map[string]decomp.Decomp,
+	setDecomp func(string, decomp.Decomp, ast.Stmt),
+	logical map[string]decomp.Decomp,
+) {
+	d := decomp.NewDecomp(st.Specs...)
+	decompSpecs[st.Target] = d
+	sym := proc.Symbols.Lookup(st.Target)
+	if sym == nil || sym.Kind != ast.SymDecomposition {
+		if _, isArray := logical[st.Target]; isArray {
+			setDecomp(st.Target, d, st)
+		}
+	}
+	for arr, al := range aligns {
+		if al.Target == st.Target {
+			asym := proc.Symbols.Lookup(arr)
+			rank := 1
+			if asym != nil {
+				rank = asym.NumDims()
+			}
+			setDecomp(arr, decomp.ApplyAlign(al.Terms, d, rank), st)
+		}
+	}
+}
+
+func siteOf(node *acg.Node, call *ast.Call) *acg.CallSite {
+	if node == nil {
+		return nil
+	}
+	for _, s := range node.Calls {
+		if s.Stmt == call {
+			return s
+		}
+	}
+	return nil
+}

@@ -1,0 +1,242 @@
+// Package machine simulates a MIMD distributed-memory machine in the
+// style of the iPSC/860 the paper evaluated on: P processors, each with
+// private memory, connected by an interconnect with per-message latency
+// and per-word transfer cost. Each processor runs as a goroutine; Go
+// channels are the links. Time is virtual: every processor advances its
+// own clock for computation, and message receipt synchronizes the
+// receiver's clock with the sender's send time plus the transfer cost.
+// The simulation is deterministic for deterministic node programs.
+package machine
+
+import (
+	"fmt"
+	"sync"
+)
+
+// Config sets the machine's size and cost model. Times are in
+// microseconds, matching published iPSC/860 figures: ~70µs message
+// startup, ~0.4µs per 8-byte word (≈2.8 MB/s), ~0.1µs per flop.
+type Config struct {
+	P        int
+	Latency  float64 // message startup cost (α)
+	PerWord  float64 // transfer cost per word (β)
+	FlopCost float64 // cost of one arithmetic operation
+}
+
+// DefaultConfig returns an iPSC/860-like machine with p processors.
+func DefaultConfig(p int) Config {
+	return Config{P: p, Latency: 70.0, PerWord: 0.4, FlopCost: 0.1}
+}
+
+// Stats aggregates execution statistics.
+type Stats struct {
+	Messages  int64   // point-to-point messages delivered
+	Words     int64   // data words transferred
+	Flops     int64   // arithmetic operations executed
+	Remaps    int64   // physical array remappings
+	Time      float64 // parallel execution time = max processor clock
+	PerProc   []ProcStats
+	Broadcast int64 // messages that were part of broadcast/gather ops
+}
+
+// ProcStats is one processor's view.
+type ProcStats struct {
+	Clock    float64
+	Sent     int64
+	Received int64
+	Words    int64
+	Flops    int64
+}
+
+func (s Stats) String() string {
+	return fmt.Sprintf("time=%.1fµs msgs=%d words=%d flops=%d remaps=%d",
+		s.Time, s.Messages, s.Words, s.Flops, s.Remaps)
+}
+
+// message travels between processors.
+type message struct {
+	data     []float64
+	sendTime float64
+}
+
+// Machine is one simulated machine instance. Create with New, obtain
+// per-processor handles with Proc, run the node programs concurrently,
+// then read Stats after Wait.
+type Machine struct {
+	cfg   Config
+	links [][]chan message // links[from][to]
+	procs []*Proc
+	wg    sync.WaitGroup
+}
+
+// New builds a machine.
+func New(cfg Config) *Machine {
+	if cfg.P < 1 {
+		panic("machine: P must be >= 1")
+	}
+	m := &Machine{cfg: cfg}
+	m.links = make([][]chan message, cfg.P)
+	for i := range m.links {
+		m.links[i] = make([]chan message, cfg.P)
+		for j := range m.links[i] {
+			// deep enough that generated communication patterns never
+			// fill it; a full link back-pressures the sender's
+			// goroutine without affecting virtual time
+			m.links[i][j] = make(chan message, 8192)
+		}
+	}
+	m.procs = make([]*Proc, cfg.P)
+	for p := 0; p < cfg.P; p++ {
+		m.procs[p] = &Proc{m: m, id: p}
+	}
+	return m
+}
+
+// P returns the processor count.
+func (m *Machine) P() int { return m.cfg.P }
+
+// Config returns the cost model.
+func (m *Machine) Config() Config { return m.cfg }
+
+// Proc returns processor p's handle.
+func (m *Machine) Proc(p int) *Proc { return m.procs[p] }
+
+// Go runs fn as processor p's node program.
+func (m *Machine) Go(p int, fn func(*Proc)) {
+	m.wg.Add(1)
+	go func() {
+		defer m.wg.Done()
+		fn(m.procs[p])
+	}()
+}
+
+// Wait blocks until every node program launched with Go has finished.
+func (m *Machine) Wait() { m.wg.Wait() }
+
+// Stats collects the machine-wide statistics. Call after Wait.
+func (m *Machine) Stats() Stats {
+	var s Stats
+	s.PerProc = make([]ProcStats, m.cfg.P)
+	for i, p := range m.procs {
+		s.PerProc[i] = p.stats
+		if p.stats.Clock > s.Time {
+			s.Time = p.stats.Clock
+		}
+		s.Messages += p.stats.Sent
+		s.Words += p.stats.Words
+		s.Flops += p.stats.Flops
+		// a physical remap is a collective operation: every processor
+		// participates once, so the count is the per-processor maximum
+		if p.remaps > s.Remaps {
+			s.Remaps = p.remaps
+		}
+		s.Broadcast += p.bcast
+	}
+	return s
+}
+
+// Proc is one simulated processor.
+type Proc struct {
+	m      *Machine
+	id     int
+	stats  ProcStats
+	remaps int64
+	bcast  int64
+}
+
+// ID returns the processor number in [0, P).
+func (p *Proc) ID() int { return p.id }
+
+// Clock returns the processor's current virtual time.
+func (p *Proc) Clock() float64 { return p.stats.Clock }
+
+// Compute advances the clock by n arithmetic operations.
+func (p *Proc) Compute(n int) {
+	p.stats.Flops += int64(n)
+	p.stats.Clock += float64(n) * p.m.cfg.FlopCost
+}
+
+// Tick advances the clock by an explicit cost.
+func (p *Proc) Tick(cost float64) { p.stats.Clock += cost }
+
+// Send transmits data to processor to. The sender is charged the
+// message startup; delivery time is carried on the message.
+func (p *Proc) Send(to int, data []float64) {
+	if to == p.id {
+		// local move: no message
+		return
+	}
+	p.stats.Clock += p.m.cfg.Latency
+	p.stats.Sent++
+	p.stats.Words += int64(len(data))
+	p.m.links[p.id][to] <- message{data: data, sendTime: p.stats.Clock}
+}
+
+// Recv blocks until a message from processor from arrives, advancing
+// the clock to the delivery time.
+func (p *Proc) Recv(from int) []float64 {
+	if from == p.id {
+		return nil
+	}
+	msg := <-p.m.links[from][p.id]
+	arrival := msg.sendTime + p.m.cfg.Latency + float64(len(msg.data))*p.m.cfg.PerWord
+	if arrival > p.stats.Clock {
+		p.stats.Clock = arrival
+	}
+	p.stats.Received++
+	return msg.data
+}
+
+// Broadcast distributes data from root to every processor. All
+// processors must call it. It returns the data (the root's own copy on
+// the root). The implementation is a binomial tree, the pattern the
+// iPSC hypercube's library broadcast used: log₂(P) message steps on
+// the critical path.
+func (p *Proc) Broadcast(root int, data []float64) []float64 {
+	np := p.m.cfg.P
+	rel := (p.id - root + np) % np
+	received := p.id == root
+	for k := 1; k < np; k <<= 1 {
+		if rel >= k && rel < 2*k {
+			data = p.Recv((root + rel - k) % np)
+			received = true
+			continue
+		}
+		if rel < k && received && rel+k < np {
+			p.Send((root+rel+k)%np, data)
+			p.bcast++
+		}
+	}
+	return data
+}
+
+// Barrier performs a linear synchronization through processor 0 (used
+// only by tests; the generated code never needs explicit barriers).
+func (p *Proc) Barrier() {
+	if p.m.cfg.P == 1 {
+		return
+	}
+	if p.id == 0 {
+		for q := 1; q < p.m.cfg.P; q++ {
+			p.Recv(q)
+		}
+		for q := 1; q < p.m.cfg.P; q++ {
+			p.Send(q, nil)
+		}
+	} else {
+		p.Send(0, nil)
+		p.Recv(0)
+	}
+}
+
+// CountRemap records a physical remap's communication volume: words
+// moved by this processor, spread across up to P-1 partner messages.
+func (p *Proc) CountRemap(words, partners int) {
+	p.remaps++
+	if partners < 1 {
+		partners = 1
+	}
+	p.stats.Sent += int64(partners)
+	p.stats.Words += int64(words)
+	p.stats.Clock += float64(partners)*p.m.cfg.Latency + float64(words)*p.m.cfg.PerWord
+}

@@ -1,0 +1,286 @@
+// Package overlap implements overlap calculation (§5.6, Figure 13).
+// Overlap regions extend the local bounds of a distributed array so
+// nonlocal boundary data fetched from neighbors can be stored in place
+// (Gerndt's overlaps). Because multidimensional arrays must be declared
+// with consistent sizes across procedures, overlap extents must agree
+// program-wide; the compiler therefore *estimates* overlaps from the
+// constant subscript offsets collected during local analysis,
+// propagates the estimates over the call graph, and during code
+// generation reconciles them against the overlaps actually needed,
+// falling back to buffers when the estimate was too small.
+package overlap
+
+import (
+	"fmt"
+
+	"fortd/internal/acg"
+	"fortd/internal/ast"
+	"fortd/internal/depend"
+)
+
+// Offsets records, per array dimension, how far subscripts reach below
+// and above the loop-aligned index (non-negative magnitudes).
+type Offsets struct {
+	Lo, Hi []int
+}
+
+// NewOffsets returns zero offsets of the given rank.
+func NewOffsets(rank int) *Offsets {
+	return &Offsets{Lo: make([]int, rank), Hi: make([]int, rank)}
+}
+
+// Merge widens o to cover other, reporting whether o changed.
+func (o *Offsets) Merge(other *Offsets) bool {
+	changed := false
+	for i := range o.Lo {
+		if i < len(other.Lo) && other.Lo[i] > o.Lo[i] {
+			o.Lo[i] = other.Lo[i]
+			changed = true
+		}
+		if i < len(other.Hi) && other.Hi[i] > o.Hi[i] {
+			o.Hi[i] = other.Hi[i]
+			changed = true
+		}
+	}
+	return changed
+}
+
+// Covers reports whether o is at least as wide as other in every
+// dimension.
+func (o *Offsets) Covers(other *Offsets) bool {
+	for i := range other.Lo {
+		if i >= len(o.Lo) {
+			return false
+		}
+		if other.Lo[i] > o.Lo[i] || other.Hi[i] > o.Hi[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Zero reports whether no overlap is needed.
+func (o *Offsets) Zero() bool {
+	for i := range o.Lo {
+		if o.Lo[i] != 0 || o.Hi[i] != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+func (o *Offsets) String() string {
+	s := "("
+	for i := range o.Lo {
+		if i > 0 {
+			s += ","
+		}
+		s += fmt.Sprintf("{-%d,+%d}", o.Lo[i], o.Hi[i])
+	}
+	return s + ")"
+}
+
+// Clone copies o.
+func (o *Offsets) Clone() *Offsets {
+	return &Offsets{Lo: append([]int(nil), o.Lo...), Hi: append([]int(nil), o.Hi...)}
+}
+
+// Analysis holds overlap estimates and actuals for the whole program.
+type Analysis struct {
+	// Estimates maps procedure → array → estimated offsets.
+	Estimates map[string]map[string]*Offsets
+	// actual overlaps recorded during code generation
+	actual map[string]map[string]*Offsets
+	// UseBuffer marks (proc, array) pairs whose actual overlap exceeded
+	// the estimate: nonlocal data goes to buffers instead.
+	UseBuffer map[string]map[string]bool
+}
+
+// ComputeEstimates runs the local-analysis and propagation phases of
+// Figure 13: collect constant subscript offsets per procedure, merge
+// them bottom-up through call sites (formal → actual), then push the
+// merged estimates back down so every procedure sees uniform extents.
+func ComputeEstimates(g *acg.Graph) *Analysis {
+	a := &Analysis{
+		Estimates: map[string]map[string]*Offsets{},
+		actual:    map[string]map[string]*Offsets{},
+		UseBuffer: map[string]map[string]bool{},
+	}
+	// local phase
+	for _, n := range g.TopoOrder() {
+		a.Estimates[n.Name()] = localOffsets(n.Proc)
+	}
+	// bottom-up merge: callee formals → caller actuals
+	for _, n := range g.ReverseTopoOrder() {
+		for _, site := range n.Callers {
+			caller := a.Estimates[site.Caller.Name()]
+			for name, offs := range a.Estimates[n.Name()] {
+				target := translateName(site, name)
+				if target == "" {
+					continue
+				}
+				if cur, ok := caller[target]; ok {
+					cur.Merge(offs)
+				} else {
+					caller[target] = offs.Clone()
+				}
+			}
+		}
+	}
+	// top-down distribution of the global estimates
+	for _, n := range g.TopoOrder() {
+		caller := a.Estimates[n.Name()]
+		for _, site := range n.Calls {
+			callee := a.Estimates[site.Callee.Name()]
+			for _, b := range site.Bindings {
+				if b.ActualName == "" {
+					continue
+				}
+				offs, ok := caller[b.ActualName]
+				if !ok {
+					continue
+				}
+				if cur, exists := callee[b.Formal]; exists {
+					cur.Merge(offs)
+				} else if isArrayFormal(site.Callee.Proc, b.Formal) {
+					callee[b.Formal] = offs.Clone()
+				}
+			}
+			// commons share by name
+			for name, offs := range caller {
+				if sym := site.Callee.Proc.Symbols.Lookup(name); sym != nil && sym.Common != "" {
+					if cur, exists := callee[name]; exists {
+						cur.Merge(offs)
+					} else {
+						callee[name] = offs.Clone()
+					}
+				}
+			}
+		}
+	}
+	return a
+}
+
+// localOffsets collects the constant offsets appearing in subscripts of
+// each array of proc (the local analysis phase).
+func localOffsets(proc *ast.Procedure) map[string]*Offsets {
+	out := map[string]*Offsets{}
+	env := ast.MapEnv{}
+	for _, s := range proc.Symbols.Symbols() {
+		if s.Kind == ast.SymConstant {
+			env[s.Name] = s.ConstValue
+		}
+	}
+	ast.WalkExprs(proc.Body, func(e ast.Expr) {
+		ref, ok := e.(*ast.ArrayRef)
+		if !ok {
+			return
+		}
+		sym := proc.Symbols.Lookup(ref.Name)
+		if sym == nil || sym.Kind != ast.SymArray {
+			return
+		}
+		offs, exists := out[ref.Name]
+		if !exists {
+			offs = NewOffsets(len(ref.Subs))
+			out[ref.Name] = offs
+		}
+		for d, sub := range ref.Subs {
+			if d >= len(offs.Lo) {
+				break
+			}
+			v, a, c, ok := depend.LinearSubscript(sub, env)
+			if !ok || v == "" || a != 1 {
+				continue
+			}
+			if c > offs.Hi[d] {
+				offs.Hi[d] = c
+			}
+			if -c > offs.Lo[d] {
+				offs.Lo[d] = -c
+			}
+		}
+	})
+	return out
+}
+
+func translateName(site *acg.CallSite, calleeName string) string {
+	sym := site.Callee.Proc.Symbols.Lookup(calleeName)
+	if sym == nil {
+		return ""
+	}
+	if sym.Common != "" {
+		return calleeName
+	}
+	if sym.IsFormal && sym.FormalIndex < len(site.Bindings) {
+		return site.Bindings[sym.FormalIndex].ActualName
+	}
+	return ""
+}
+
+func isArrayFormal(proc *ast.Procedure, name string) bool {
+	s := proc.Symbols.Lookup(name)
+	return s != nil && s.IsFormal && s.Kind == ast.SymArray
+}
+
+// RecordActual registers an overlap actually required during code
+// generation (dim extended by lo below / hi above). It returns true
+// when the estimate covers the need (use the overlap region) and false
+// when the compiler must fall back to a buffer for this array.
+func (a *Analysis) RecordActual(proc, array string, dim, lo, hi int) bool {
+	m := a.actual[proc]
+	if m == nil {
+		m = map[string]*Offsets{}
+		a.actual[proc] = m
+	}
+	est := a.Estimates[proc][array]
+	offs := m[array]
+	if offs == nil {
+		rank := 1
+		if est != nil {
+			rank = len(est.Lo)
+		}
+		if dim >= rank {
+			rank = dim + 1
+		}
+		offs = NewOffsets(rank)
+		m[array] = offs
+	}
+	if dim < len(offs.Lo) {
+		if lo > offs.Lo[dim] {
+			offs.Lo[dim] = lo
+		}
+		if hi > offs.Hi[dim] {
+			offs.Hi[dim] = hi
+		}
+	}
+	if est != nil && est.Covers(offs) {
+		return true
+	}
+	bm := a.UseBuffer[proc]
+	if bm == nil {
+		bm = map[string]bool{}
+		a.UseBuffer[proc] = bm
+	}
+	bm[array] = true
+	return false
+}
+
+// Actual returns the overlaps actually used by (proc, array), nil when
+// none were needed.
+func (a *Analysis) Actual(proc, array string) *Offsets {
+	return a.actual[proc][array]
+}
+
+// Extents reports the declared local extent of one dimension of a
+// block-distributed array including its overlap region, e.g. blockSize
+// 25 with offsets {-0,+5} gives [1:30] (the paper's REAL X(30)).
+func (a *Analysis) Extents(proc, array string, dim, blockSize int) (lo, hi int) {
+	offs := a.Estimates[proc][array]
+	lo, hi = 1, blockSize
+	if offs != nil && dim < len(offs.Lo) {
+		lo -= offs.Lo[dim]
+		hi += offs.Hi[dim]
+	}
+	return lo, hi
+}

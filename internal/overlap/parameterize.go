@@ -1,0 +1,70 @@
+package overlap
+
+import (
+	"fmt"
+
+	"fortd/internal/ast"
+)
+
+// Parameterize applies the Figure 14 transformation: instead of
+// compiling a fixed overlap extent into a formal array's declaration,
+// the extents become additional procedure arguments supplied by the
+// callers as compile-time constants —
+//
+//	SUBROUTINE F1(X,Xlo,Xhi)
+//	REAL X(Xlo:Xhi)
+//
+// with every call site rewritten to pass the extents (e.g.
+// call F1(X,1,30)). Only formal arrays can be parameterized; overlaps
+// for common-block arrays must stay static (§5.6).
+//
+// dim selects the distributed dimension whose extent is parameterized;
+// lo and hi give the local extent including the overlap region.
+func Parameterize(prog *ast.Program, procName, array string, dim, lo, hi int) error {
+	proc := prog.Proc(procName)
+	if proc == nil {
+		return fmt.Errorf("overlap: no procedure %s", procName)
+	}
+	sym := proc.Symbols.Lookup(array)
+	if sym == nil || sym.Kind != ast.SymArray {
+		return fmt.Errorf("overlap: %s has no array %s", procName, array)
+	}
+	if !sym.IsFormal {
+		return fmt.Errorf("overlap: %s is not a formal parameter of %s; only formal arrays can be parameterized", array, procName)
+	}
+	if dim < 0 || dim >= len(sym.Dims) {
+		return fmt.Errorf("overlap: %s has no dimension %d", array, dim)
+	}
+	loName := array + "lo"
+	hiName := array + "hi"
+	if proc.Symbols.Lookup(loName) != nil || proc.Symbols.Lookup(hiName) != nil {
+		return fmt.Errorf("overlap: %s already has %s/%s", procName, loName, hiName)
+	}
+
+	// extend the formal parameter list
+	base := len(proc.Params)
+	proc.Params = append(proc.Params, loName, hiName)
+	proc.Symbols.Define(&ast.Symbol{
+		Name: loName, Kind: ast.SymScalar, Type: ast.TypeInteger,
+		IsFormal: true, FormalIndex: base,
+	})
+	proc.Symbols.Define(&ast.Symbol{
+		Name: hiName, Kind: ast.SymScalar, Type: ast.TypeInteger,
+		IsFormal: true, FormalIndex: base + 1,
+	})
+	// adjustable declaration
+	sym.Dims[dim] = ast.Extent{Lo: ast.Id(loName), Hi: ast.Id(hiName)}
+
+	// rewrite every call site to pass the extents
+	for _, u := range prog.Units {
+		ast.WalkStmts(u.Body, func(s ast.Stmt) bool {
+			call, ok := s.(*ast.Call)
+			if !ok || call.Name != procName {
+				return true
+			}
+			call.Args = append(call.Args, ast.Int(lo), ast.Int(hi))
+			return true
+		})
+	}
+	return nil
+}

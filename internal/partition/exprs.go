@@ -1,0 +1,114 @@
+package partition
+
+import (
+	"fortd/internal/ast"
+	"fortd/internal/decomp"
+)
+
+// MyP is the name of the generated variable holding the local processor
+// number (an integer in [0, n$proc)).
+const MyP = "my$p"
+
+func myP() ast.Expr { return ast.Id(MyP) }
+
+// BoundExprs rewrites a loop's bounds so that the loop enumerates only
+// the iterations owned by the executing processor under constraint c
+// (the "reduce loop bounds" instantiation of the computation
+// partition). Bounds stay in the global index space:
+//
+//	BLOCK:  do v = MAX(lo, my$p*b+1-off), MIN(hi, (my$p+1)*b-off)
+//	CYCLIC: do v = lo + MOD(my$p - MOD(lo+off-1,P) + P, P), hi, P
+//
+// ok is false for distributions the rewrite does not support
+// (CYCLIC(k)), which fall back to guards.
+func BoundExprs(c *Constraint, lo, hi, step ast.Expr) (newLo, newHi, newStep ast.Expr, ok bool) {
+	if step != nil {
+		if v, isConst := ast.EvalInt(step, nil); !isConst || v != 1 {
+			return nil, nil, nil, false
+		}
+	}
+	dim := c.Dist.DistDim()
+	if dim < 0 {
+		return lo, hi, step, true
+	}
+	switch c.Dist.Specs[dim].Kind {
+	case ast.DistBlock:
+		b := c.Dist.BlockSize()
+		// my$p*b + 1 - off
+		first := ast.Add(ast.Mul(myP(), ast.Int(b)), ast.Int(1-c.Offset))
+		// (my$p+1)*b - off
+		last := ast.Sub(ast.Mul(ast.Add(myP(), ast.Int(1)), ast.Int(b)), ast.Int(c.Offset))
+		newLo = ast.Max(lo, first)
+		if v, isConst := ast.EvalInt(lo, nil); isConst && v == 1-c.Offset {
+			newLo = first // common case: loop starts at the array base
+		}
+		newHi = ast.Min(hi, last)
+		return newLo, newHi, nil, true
+	case ast.DistCyclic:
+		p := c.Dist.P
+		// first$(anchor, min, step) is the generated-code intrinsic
+		// returning the smallest x >= min with x ≡ anchor (mod step);
+		// owned iterations satisfy v ≡ my$p+1-off (mod P)
+		anchor := ast.Add(myP(), ast.Int(1-c.Offset))
+		newLo = &ast.FuncCall{Name: "first$", Args: []ast.Expr{anchor, lo, ast.Int(p)}}
+		if loC, isConst := ast.EvalInt(lo, nil); isConst {
+			r := mod(loC+c.Offset-1, p)
+			if r == 0 && loC == 1 && c.Offset == 0 {
+				// common case do v = my$p+1, hi, P
+				newLo = ast.Add(myP(), ast.Int(1))
+			}
+		}
+		return newLo, hi, ast.Int(p), true
+	}
+	return nil, nil, nil, false
+}
+
+// GuardExpr builds the ownership test "this processor owns element
+// idx+off of the constraint's array" used when the computation
+// partition is instantiated with explicit guards.
+func GuardExpr(c *Constraint, idx ast.Expr) ast.Expr {
+	e := ast.Add(idx, ast.Int(c.Offset))
+	return ast.Cmp(ast.OpEQ, OwnerExpr(c.Dist, e), myP())
+}
+
+// OwnerExpr builds the expression computing the owner processor of the
+// distributed-dimension index idx under dist.
+func OwnerExpr(dist *decomp.Dist, idx ast.Expr) ast.Expr {
+	dim := dist.DistDim()
+	if dim < 0 {
+		return ast.Int(0)
+	}
+	switch dist.Specs[dim].Kind {
+	case ast.DistBlock:
+		b := dist.BlockSize()
+		return &ast.Binary{Op: ast.OpDiv, X: ast.Sub(idx, ast.Int(1)), Y: ast.Int(b)}
+	case ast.DistCyclic:
+		return &ast.FuncCall{Name: "MOD", Args: []ast.Expr{ast.Sub(idx, ast.Int(1)), ast.Int(dist.P)}}
+	case ast.DistBlockCyclic:
+		k := dist.Specs[dim].BlockSize
+		blk := &ast.Binary{Op: ast.OpDiv, X: ast.Sub(idx, ast.Int(1)), Y: ast.Int(k)}
+		return &ast.FuncCall{Name: "MOD", Args: []ast.Expr{blk, ast.Int(dist.P)}}
+	}
+	return ast.Int(0)
+}
+
+// LocalLoExpr and LocalHiExpr give the first/last global index owned by
+// my$p for a BLOCK distribution (used by communication emission).
+func LocalLoExpr(dist *decomp.Dist) ast.Expr {
+	return ast.Add(ast.Mul(myP(), ast.Int(dist.BlockSize())), ast.Int(1))
+}
+
+// LocalHiExpr returns MIN((my$p+1)*b, n).
+func LocalHiExpr(dist *decomp.Dist) ast.Expr {
+	b := dist.BlockSize()
+	n := dist.Sizes[dist.DistDim()]
+	return ast.Min(ast.Mul(ast.Add(myP(), ast.Int(1)), ast.Int(b)), ast.Int(n))
+}
+
+func mod(a, p int) int {
+	r := a % p
+	if r < 0 {
+		r += p
+	}
+	return r
+}

@@ -1,0 +1,497 @@
+// Package partition implements data and computation partitioning
+// (§5.3, Figure 9). Given the reaching decomposition of every array, it
+// derives each assignment's iteration set from the owner-computes rule
+// and decides how the computation partition will be instantiated:
+//
+//   - reduce the bounds of a local loop when the distributed dimension
+//     is indexed by that loop's variable;
+//   - execute scalar assignments on every processor (replicated scalar
+//     computation);
+//   - introduce an explicit ownership guard when the constraint cannot
+//     be absorbed by a local loop and statements disagree;
+//   - delay the constraint to the callers when the distributed
+//     dimension is indexed by a formal parameter (delayed instantiation,
+//     the paper's key enabling technique).
+package partition
+
+import (
+	"fmt"
+
+	"fortd/internal/acg"
+	"fortd/internal/ast"
+	"fortd/internal/decomp"
+	"fortd/internal/depend"
+)
+
+// SubPattern is the affine decomposition of a distributed-dimension
+// subscript: Coef·Var + Off (Var == "" for constants).
+type SubPattern struct {
+	Var  string
+	Coef int
+	Off  int
+	OK   bool // affine single-index form
+}
+
+// AnalyzeSub classifies one subscript expression.
+func AnalyzeSub(e ast.Expr, env ast.Env) SubPattern {
+	v, c, k, ok := depend.LinearSubscript(e, env)
+	return SubPattern{Var: v, Coef: c, Off: k, OK: ok}
+}
+
+// Constraint is an ownership constraint produced by the owner-computes
+// rule: values of a variable v are executed locally only when
+// v + Offset lies in the local index set of Dist's distributed
+// dimension on this processor.
+type Constraint struct {
+	Array  string // the array whose ownership induces the constraint
+	Dist   *decomp.Dist
+	Offset int
+}
+
+// Key gives a comparable identity for merging constraints.
+func (c *Constraint) Key() string {
+	return fmt.Sprintf("%s+%d@%s/p%d", c.Dist.Key(), c.Offset, c.Array, c.Dist.P)
+}
+
+// Equal reports whether two constraints select the same iterations.
+func (c *Constraint) Equal(o *Constraint) bool {
+	if c == nil || o == nil {
+		return c == o
+	}
+	return c.Dist.Key() == o.Dist.Key() && c.Offset == o.Offset && c.Dist.P == o.Dist.P
+}
+
+// Reduction marks a recognized scalar reduction (s = s + term,
+// s = MAX(s, term), ...): the loop is partitioned by the term's data,
+// each processor accumulates a private partial, and a global combine
+// follows the loop.
+type Reduction struct {
+	Var string // the accumulator scalar
+	Op  string // "+", "MAX", "MIN"
+}
+
+// Item is the partitioning decision for one assignment statement.
+type Item struct {
+	Stmt *ast.Assign
+	Nest []*ast.Do
+	// Dist is nil for scalar or replicated-array assignments, which
+	// every processor executes.
+	Dist    *decomp.Dist
+	DistDim int
+	Sub     SubPattern
+	// How the constraint is instantiated:
+	// Loop != nil   → bounds of that local loop are reduced
+	// DelayVar != "" → constraint delayed to callers via that variable
+	// Guard        → explicit ownership guard around the statement
+	Loop     *ast.Do
+	DelayVar string
+	Guard    bool
+	C        *Constraint
+	// Red is set for recognized reductions (then Loop carries the
+	// partitioning and Guard/DelayVar stay unset).
+	Red *Reduction
+}
+
+// CallConstraint is a delayed callee constraint applied at a call site.
+type CallConstraint struct {
+	Site *acg.CallSite
+	// Formal is the callee variable the constraint is keyed to.
+	Formal string
+	// Actual is the caller-side expression bound to Formal.
+	Actual ast.Expr
+	// Loop != nil → reduce that caller loop's bounds
+	// DelayVar != "" → re-delay to this procedure's callers
+	// Guard → guard the call with an ownership test
+	Loop     *ast.Do
+	DelayVar string
+	Guard    bool
+	C        *Constraint
+}
+
+// Plan is the complete computation-partitioning decision for one
+// procedure.
+type Plan struct {
+	Proc  *ast.Procedure
+	Items []*Item
+	// LoopBounds lists local loops whose bounds are reduced, with the
+	// constraint to apply.
+	LoopBounds map[*ast.Do]*Constraint
+	// CallCons records delayed constraints arriving from callees.
+	CallCons []*CallConstraint
+	// Delayed is the union of constraints this procedure passes to its
+	// own callers, keyed by the formal/global variable name.
+	Delayed map[string]*Constraint
+}
+
+// DistOf resolves an array's concrete distribution at a reference
+// point; implemented by the driver using reaching decompositions. The
+// at statement gives the program point (nil: procedure entry), so
+// dynamic redistribution within a procedure resolves correctly.
+type DistOf func(array string, at ast.Stmt) (*decomp.Dist, bool)
+
+// DelayedOf returns the delayed constraints of an already-compiled
+// callee, keyed by callee formal/global name.
+type DelayedOf func(procName string) map[string]*Constraint
+
+// Compute runs Figure 9's partitioning for proc.
+//
+// The visitNest walk mirrors the paper: the iteration set of each
+// assignment is derived from the owner-computes rule on its left-hand
+// side; the union of iteration sets instantiates local loop bounds;
+// constraints on variables not bound by local loops are delayed.
+func Compute(
+	proc *ast.Procedure,
+	node *acg.Node,
+	distOf DistOf,
+	delayedOf DelayedOf,
+	env ast.Env,
+) *Plan {
+	plan := &Plan{
+		Proc:       proc,
+		LoopBounds: map[*ast.Do]*Constraint{},
+		Delayed:    map[string]*Constraint{},
+	}
+	conflicted := map[*ast.Do]bool{}
+	delayConflict := map[string]bool{}
+
+	addLoopConstraint := func(loop *ast.Do, c *Constraint) bool {
+		if cur, ok := plan.LoopBounds[loop]; ok {
+			if !cur.Equal(c) {
+				conflicted[loop] = true
+				return false
+			}
+			return true
+		}
+		if conflicted[loop] {
+			return false
+		}
+		plan.LoopBounds[loop] = c
+		return true
+	}
+	addDelayed := func(v string, c *Constraint) bool {
+		if cur, ok := plan.Delayed[v]; ok {
+			if !cur.Equal(c) {
+				delayConflict[v] = true
+				delete(plan.Delayed, v)
+				return false
+			}
+			return true
+		}
+		if delayConflict[v] {
+			return false
+		}
+		plan.Delayed[v] = c
+		return true
+	}
+
+	var nest []*ast.Do
+	var walk func(body []ast.Stmt)
+	walk = func(body []ast.Stmt) {
+		for _, s := range body {
+			switch st := s.(type) {
+			case *ast.Do:
+				nest = append(nest, st)
+				walk(st.Body)
+				nest = nest[:len(nest)-1]
+			case *ast.If:
+				walk(st.Then)
+				walk(st.Else)
+			case *ast.Assign:
+				if red := analyzeReduction(proc, st, nest, distOf, env); red != nil {
+					plan.Items = append(plan.Items, red)
+					continue
+				}
+				item := analyzeAssign(proc, st, nest, distOf, env)
+				plan.Items = append(plan.Items, item)
+			case *ast.Call:
+				site := findSite(node, st)
+				if site == nil {
+					continue
+				}
+				for formal, c := range delayedOf(st.Name) {
+					cc := translateCallConstraint(proc, site, formal, c, nest)
+					if cc == nil {
+						continue
+					}
+					plan.CallCons = append(plan.CallCons, cc)
+				}
+			}
+		}
+	}
+	walk(proc.Body)
+
+	// resolve each item's instantiation strategy
+	for _, item := range plan.Items {
+		if item.C == nil {
+			continue
+		}
+		switch {
+		case item.Loop != nil:
+			if !addLoopConstraint(item.Loop, item.C) {
+				demoteItem(item)
+			}
+		case item.DelayVar != "":
+			if !addDelayed(item.DelayVar, item.C) {
+				item.DelayVar = ""
+				item.Guard = true
+			}
+		default:
+			item.Guard = true
+		}
+	}
+	for _, cc := range plan.CallCons {
+		switch {
+		case cc.Loop != nil:
+			if !addLoopConstraint(cc.Loop, cc.C) {
+				cc.Loop = nil
+				cc.Guard = true
+			}
+		case cc.DelayVar != "":
+			if !addDelayed(cc.DelayVar, cc.C) {
+				cc.DelayVar = ""
+				cc.Guard = true
+			}
+		}
+	}
+	// demote items/calls whose loop later became conflicted
+	for _, item := range plan.Items {
+		if item.Loop != nil && conflicted[item.Loop] {
+			demoteItem(item)
+		}
+		if item.DelayVar != "" && delayConflict[item.DelayVar] {
+			item.DelayVar = ""
+			item.Guard = true
+		}
+	}
+	for _, cc := range plan.CallCons {
+		if cc.Loop != nil && conflicted[cc.Loop] {
+			cc.Loop = nil
+			cc.Guard = true
+		}
+		if cc.DelayVar != "" && delayConflict[cc.DelayVar] {
+			cc.DelayVar = ""
+			cc.Guard = true
+		}
+	}
+	for loop := range conflicted {
+		delete(plan.LoopBounds, loop)
+	}
+	plan.validateReductions()
+	plan.validateDelays()
+	return plan
+}
+
+// validateReductions enforces the union-of-iteration-sets rule: a
+// loop's bounds may be reduced only when every unit of work nested in
+// it (assignments and calls) carries exactly that loop's constraint.
+// Anything else — a scalar assignment, a differently-partitioned
+// statement, a call executing replicated work — needs all iterations,
+// so the affected statements fall back to guards.
+func (p *Plan) validateReductions() {
+	itemOf := map[ast.Stmt]*Item{}
+	for _, it := range p.Items {
+		itemOf[it.Stmt] = it
+	}
+	ccsOf := map[ast.Stmt][]*CallConstraint{}
+	for _, cc := range p.CallCons {
+		ccsOf[cc.Site.Stmt] = append(ccsOf[cc.Site.Stmt], cc)
+	}
+	for loop := range p.LoopBounds {
+		ok := true
+		ast.WalkStmts(loop.Body, func(s ast.Stmt) bool {
+			switch st := s.(type) {
+			case *ast.Assign:
+				it := itemOf[st]
+				if it == nil || it.Loop != loop {
+					ok = false
+				}
+			case *ast.Call:
+				ccs := ccsOf[st]
+				if len(ccs) == 0 {
+					ok = false
+				}
+				for _, cc := range ccs {
+					if cc.Loop != loop {
+						ok = false
+					}
+				}
+			}
+			return true
+		})
+		if ok {
+			continue
+		}
+		// demote everything tied to this loop to guards
+		delete(p.LoopBounds, loop)
+		for _, it := range p.Items {
+			if it.Loop == loop {
+				demoteItem(it)
+			}
+		}
+		for _, cc := range p.CallCons {
+			if cc.Loop == loop {
+				cc.Loop = nil
+				cc.Guard = true
+			}
+		}
+	}
+}
+
+// validateDelays keeps a delayed constraint only when it covers every
+// unit of work in the procedure (the callee's "unioned iteration set"
+// must be exactly that constraint for the caller to instantiate it by
+// reducing a loop).
+func (p *Plan) validateDelays() {
+	for v := range p.Delayed {
+		ok := true
+		for _, it := range p.Items {
+			if it.DelayVar != v {
+				ok = false
+			}
+		}
+		for _, cc := range p.CallCons {
+			if cc.DelayVar != v {
+				ok = false
+			}
+		}
+		if ok {
+			continue
+		}
+		delete(p.Delayed, v)
+		for _, it := range p.Items {
+			if it.DelayVar == v {
+				it.DelayVar = ""
+				it.Guard = true
+			}
+		}
+		for _, cc := range p.CallCons {
+			if cc.DelayVar == v {
+				cc.DelayVar = ""
+				cc.Guard = true
+			}
+		}
+	}
+}
+
+// DropLoopReduction removes a loop from the reduction set after the
+// fact (used when communication placed inside the loop requires all
+// processors to execute every iteration), demoting its statements to
+// guards.
+func (p *Plan) DropLoopReduction(loop *ast.Do) {
+	if _, ok := p.LoopBounds[loop]; !ok {
+		return
+	}
+	delete(p.LoopBounds, loop)
+	for _, it := range p.Items {
+		if it.Loop == loop {
+			demoteItem(it)
+		}
+	}
+	for _, cc := range p.CallCons {
+		if cc.Loop == loop {
+			cc.Loop = nil
+			cc.Guard = true
+		}
+	}
+}
+
+// demoteItem falls an item back from loop-bounds reduction: reductions
+// revert to replicated execution, array assignments to guards.
+func demoteItem(it *Item) {
+	if it.Red != nil {
+		demoteReduction(it)
+		return
+	}
+	it.Loop = nil
+	it.Guard = true
+}
+
+// analyzeAssign applies the owner-computes rule to one assignment.
+func analyzeAssign(proc *ast.Procedure, st *ast.Assign, nest []*ast.Do, distOf DistOf, env ast.Env) *Item {
+	item := &Item{Stmt: st, Nest: append([]*ast.Do(nil), nest...)}
+	lhs, ok := st.Lhs.(*ast.ArrayRef)
+	if !ok {
+		return item // scalar lhs: replicated execution
+	}
+	dist, ok := distOf(lhs.Name, st)
+	if !ok || dist == nil || dist.IsReplicated() {
+		return item
+	}
+	dim := dist.DistDim()
+	if dim >= len(lhs.Subs) {
+		return item
+	}
+	item.Dist = dist
+	item.DistDim = dim
+	item.Sub = AnalyzeSub(lhs.Subs[dim], env)
+	if !item.Sub.OK || item.Sub.Coef > 1 || item.Sub.Coef < 0 {
+		// non-unit coefficients fall back to a guard
+		item.Guard = true
+		item.C = &Constraint{Array: lhs.Name, Dist: dist, Offset: 0}
+		return item
+	}
+	item.C = &Constraint{Array: lhs.Name, Dist: dist, Offset: item.Sub.Off}
+	switch {
+	case item.Sub.Var == "":
+		// constant index: single owner executes; explicit guard
+		item.Guard = true
+	default:
+		if loop := loopFor(nest, item.Sub.Var); loop != nil {
+			item.Loop = loop
+		} else if sym := proc.Symbols.Lookup(item.Sub.Var); sym != nil && (sym.IsFormal || sym.Common != "") {
+			item.DelayVar = item.Sub.Var
+		} else {
+			item.Guard = true
+		}
+	}
+	return item
+}
+
+// translateCallConstraint maps a callee's delayed constraint through a
+// call site into the caller's context.
+func translateCallConstraint(proc *ast.Procedure, site *acg.CallSite, formal string, c *Constraint, nest []*ast.Do) *CallConstraint {
+	cc := &CallConstraint{Site: site, C: c, Formal: formal}
+	var actual string
+	for _, b := range site.Bindings {
+		if b.Formal == formal {
+			actual = b.ActualName
+			cc.Actual = b.Actual
+			break
+		}
+	}
+	if actual == "" {
+		cc.Guard = true
+		return cc
+	}
+	if loop := loopFor(nest, actual); loop != nil {
+		cc.Loop = loop
+		return cc
+	}
+	if sym := proc.Symbols.Lookup(actual); sym != nil && (sym.IsFormal || sym.Common != "") && !proc.IsMain {
+		cc.DelayVar = actual
+		return cc
+	}
+	cc.Guard = true
+	return cc
+}
+
+func loopFor(nest []*ast.Do, v string) *ast.Do {
+	for i := len(nest) - 1; i >= 0; i-- {
+		if nest[i].Var == v {
+			return nest[i]
+		}
+	}
+	return nil
+}
+
+func findSite(node *acg.Node, call *ast.Call) *acg.CallSite {
+	if node == nil {
+		return nil
+	}
+	for _, s := range node.Calls {
+		if s.Stmt == call {
+			return s
+		}
+	}
+	return nil
+}

@@ -1,0 +1,447 @@
+package reach
+
+import (
+	"sort"
+	"strings"
+	"testing"
+
+	"fortd/internal/acg"
+	"fortd/internal/ast"
+	"fortd/internal/decomp"
+	"fortd/internal/parser"
+)
+
+const fig4Src = `
+      PROGRAM P1
+      REAL X(100,100),Y(100,100)
+      PARAMETER (n$proc = 4)
+      ALIGN Y(i,j) with X(j,i)
+      DISTRIBUTE X(BLOCK,:)
+      do i = 1,100
+S1      call F1(X,i)
+      enddo
+      do j = 1,100
+S2      call F1(Y,j)
+      enddo
+      END
+      SUBROUTINE F1(Z,i)
+      REAL Z(100,100)
+S3    call F2(Z,i)
+      END
+      SUBROUTINE F2(Z,i)
+      REAL Z(100,100)
+      do k = 1,100
+        Z(k,i) = F(Z(k+5,i))
+      enddo
+      END
+`
+
+func analyzeSrc(t *testing.T, src string, opts Options) (*Result, *acg.Graph) {
+	t.Helper()
+	prog, err := parser.Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := acg.Build(prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Analyze(g, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res, res.Graph
+}
+
+// TestFigure7ReachingSets reproduces the reaching decomposition
+// calculation of Figure 7 (with cloning disabled so the raw sets are
+// visible): Reaching(F1) = {⟨{(BLOCK,:),(:,BLOCK)}, Z⟩} and likewise
+// for F2, while Reaching(P1) = ∅.
+func TestFigure7ReachingSets(t *testing.T) {
+	res, _ := analyzeSrc(t, fig4Src, Options{CloneLimit: 0})
+	if len(res.Reaching["P1"]) != 0 {
+		t.Errorf("Reaching(P1) = %v, want empty", res.Reaching["P1"])
+	}
+	for _, proc := range []string{"F1", "F2"} {
+		z, ok := res.Reaching[proc]["Z"]
+		if !ok {
+			t.Fatalf("no reaching set for Z in %s", proc)
+		}
+		var keys []string
+		for k := range z.Ds {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		want := "(:,BLOCK)|(BLOCK,:)"
+		if strings.Join(keys, "|") != want {
+			t.Errorf("Reaching(%s)[Z] = %v, want %s", proc, keys, want)
+		}
+	}
+	// with cloning off, both F1 and F2 need run-time resolution for Z
+	if vars := res.RuntimeResolution["F1"]; len(vars) != 1 || vars[0] != "Z" {
+		t.Errorf("RuntimeResolution[F1] = %v", vars)
+	}
+}
+
+// TestFigure8Cloning reproduces §5.2's cloning outcome: two copies each
+// of F1 and F2, named after the row/column distributions.
+func TestFigure8Cloning(t *testing.T) {
+	res, g := analyzeSrc(t, fig4Src, DefaultOptions())
+	var names []string
+	for name := range g.Nodes {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	joined := strings.Join(names, " ")
+	for _, want := range []string{"F1$row", "F1$col", "F2$row", "F2$col", "P1"} {
+		if !strings.Contains(joined, want) {
+			t.Errorf("missing clone %s in %s", want, joined)
+		}
+	}
+	// no run-time resolution needed after cloning
+	if len(res.RuntimeResolution) != 0 {
+		t.Errorf("RuntimeResolution = %v", res.RuntimeResolution)
+	}
+	// each clone sees a unique decomposition for Z
+	d, ok := res.Reaching["F1$row"]["Z"].Single()
+	if !ok || d.Key() != "(BLOCK,:)" {
+		t.Errorf("Reaching(F1$row)[Z] = %v", res.Reaching["F1$row"]["Z"])
+	}
+	d, ok = res.Reaching["F1$col"]["Z"].Single()
+	if !ok || d.Key() != "(:,BLOCK)" {
+		t.Errorf("Reaching(F1$col)[Z] = %v", res.Reaching["F1$col"]["Z"])
+	}
+	// clone provenance recorded
+	if res.ClonedFrom["F1$row"] != "F1" || res.ClonedFrom["F2$col"] != "F2" {
+		t.Errorf("ClonedFrom = %v", res.ClonedFrom)
+	}
+	// call sites in P1 retargeted
+	counts := map[string]int{}
+	ast.WalkStmts(g.Program.Main().Body, func(s ast.Stmt) bool {
+		if c, ok := s.(*ast.Call); ok {
+			counts[c.Name]++
+		}
+		return true
+	})
+	if counts["F1$row"] != 1 || counts["F1$col"] != 1 {
+		t.Errorf("main call targets = %v", counts)
+	}
+}
+
+// TestFigure1Reaching: interprocedural analysis determines X in F1 is
+// distributed blockwise (§3.1).
+func TestFigure1Reaching(t *testing.T) {
+	src := `
+      PROGRAM P1
+      REAL X(100)
+      PARAMETER (n$proc = 4)
+      DISTRIBUTE X(BLOCK)
+      call F1(X)
+      END
+      SUBROUTINE F1(X)
+      REAL X(100)
+      do i = 1,95
+        X(i) = F(X(i+5))
+      enddo
+      END
+`
+	res, _ := analyzeSrc(t, src, DefaultOptions())
+	d, ok := res.Reaching["F1"]["X"].Single()
+	if !ok || d.Key() != "(BLOCK)" {
+		t.Errorf("Reaching(F1)[X] = %v", res.Reaching["F1"]["X"])
+	}
+	if len(res.RuntimeResolution) != 0 {
+		t.Errorf("unexpected runtime resolution: %v", res.RuntimeResolution)
+	}
+}
+
+// TestNoCloningWhenSameDecomp: identical decompositions at two call
+// sites must share one procedure body.
+func TestNoCloningWhenSameDecomp(t *testing.T) {
+	src := `
+      PROGRAM P
+      REAL A(100), B(100)
+      DISTRIBUTE A(BLOCK)
+      DISTRIBUTE B(BLOCK)
+      call S(A)
+      call S(B)
+      END
+      SUBROUTINE S(X)
+      REAL X(100)
+      do i = 1,100
+        X(i) = 0.0
+      enddo
+      END
+`
+	_, g := analyzeSrc(t, src, DefaultOptions())
+	if len(g.Nodes) != 2 {
+		names := []string{}
+		for n := range g.Nodes {
+			names = append(names, n)
+		}
+		t.Errorf("unnecessary cloning: %v", names)
+	}
+}
+
+// TestFilterAvoidsUselessCloning: different decompositions for a
+// variable the callee never touches must not trigger cloning
+// (the Filter/Appear step of Figure 8).
+func TestFilterAvoidsUselessCloning(t *testing.T) {
+	src := `
+      PROGRAM P
+      REAL A(100), B(100), C(100)
+      DISTRIBUTE A(BLOCK)
+      DISTRIBUTE B(CYCLIC)
+      DISTRIBUTE C(BLOCK)
+      call S(A,C)
+      call S(B,C)
+      END
+      SUBROUTINE S(U,V)
+      REAL U(100), V(100)
+      do i = 1,100
+        V(i) = 1.0
+      enddo
+      END
+`
+	_, g := analyzeSrc(t, src, DefaultOptions())
+	if _, ok := g.Nodes["S"]; !ok {
+		names := []string{}
+		for n := range g.Nodes {
+			names = append(names, n)
+		}
+		t.Errorf("S was cloned although U is unreferenced: %v", names)
+	}
+}
+
+// TestDynamicRedistributionScoping: a DISTRIBUTE inside a callee is
+// undone on return, so the caller's state at a later call site still
+// sees the original decomposition (§5.2 "the effect of data
+// decomposition changes in a procedure can be ignored by its callers").
+func TestDynamicRedistributionScoping(t *testing.T) {
+	src := `
+      PROGRAM P
+      REAL X(100)
+      DISTRIBUTE X(BLOCK)
+      call F1(X)
+      call F2(X)
+      END
+      SUBROUTINE F1(X)
+      REAL X(100)
+      DISTRIBUTE X(CYCLIC)
+      do i = 1,100
+        X(i) = 0.0
+      enddo
+      END
+      SUBROUTINE F2(X)
+      REAL X(100)
+      do i = 1,100
+        X(i) = 1.0
+      enddo
+      END
+`
+	res, _ := analyzeSrc(t, src, DefaultOptions())
+	d, ok := res.Reaching["F2"]["X"].Single()
+	if !ok || d.Key() != "(BLOCK)" {
+		t.Errorf("Reaching(F2)[X] = %v, want (BLOCK)", res.Reaching["F2"]["X"])
+	}
+}
+
+// TestConditionalDistributeMerges: a DISTRIBUTE under one branch of an
+// IF yields both decompositions reaching the subsequent call.
+func TestConditionalDistributeMerges(t *testing.T) {
+	src := `
+      PROGRAM P
+      REAL X(100)
+      DISTRIBUTE X(BLOCK)
+      if (n .gt. 10) then
+        DISTRIBUTE X(CYCLIC)
+      endif
+      call S(X)
+      END
+      SUBROUTINE S(X)
+      REAL X(100)
+      do i = 1,100
+        X(i) = 0.0
+      enddo
+      END
+`
+	res, _ := analyzeSrc(t, src, Options{CloneLimit: 0})
+	set := res.Reaching["S"]["X"]
+	if len(set.Ds) != 2 {
+		t.Errorf("Reaching(S)[X] = %v, want both BLOCK and CYCLIC", set)
+	}
+}
+
+// TestStateWalkFigure15: within F1 a local DISTRIBUTE kills the
+// inherited decomposition.
+func TestStateWalkFigure15(t *testing.T) {
+	src := `
+      SUBROUTINE F1(X)
+      REAL X(100)
+      DISTRIBUTE X(CYCLIC)
+      do i = 1,100
+        X(i) = 0.0
+      enddo
+      END
+`
+	u, err := parser.ParseProcedure(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := NewState(u, nil)
+	if !st.Lookup("X").Top {
+		t.Fatal("X should start at ⊤")
+	}
+	var atLoop DSet
+	st.WalkBody(u.Body, func(s ast.Stmt, st *State) {
+		if _, ok := s.(*ast.Do); ok {
+			atLoop = st.Lookup("X")
+		}
+	})
+	d, ok := atLoop.Single()
+	if !ok || d.Key() != "(CYCLIC)" {
+		t.Errorf("X at loop = %v", atLoop)
+	}
+}
+
+func TestAlignThenDistributeOrder(t *testing.T) {
+	// DISTRIBUTE may precede or follow ALIGN; both orders must work
+	src := `
+      PROGRAM P
+      REAL A(50,50)
+      DECOMPOSITION D(50,50)
+      DISTRIBUTE D(:,BLOCK)
+      ALIGN A(i,j) with D(i,j)
+      call S(A)
+      END
+      SUBROUTINE S(A)
+      REAL A(50,50)
+      A(1,1) = 0.0
+      END
+`
+	res, _ := analyzeSrc(t, src, DefaultOptions())
+	d, ok := res.Reaching["S"]["A"].Single()
+	if !ok || d.Key() != "(:,BLOCK)" {
+		t.Errorf("Reaching(S)[A] = %v", res.Reaching["S"]["A"])
+	}
+}
+
+func TestReplicatedDefault(t *testing.T) {
+	src := `
+      PROGRAM P
+      REAL W(10)
+      call S(W)
+      END
+      SUBROUTINE S(W)
+      REAL W(10)
+      W(1) = 0.0
+      END
+`
+	res, _ := analyzeSrc(t, src, DefaultOptions())
+	d, ok := res.Reaching["S"]["W"].Single()
+	if !ok || !d.IsReplicated() {
+		t.Errorf("Reaching(S)[W] = %v, want replicated", res.Reaching["S"]["W"])
+	}
+}
+
+var _ = decomp.Replicated // keep import for documentation symmetry
+
+// TestCloneLimitForcesRuntimeFallback: with a limit too small for the
+// needed clones, the compiler stops cloning and flags the procedures
+// for run-time resolution (the §5.2 growth threshold).
+func TestCloneLimitForcesRuntimeFallback(t *testing.T) {
+	// Figure 4 needs 2 clones of F1 and 2 of F2; a limit of 1 cannot
+	// even split F1
+	res, g := analyzeSrc(t, fig4Src, Options{CloneLimit: 1})
+	if _, ok := g.Nodes["F1"]; !ok {
+		t.Error("F1 should remain uncloned under the limit")
+	}
+	if len(res.RuntimeResolution["F1"]) == 0 {
+		t.Errorf("F1 must fall back to run-time resolution: %v", res.RuntimeResolution)
+	}
+}
+
+// TestDiamondCallGraph: two paths to the same callee with the same
+// decomposition need no cloning and produce one reaching set.
+func TestDiamondCallGraph(t *testing.T) {
+	src := `
+      PROGRAM P
+      REAL A(100)
+      DISTRIBUTE A(BLOCK)
+      call L(A)
+      call R(A)
+      END
+      SUBROUTINE L(X)
+      REAL X(100)
+      call leaf(X)
+      END
+      SUBROUTINE R(X)
+      REAL X(100)
+      call leaf(X)
+      END
+      SUBROUTINE leaf(Z)
+      REAL Z(100)
+      do i = 1,100
+        Z(i) = 0.0
+      enddo
+      END
+`
+	res, g := analyzeSrc(t, src, DefaultOptions())
+	if len(g.Nodes) != 4 {
+		names := []string{}
+		for n := range g.Nodes {
+			names = append(names, n)
+		}
+		t.Errorf("diamond wrongly cloned: %v", names)
+	}
+	d, ok := res.Reaching["leaf"]["Z"].Single()
+	if !ok || d.Key() != "(BLOCK)" {
+		t.Errorf("Reaching(leaf)[Z] = %v", res.Reaching["leaf"]["Z"])
+	}
+}
+
+// TestDiamondConflictClonesBothLevels: different decompositions through
+// a diamond clone the shared leaf through its parents.
+func TestDiamondConflictClones(t *testing.T) {
+	src := `
+      PROGRAM P
+      REAL A(100), B(100)
+      DISTRIBUTE A(BLOCK)
+      DISTRIBUTE B(CYCLIC)
+      call L(A)
+      call R(B)
+      END
+      SUBROUTINE L(X)
+      REAL X(100)
+      call leaf(X)
+      END
+      SUBROUTINE R(X)
+      REAL X(100)
+      call leaf(X)
+      END
+      SUBROUTINE leaf(Z)
+      REAL Z(100)
+      do i = 1,100
+        Z(i) = 0.0
+      enddo
+      END
+`
+	res, g := analyzeSrc(t, src, DefaultOptions())
+	// leaf must split (block vs cyclic); L and R stay single
+	found := 0
+	for name := range g.Nodes {
+		if strings.HasPrefix(name, "leaf$") {
+			found++
+		}
+	}
+	if found != 2 {
+		names := []string{}
+		for n := range g.Nodes {
+			names = append(names, n)
+		}
+		t.Errorf("leaf clones = %d, want 2: %v", found, names)
+	}
+	if len(res.RuntimeResolution) != 0 {
+		t.Errorf("RuntimeResolution = %v", res.RuntimeResolution)
+	}
+}

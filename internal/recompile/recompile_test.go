@@ -1,0 +1,212 @@
+package recompile
+
+import (
+	"testing"
+
+	"fortd/internal/core"
+)
+
+const baseSrc = `
+      PROGRAM P
+      PARAMETER (n$proc = 4)
+      REAL A(100), B(100)
+      DISTRIBUTE A(BLOCK)
+      DISTRIBUTE B(BLOCK)
+      call S1(A)
+      call S2(B)
+      END
+      SUBROUTINE S1(X)
+      REAL X(100)
+      do i = 1,100
+        X(i) = X(i) + 1.0
+      enddo
+      END
+      SUBROUTINE S2(X)
+      REAL X(100)
+      do i = 1,100
+        X(i) = X(i) * 2.0
+      enddo
+      END
+`
+
+func snap(t *testing.T, src string) *Database {
+	t.Helper()
+	c, err := core.Compile(src, core.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return Snapshot(c)
+}
+
+// TestNoEditNoRecompilation: recompiling identical source requires no
+// work at all.
+func TestNoEditNoRecompilation(t *testing.T) {
+	a := snap(t, baseSrc)
+	b := snap(t, baseSrc)
+	if plan := Plan(a, b); len(plan) != 0 {
+		t.Errorf("plan = %v, want empty", plan)
+	}
+	unchanged := Unchanged(a, b)
+	if len(unchanged) != 3 {
+		t.Errorf("unchanged = %v, want all three procedures", unchanged)
+	}
+}
+
+// TestInternalEditRecompilesOnlyEditedProc: changing a constant inside
+// S2's body (interface unchanged) must not force S1 or P to recompile.
+func TestInternalEditRecompilesOnlyEditedProc(t *testing.T) {
+	edited := `
+      PROGRAM P
+      PARAMETER (n$proc = 4)
+      REAL A(100), B(100)
+      DISTRIBUTE A(BLOCK)
+      DISTRIBUTE B(BLOCK)
+      call S1(A)
+      call S2(B)
+      END
+      SUBROUTINE S1(X)
+      REAL X(100)
+      do i = 1,100
+        X(i) = X(i) + 1.0
+      enddo
+      END
+      SUBROUTINE S2(X)
+      REAL X(100)
+      do i = 1,100
+        X(i) = X(i) * 3.0
+      enddo
+      END
+`
+	a := snap(t, baseSrc)
+	b := snap(t, edited)
+	plan := Plan(a, b)
+	if len(plan) != 1 || plan[0] != "S2" {
+		t.Errorf("plan = %v, want [S2]", plan)
+	}
+}
+
+// TestInterfaceEditPropagatesToCaller: a DISTRIBUTE added inside S2
+// changes its decomposition summary sets, so the caller consuming them
+// must be recompiled too.
+func TestInterfaceEditPropagatesToCaller(t *testing.T) {
+	edited := `
+      PROGRAM P
+      PARAMETER (n$proc = 4)
+      REAL A(100), B(100)
+      DISTRIBUTE A(BLOCK)
+      DISTRIBUTE B(BLOCK)
+      call S1(A)
+      call S2(B)
+      END
+      SUBROUTINE S1(X)
+      REAL X(100)
+      do i = 1,100
+        X(i) = X(i) + 1.0
+      enddo
+      END
+      SUBROUTINE S2(X)
+      REAL X(100)
+      DISTRIBUTE X(CYCLIC)
+      do i = 1,100
+        X(i) = X(i) * 2.0
+      enddo
+      END
+`
+	a := snap(t, baseSrc)
+	b := snap(t, edited)
+	plan := Plan(a, b)
+	wantP, wantS2 := false, false
+	for _, name := range plan {
+		switch name {
+		case "P":
+			wantP = true
+		case "S2":
+			wantS2 = true
+		case "S1":
+			t.Error("S1 needlessly recompiled")
+		}
+	}
+	if !wantP || !wantS2 {
+		t.Errorf("plan = %v, want P and S2", plan)
+	}
+}
+
+// TestCallerEditDoesNotRecompileCallees: changing the caller's own
+// statements (same decompositions at call sites) leaves callees alone.
+func TestCallerEditDoesNotRecompileCallees(t *testing.T) {
+	edited := `
+      PROGRAM P
+      PARAMETER (n$proc = 4)
+      REAL A(100), B(100)
+      DISTRIBUTE A(BLOCK)
+      DISTRIBUTE B(BLOCK)
+      x = 42
+      call S1(A)
+      call S2(B)
+      END
+      SUBROUTINE S1(X)
+      REAL X(100)
+      do i = 1,100
+        X(i) = X(i) + 1.0
+      enddo
+      END
+      SUBROUTINE S2(X)
+      REAL X(100)
+      do i = 1,100
+        X(i) = X(i) * 2.0
+      enddo
+      END
+`
+	a := snap(t, baseSrc)
+	b := snap(t, edited)
+	plan := Plan(a, b)
+	if len(plan) != 1 || plan[0] != "P" {
+		t.Errorf("plan = %v, want [P]", plan)
+	}
+}
+
+// TestDistributionChangePropagatesDown: changing the caller's
+// DISTRIBUTE for A changes the reaching decomposition S1 consumes, so
+// S1 must be recompiled even though its source is untouched.
+func TestDistributionChangePropagatesDown(t *testing.T) {
+	edited := `
+      PROGRAM P
+      PARAMETER (n$proc = 4)
+      REAL A(100), B(100)
+      DISTRIBUTE A(CYCLIC)
+      DISTRIBUTE B(BLOCK)
+      call S1(A)
+      call S2(B)
+      END
+      SUBROUTINE S1(X)
+      REAL X(100)
+      do i = 1,100
+        X(i) = X(i) + 1.0
+      enddo
+      END
+      SUBROUTINE S2(X)
+      REAL X(100)
+      do i = 1,100
+        X(i) = X(i) * 2.0
+      enddo
+      END
+`
+	a := snap(t, baseSrc)
+	b := snap(t, edited)
+	plan := Plan(a, b)
+	hasS1, hasS2 := false, false
+	for _, name := range plan {
+		if name == "S1" {
+			hasS1 = true
+		}
+		if name == "S2" {
+			hasS2 = true
+		}
+	}
+	if !hasS1 {
+		t.Errorf("plan = %v: S1 must recompile (its reaching decomposition changed)", plan)
+	}
+	if hasS2 {
+		t.Errorf("plan = %v: S2 must not recompile", plan)
+	}
+}

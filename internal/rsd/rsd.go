@@ -1,0 +1,403 @@
+// Package rsd implements regular section descriptors (RSDs), the array
+// summary representation used throughout the Fortran D compiler for
+// index sets, iteration sets, and communication sets [Havlak & Kennedy].
+// A section is a rectangular region described by one Dim per array
+// dimension in Fortran 90 triplet notation. A Dim may be anchored to a
+// symbolic variable (typically a loop index of an *enclosing* procedure),
+// which is how nonlocal index sets such as [26:30, i] are delayed and
+// later expanded in the caller where the variable's range is known.
+package rsd
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Dim describes one dimension of a section. If Var is empty the
+// dimension covers the constant range [Lo:Hi:Step]. If Var is non-empty
+// the dimension covers [Var+Lo : Var+Hi] — an offset window around a
+// symbolic anchor whose value (or range) is unknown locally.
+type Dim struct {
+	Lo, Hi int
+	Step   int    // 0 or 1 mean unit stride
+	Var    string // symbolic anchor, "" for constant ranges
+}
+
+// Point returns a degenerate dimension covering the single index i.
+func Point(i int) Dim { return Dim{Lo: i, Hi: i, Step: 1} }
+
+// Range returns the dimension [lo:hi].
+func Range(lo, hi int) Dim { return Dim{Lo: lo, Hi: hi, Step: 1} }
+
+// Strided returns the dimension [lo:hi:step].
+func Strided(lo, hi, step int) Dim { return Dim{Lo: lo, Hi: hi, Step: step} }
+
+// SymPoint returns the dimension [v+off : v+off] anchored at variable v.
+func SymPoint(v string, off int) Dim { return Dim{Lo: off, Hi: off, Step: 1, Var: v} }
+
+// SymRange returns the dimension [v+lo : v+hi] anchored at variable v.
+func SymRange(v string, lo, hi int) Dim { return Dim{Lo: lo, Hi: hi, Step: 1, Var: v} }
+
+func (d Dim) step() int {
+	if d.Step <= 0 {
+		return 1
+	}
+	return d.Step
+}
+
+// IsSymbolic reports whether the dimension is anchored to a variable.
+func (d Dim) IsSymbolic() bool { return d.Var != "" }
+
+// Empty reports whether the dimension covers no indices.
+func (d Dim) Empty() bool { return d.Hi < d.Lo }
+
+// Count returns the number of indices covered. Symbolic dimensions count
+// the width of the offset window.
+func (d Dim) Count() int {
+	if d.Empty() {
+		return 0
+	}
+	return (d.Hi-d.Lo)/d.step() + 1
+}
+
+func (d Dim) String() string {
+	pre := ""
+	if d.Var != "" {
+		pre = d.Var
+	}
+	fmtEnd := func(v int) string {
+		if pre == "" {
+			return fmt.Sprintf("%d", v)
+		}
+		switch {
+		case v == 0:
+			return pre
+		case v > 0:
+			return fmt.Sprintf("%s+%d", pre, v)
+		default:
+			return fmt.Sprintf("%s%d", pre, v)
+		}
+	}
+	if d.Empty() {
+		return "∅"
+	}
+	if d.Lo == d.Hi {
+		return fmtEnd(d.Lo)
+	}
+	s := fmtEnd(d.Lo) + ":" + fmtEnd(d.Hi)
+	if d.step() != 1 {
+		s += fmt.Sprintf(":%d", d.Step)
+	}
+	return s
+}
+
+// Section is a rectangular region of the named array.
+type Section struct {
+	Array string
+	Dims  []Dim
+}
+
+// New builds a section over array with the given dimensions.
+func New(array string, dims ...Dim) *Section {
+	return &Section{Array: array, Dims: dims}
+}
+
+// Rank returns the number of dimensions.
+func (s *Section) Rank() int { return len(s.Dims) }
+
+// Empty reports whether any dimension is empty.
+func (s *Section) Empty() bool {
+	for _, d := range s.Dims {
+		if d.Empty() {
+			return true
+		}
+	}
+	return len(s.Dims) == 0
+}
+
+// Volume returns the number of elements covered (symbolic anchors are
+// treated as single points, i.e. the window width is used).
+func (s *Section) Volume() int {
+	if s.Empty() {
+		return 0
+	}
+	v := 1
+	for _, d := range s.Dims {
+		v *= d.Count()
+	}
+	return v
+}
+
+// Symbolic reports whether any dimension carries a symbolic anchor.
+func (s *Section) Symbolic() bool {
+	for _, d := range s.Dims {
+		if d.IsSymbolic() {
+			return true
+		}
+	}
+	return false
+}
+
+func (s *Section) String() string {
+	parts := make([]string, len(s.Dims))
+	for i, d := range s.Dims {
+		parts[i] = d.String()
+	}
+	return s.Array + "[" + strings.Join(parts, ",") + "]"
+}
+
+// Clone returns a deep copy.
+func (s *Section) Clone() *Section {
+	return &Section{Array: s.Array, Dims: append([]Dim(nil), s.Dims...)}
+}
+
+// Equal reports structural equality.
+func (s *Section) Equal(o *Section) bool {
+	if s.Array != o.Array || len(s.Dims) != len(o.Dims) {
+		return false
+	}
+	for i := range s.Dims {
+		a, b := s.Dims[i], o.Dims[i]
+		if a.Lo != b.Lo || a.Hi != b.Hi || a.step() != b.step() || a.Var != b.Var {
+			return false
+		}
+	}
+	return true
+}
+
+// ---------------------------------------------------------------------------
+// Set operations
+
+// IntersectDim returns the intersection of two constant dimensions.
+// Symbolic dimensions intersect only with themselves (same anchor);
+// otherwise the result is conservatively the narrower input.
+func IntersectDim(a, b Dim) Dim {
+	if a.Var != b.Var {
+		// incomparable anchors: conservative over-approximation is the
+		// caller's job; return empty to mean "cannot prove overlap".
+		return Dim{Lo: 1, Hi: 0, Step: 1}
+	}
+	lo := max(a.Lo, b.Lo)
+	hi := min(a.Hi, b.Hi)
+	step := max(a.step(), b.step())
+	if a.step() != b.step() && a.step() != 1 && b.step() != 1 {
+		// different nontrivial strides: fall back to unit stride bounds
+		step = 1
+	}
+	return Dim{Lo: lo, Hi: hi, Step: step, Var: a.Var}
+}
+
+// Intersect returns the intersection of two sections over the same array,
+// or an empty section when they cannot overlap.
+func Intersect(a, b *Section) *Section {
+	if a.Array != b.Array || len(a.Dims) != len(b.Dims) {
+		return &Section{Array: a.Array, Dims: []Dim{{Lo: 1, Hi: 0, Step: 1}}}
+	}
+	out := &Section{Array: a.Array, Dims: make([]Dim, len(a.Dims))}
+	for i := range a.Dims {
+		out.Dims[i] = IntersectDim(a.Dims[i], b.Dims[i])
+	}
+	return out
+}
+
+// SubtractDim returns the parts of a not covered by b, as 0–2 ranges.
+// Only constant unit-stride dimensions subtract precisely; other cases
+// return a unchanged (a safe over-approximation for communication sets).
+func SubtractDim(a, b Dim) []Dim {
+	if a.Empty() {
+		return nil
+	}
+	if a.Var != b.Var || a.step() != 1 || b.step() != 1 {
+		return []Dim{a}
+	}
+	if b.Hi < a.Lo || b.Lo > a.Hi {
+		return []Dim{a}
+	}
+	var out []Dim
+	if a.Lo < b.Lo {
+		out = append(out, Dim{Lo: a.Lo, Hi: b.Lo - 1, Step: 1, Var: a.Var})
+	}
+	if a.Hi > b.Hi {
+		out = append(out, Dim{Lo: b.Hi + 1, Hi: a.Hi, Step: 1, Var: a.Var})
+	}
+	return out
+}
+
+// Subtract returns the portions of section a outside section b, as a list
+// of disjoint sections. It subtracts dimension-by-dimension in the usual
+// rectangular decomposition: for each dimension d, the slab whose d-th
+// dimension is outside b (and whose earlier dimensions are restricted to
+// the overlap) is emitted.
+func Subtract(a, b *Section) []*Section {
+	if a.Array != b.Array || len(a.Dims) != len(b.Dims) {
+		return []*Section{a.Clone()}
+	}
+	if a.Empty() {
+		return nil
+	}
+	var out []*Section
+	prefix := make([]Dim, 0, len(a.Dims))
+	for i := range a.Dims {
+		outside := SubtractDim(a.Dims[i], b.Dims[i])
+		for _, od := range outside {
+			dims := make([]Dim, 0, len(a.Dims))
+			dims = append(dims, prefix...)
+			dims = append(dims, od)
+			dims = append(dims, a.Dims[i+1:]...)
+			sec := &Section{Array: a.Array, Dims: dims}
+			if !sec.Empty() {
+				out = append(out, sec)
+			}
+		}
+		overlap := IntersectDim(a.Dims[i], b.Dims[i])
+		if overlap.Empty() {
+			return out
+		}
+		prefix = append(prefix, overlap)
+	}
+	return out
+}
+
+// mergeableDim reports whether two dimensions can be unioned into a
+// single triplet without loss of precision, and returns the union.
+func mergeableDim(a, b Dim) (Dim, bool) {
+	if a.Var != b.Var || a.step() != b.step() {
+		return Dim{}, false
+	}
+	st := a.step()
+	if st == 1 {
+		// adjacent or overlapping unit ranges merge
+		if a.Lo > b.Lo {
+			a, b = b, a
+		}
+		if b.Lo <= a.Hi+1 {
+			return Dim{Lo: a.Lo, Hi: max(a.Hi, b.Hi), Step: 1, Var: a.Var}, true
+		}
+		return Dim{}, false
+	}
+	// equal strided ranges only
+	if a.Lo == b.Lo && a.Hi == b.Hi {
+		return a, true
+	}
+	return Dim{}, false
+}
+
+// Union merges two sections into one if no precision is lost (the merge
+// condition the paper applies when propagating RSDs). ok is false when a
+// precise single-section union does not exist.
+func Union(a, b *Section) (*Section, bool) {
+	if a.Array != b.Array || len(a.Dims) != len(b.Dims) {
+		return nil, false
+	}
+	// identical in all but at most one dimension, which must merge
+	diff := -1
+	for i := range a.Dims {
+		if a.Dims[i] != b.Dims[i] {
+			if diff >= 0 {
+				return nil, false
+			}
+			diff = i
+		}
+	}
+	if diff < 0 {
+		return a.Clone(), true
+	}
+	m, ok := mergeableDim(a.Dims[diff], b.Dims[diff])
+	if !ok {
+		return nil, false
+	}
+	out := a.Clone()
+	out.Dims[diff] = m
+	return out, true
+}
+
+// MergeList folds the sections into a minimal list, merging pairs
+// whenever Union succeeds without precision loss.
+func MergeList(secs []*Section) []*Section {
+	out := append([]*Section(nil), secs...)
+	for changed := true; changed; {
+		changed = false
+	outer:
+		for i := 0; i < len(out); i++ {
+			for j := i + 1; j < len(out); j++ {
+				if m, ok := Union(out[i], out[j]); ok {
+					out[i] = m
+					out = append(out[:j], out[j+1:]...)
+					changed = true
+					break outer
+				}
+			}
+		}
+	}
+	return out
+}
+
+// Contains reports whether section a covers all of section b (both
+// constant unit-stride).
+func Contains(a, b *Section) bool {
+	if a.Array != b.Array || len(a.Dims) != len(b.Dims) {
+		return false
+	}
+	for i := range a.Dims {
+		da, db := a.Dims[i], b.Dims[i]
+		if da.Var != db.Var || da.step() != 1 || db.step() != 1 {
+			return false
+		}
+		if db.Lo < da.Lo || db.Hi > da.Hi {
+			return false
+		}
+	}
+	return true
+}
+
+// ---------------------------------------------------------------------------
+// Symbolic expansion and call-site translation
+
+// Bind replaces a symbolic anchor with a concrete range: every dimension
+// anchored at v becomes the constant range [lo+Lo : hi+Hi]. This is the
+// expansion the compiler performs when a delayed RSD reaches the
+// procedure that owns the anchoring loop.
+func (s *Section) Bind(v string, lo, hi int) *Section {
+	out := s.Clone()
+	for i, d := range out.Dims {
+		if d.Var == v {
+			out.Dims[i] = Dim{Lo: lo + d.Lo, Hi: hi + d.Hi, Step: d.step()}
+		}
+	}
+	return out
+}
+
+// BindPoint replaces a symbolic anchor with a single value.
+func (s *Section) BindPoint(v string, val int) *Section { return s.Bind(v, val, val) }
+
+// Rename rewrites the array name (formal→actual translation across a
+// call site for identically-shaped parameters) and renames symbolic
+// anchors per the vars map (formal scalar → actual scalar).
+func (s *Section) Rename(array string, vars map[string]string) *Section {
+	out := s.Clone()
+	out.Array = array
+	if vars != nil {
+		for i, d := range out.Dims {
+			if d.Var != "" {
+				if actual, ok := vars[d.Var]; ok {
+					out.Dims[i].Var = actual
+				}
+			}
+		}
+	}
+	return out
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

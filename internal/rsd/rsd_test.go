@@ -1,0 +1,262 @@
+package rsd
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestDimString(t *testing.T) {
+	cases := []struct {
+		d    Dim
+		want string
+	}{
+		{Range(1, 25), "1:25"},
+		{Point(7), "7"},
+		{Strided(2, 100, 4), "2:100:4"},
+		{SymPoint("i", 0), "i"},
+		{SymPoint("i", 5), "i+5"},
+		{SymPoint("i", -3), "i-3"},
+		{SymRange("i", 1, 5), "i+1:i+5"},
+		{Dim{Lo: 5, Hi: 2, Step: 1}, "∅"},
+	}
+	for _, c := range cases {
+		if got := c.d.String(); got != c.want {
+			t.Errorf("Dim%v.String() = %q, want %q", c.d, got, c.want)
+		}
+	}
+}
+
+func TestSectionStringAndVolume(t *testing.T) {
+	s := New("X", Range(26, 30), Range(1, 100))
+	if got := s.String(); got != "X[26:30,1:100]" {
+		t.Errorf("String() = %q", got)
+	}
+	if got := s.Volume(); got != 500 {
+		t.Errorf("Volume() = %d, want 500", got)
+	}
+	if s.Empty() {
+		t.Error("section should not be empty")
+	}
+}
+
+func TestIntersect(t *testing.T) {
+	a := New("X", Range(6, 30))
+	b := New("X", Range(1, 25))
+	got := Intersect(a, b)
+	if got.Dims[0] != Range(6, 25) {
+		t.Errorf("Intersect = %v, want [6:25]", got)
+	}
+}
+
+func TestIntersectDisjoint(t *testing.T) {
+	a := New("X", Range(1, 5))
+	b := New("X", Range(10, 20))
+	if got := Intersect(a, b); !got.Empty() {
+		t.Errorf("Intersect of disjoint = %v, want empty", got)
+	}
+}
+
+func TestIntersectStrided(t *testing.T) {
+	a := New("X", Strided(1, 100, 4))
+	b := New("X", Range(1, 100))
+	got := Intersect(a, b)
+	if got.Dims[0].Count() != 25 {
+		t.Errorf("strided ∩ full = %v (count %d), want 25 points", got, got.Dims[0].Count())
+	}
+}
+
+// TestSubtractPaperExample reproduces the §3.1 compilation example:
+// accesses [6:30] minus the local index set [1:25] leaves the nonlocal
+// index set [26:30].
+func TestSubtractPaperExample(t *testing.T) {
+	accessed := New("X", Range(6, 30))
+	local := New("X", Range(1, 25))
+	out := Subtract(accessed, local)
+	if len(out) != 1 {
+		t.Fatalf("Subtract returned %d sections, want 1: %v", len(out), out)
+	}
+	if out[0].Dims[0] != Range(26, 30) {
+		t.Errorf("nonlocal set = %v, want [26:30]", out[0])
+	}
+}
+
+func TestSubtract2D(t *testing.T) {
+	// Figure 10: accesses [6:30,1:100] minus local [1:25,1:100]
+	accessed := New("Z", Range(6, 30), Range(1, 100))
+	local := New("Z", Range(1, 25), Range(1, 100))
+	out := Subtract(accessed, local)
+	if len(out) != 1 {
+		t.Fatalf("Subtract returned %d sections: %v", len(out), out)
+	}
+	want := New("Z", Range(26, 30), Range(1, 100))
+	if !out[0].Equal(want) {
+		t.Errorf("nonlocal = %v, want %v", out[0], want)
+	}
+}
+
+func TestSubtractInterior(t *testing.T) {
+	a := New("X", Range(1, 100))
+	b := New("X", Range(40, 60))
+	out := Subtract(a, b)
+	if len(out) != 2 {
+		t.Fatalf("interior subtract: %v", out)
+	}
+	if out[0].Dims[0] != Range(1, 39) || out[1].Dims[0] != Range(61, 100) {
+		t.Errorf("interior subtract = %v", out)
+	}
+}
+
+func TestSubtractCovered(t *testing.T) {
+	a := New("X", Range(5, 10))
+	b := New("X", Range(1, 100))
+	if out := Subtract(a, b); len(out) != 0 {
+		t.Errorf("covered subtract should be empty, got %v", out)
+	}
+}
+
+func TestUnionMergeable(t *testing.T) {
+	a := New("X", Range(1, 5), Range(1, 100))
+	b := New("X", Range(6, 10), Range(1, 100))
+	m, ok := Union(a, b)
+	if !ok {
+		t.Fatal("adjacent sections should merge")
+	}
+	if !m.Equal(New("X", Range(1, 10), Range(1, 100))) {
+		t.Errorf("Union = %v", m)
+	}
+}
+
+func TestUnionPrecisionLoss(t *testing.T) {
+	a := New("X", Range(1, 5), Range(1, 50))
+	b := New("X", Range(6, 10), Range(51, 100))
+	if _, ok := Union(a, b); ok {
+		t.Error("diagonal union must be rejected (precision loss)")
+	}
+}
+
+func TestUnionDisjointGap(t *testing.T) {
+	a := New("X", Range(1, 5))
+	b := New("X", Range(8, 10))
+	if _, ok := Union(a, b); ok {
+		t.Error("gapped union must be rejected")
+	}
+}
+
+func TestMergeList(t *testing.T) {
+	secs := []*Section{
+		New("X", Range(1, 5)),
+		New("X", Range(11, 20)),
+		New("X", Range(6, 10)),
+	}
+	out := MergeList(secs)
+	if len(out) != 1 || !out[0].Equal(New("X", Range(1, 20))) {
+		t.Errorf("MergeList = %v", out)
+	}
+}
+
+func TestContains(t *testing.T) {
+	outer := New("X", Range(1, 30), Range(1, 100))
+	inner := New("X", Range(26, 30), Range(1, 100))
+	if !Contains(outer, inner) {
+		t.Error("outer should contain inner")
+	}
+	if Contains(inner, outer) {
+		t.Error("inner must not contain outer")
+	}
+}
+
+// TestBindCommExample reproduces the §5.4 communication optimization
+// example: the nonlocal index set [26:30, i] computed in F1$row is
+// translated into the caller where loop i spans [1:100], expanding to
+// [26:30, 1:100].
+func TestBindCommExample(t *testing.T) {
+	delayed := New("Z", Range(26, 30), SymPoint("i", 0))
+	expanded := delayed.Bind("i", 1, 100)
+	want := New("Z", Range(26, 30), Range(1, 100))
+	if !expanded.Equal(want) {
+		t.Errorf("Bind = %v, want %v", expanded, want)
+	}
+}
+
+func TestBindWithOffset(t *testing.T) {
+	// X(i+5) referenced under no local loop → [i+5:i+5]; caller's loop
+	// i = 1,95 expands it to [6:100].
+	d := New("X", SymPoint("i", 5))
+	got := d.Bind("i", 1, 95)
+	if !got.Equal(New("X", Range(6, 100))) {
+		t.Errorf("Bind = %v, want X[6:100]", got)
+	}
+}
+
+func TestRename(t *testing.T) {
+	s := New("Z", Range(26, 30), SymPoint("i", 0))
+	r := s.Rename("X", map[string]string{"i": "k"})
+	if r.Array != "X" || r.Dims[1].Var != "k" {
+		t.Errorf("Rename = %v", r)
+	}
+	// original untouched
+	if s.Array != "Z" || s.Dims[1].Var != "i" {
+		t.Errorf("Rename mutated receiver: %v", s)
+	}
+}
+
+// Property: for random ranges, Subtract(a,b) ∪ Intersect(a,b) has the
+// same element count as a, and the pieces are disjoint from b.
+func TestSubtractIntersectPartitionProperty(t *testing.T) {
+	f := func(alo, aw, blo, bw uint8) bool {
+		a := New("X", Range(int(alo), int(alo)+int(aw%50)))
+		b := New("X", Range(int(blo), int(blo)+int(bw%50)))
+		inter := Intersect(a, b)
+		parts := Subtract(a, b)
+		total := inter.Volume()
+		for _, p := range parts {
+			total += p.Volume()
+			if !Intersect(p, b).Empty() {
+				return false
+			}
+		}
+		return total == a.Volume()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: Union, when it succeeds, covers exactly the two inputs.
+func TestUnionExactProperty(t *testing.T) {
+	f := func(alo, aw, blo, bw uint8) bool {
+		a := New("X", Range(int(alo)+1, int(alo)+1+int(aw%20)))
+		b := New("X", Range(int(blo)+1, int(blo)+1+int(bw%20)))
+		m, ok := Union(a, b)
+		if !ok {
+			return true
+		}
+		// every element of m is in a or b: sampled check over the range
+		for i := m.Dims[0].Lo; i <= m.Dims[0].Hi; i++ {
+			inA := i >= a.Dims[0].Lo && i <= a.Dims[0].Hi
+			inB := i >= b.Dims[0].Lo && i <= b.Dims[0].Hi
+			if !inA && !inB {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestVolumeEmpty(t *testing.T) {
+	if v := New("X", Range(1, 0)).Volume(); v != 0 {
+		t.Errorf("empty volume = %d", v)
+	}
+}
+
+func TestSymbolicDetection(t *testing.T) {
+	if New("X", Range(1, 5)).Symbolic() {
+		t.Error("constant section reported symbolic")
+	}
+	if !New("X", Range(1, 5), SymPoint("i", 0)).Symbolic() {
+		t.Error("symbolic section not detected")
+	}
+}

@@ -1,0 +1,150 @@
+// Package sideeffect computes interprocedural scalar and array
+// side-effect summaries: GMOD(P) and GREF(P), the sets of formal
+// parameters, common-block variables and locally visible names that may
+// be modified or referenced by P or its descendants in the call graph,
+// and Appear(P) = GMOD(P) ∪ GREF(P), the set the procedure-cloning
+// algorithm of Figure 8 filters reaching decompositions against.
+package sideeffect
+
+import (
+	"fortd/internal/acg"
+	"fortd/internal/ast"
+	"fortd/internal/dataflow"
+)
+
+// Summary holds the side-effect sets for one procedure, expressed in
+// terms of that procedure's own name space (formals and globals).
+type Summary struct {
+	Mod dataflow.Set // GMOD: may be modified by P or descendants
+	Ref dataflow.Set // GREF: may be referenced by P or descendants
+}
+
+// Appear returns GMOD ∪ GREF.
+func (s *Summary) Appear() dataflow.Set {
+	out := s.Mod.Clone()
+	out.Union(s.Ref)
+	return out
+}
+
+// Analysis maps each procedure name to its summary.
+type Analysis struct {
+	Summaries map[string]*Summary
+}
+
+// Compute solves GMOD/GREF bottom-up over the acyclic call graph: local
+// effects first, then callee summaries translated through each call
+// site's formal→actual bindings.
+func Compute(g *acg.Graph) *Analysis {
+	a := &Analysis{Summaries: make(map[string]*Summary)}
+	for _, n := range g.ReverseTopoOrder() {
+		sum := &Summary{Mod: dataflow.NewSet(), Ref: dataflow.NewSet()}
+		collectLocal(n.Proc, sum)
+		for _, site := range n.Calls {
+			calleeSum := a.Summaries[site.Callee.Name()]
+			if calleeSum == nil {
+				continue
+			}
+			translate(site, calleeSum.Mod, sum.Mod)
+			translate(site, calleeSum.Ref, sum.Ref)
+		}
+		// restrict to names visible to callers: formals and commons;
+		// purely local effects do not escape, but keep them for the
+		// procedure's own use — callers translate through formals only.
+		a.Summaries[n.Name()] = sum
+	}
+	return a
+}
+
+// collectLocal records the directly-referenced and directly-modified
+// variables of proc.
+func collectLocal(proc *ast.Procedure, sum *Summary) {
+	var exprRefs func(e ast.Expr)
+	exprRefs = func(e ast.Expr) {
+		switch x := e.(type) {
+		case *ast.Ident:
+			sum.Ref[x.Name] = struct{}{}
+		case *ast.ArrayRef:
+			sum.Ref[x.Name] = struct{}{}
+			for _, s := range x.Subs {
+				exprRefs(s)
+			}
+		case *ast.FuncCall:
+			for _, a := range x.Args {
+				exprRefs(a)
+			}
+		case *ast.Binary:
+			exprRefs(x.X)
+			exprRefs(x.Y)
+		case *ast.Unary:
+			exprRefs(x.X)
+		}
+	}
+	ast.WalkStmts(proc.Body, func(s ast.Stmt) bool {
+		switch st := s.(type) {
+		case *ast.Assign:
+			switch lhs := st.Lhs.(type) {
+			case *ast.Ident:
+				sum.Mod[lhs.Name] = struct{}{}
+			case *ast.ArrayRef:
+				sum.Mod[lhs.Name] = struct{}{}
+				for _, sub := range lhs.Subs {
+					exprRefs(sub)
+				}
+			}
+			exprRefs(st.Rhs)
+		case *ast.Do:
+			sum.Mod[st.Var] = struct{}{}
+			exprRefs(st.Lo)
+			exprRefs(st.Hi)
+			if st.Step != nil {
+				exprRefs(st.Step)
+			}
+		case *ast.If:
+			exprRefs(st.Cond)
+		case *ast.Call:
+			// handled interprocedurally; subscripts of array-section
+			// actuals still count as local references
+			for _, a := range st.Args {
+				if ar, ok := a.(*ast.ArrayRef); ok {
+					for _, sub := range ar.Subs {
+						exprRefs(sub)
+					}
+				}
+			}
+		}
+		return true
+	})
+}
+
+// translate maps a callee-side effect set through a call site into the
+// caller's name space: formals become the corresponding actual names;
+// common variables keep their names; callee locals are dropped.
+func translate(site *acg.CallSite, calleeSet, out dataflow.Set) {
+	callee := site.Callee.Proc
+	for name := range calleeSet {
+		sym := callee.Symbols.Lookup(name)
+		if sym == nil {
+			continue
+		}
+		switch {
+		case sym.IsFormal:
+			if sym.FormalIndex < len(site.Bindings) {
+				b := site.Bindings[sym.FormalIndex]
+				if b.ActualName != "" {
+					out[b.ActualName] = struct{}{}
+				}
+			}
+		case sym.Common != "":
+			out[name] = struct{}{}
+		}
+	}
+}
+
+// AppearSet returns Appear(P) for the named procedure ("" sets for
+// unknown procedures, which arise only for external routines).
+func (a *Analysis) AppearSet(name string) dataflow.Set {
+	if s, ok := a.Summaries[name]; ok {
+		return s.Appear()
+	}
+	return dataflow.NewSet()
+}

@@ -1,0 +1,154 @@
+package sideeffect
+
+import (
+	"testing"
+
+	"fortd/internal/acg"
+	"fortd/internal/parser"
+)
+
+func analyze(t *testing.T, src string) *Analysis {
+	t.Helper()
+	prog, err := parser.Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := acg.Build(prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return Compute(g)
+}
+
+func TestLocalModRef(t *testing.T) {
+	a := analyze(t, `
+      PROGRAM P
+      REAL X(10), Y(10)
+      do i = 1,10
+        X(i) = Y(i)
+      enddo
+      END
+`)
+	s := a.Summaries["P"]
+	if !s.Mod.Has("X") {
+		t.Error("X not in GMOD")
+	}
+	if !s.Ref.Has("Y") {
+		t.Error("Y not in GREF")
+	}
+	if s.Mod.Has("Y") {
+		t.Error("Y wrongly in GMOD")
+	}
+}
+
+// TestInterproceduralTranslation: modifications through a formal are
+// visible to the caller under the actual's name.
+func TestInterproceduralTranslation(t *testing.T) {
+	a := analyze(t, `
+      PROGRAM P
+      REAL A(10), B(10)
+      call S(A,B)
+      END
+      SUBROUTINE S(X,Y)
+      REAL X(10), Y(10)
+      do i = 1,10
+        X(i) = Y(i)
+      enddo
+      END
+`)
+	p := a.Summaries["P"]
+	if !p.Mod.Has("A") {
+		t.Errorf("A not in GMOD(P): %v", p.Mod.Members())
+	}
+	if !p.Ref.Has("B") {
+		t.Errorf("B not in GREF(P): %v", p.Ref.Members())
+	}
+	if p.Mod.Has("B") {
+		t.Error("B wrongly in GMOD(P)")
+	}
+}
+
+func TestTransitiveThroughChain(t *testing.T) {
+	a := analyze(t, `
+      PROGRAM P
+      REAL A(10)
+      call S1(A)
+      END
+      SUBROUTINE S1(X)
+      REAL X(10)
+      call S2(X)
+      END
+      SUBROUTINE S2(Z)
+      REAL Z(10)
+      Z(1) = 1.0
+      END
+`)
+	if !a.Summaries["S1"].Mod.Has("X") {
+		t.Error("X not in GMOD(S1)")
+	}
+	if !a.Summaries["P"].Mod.Has("A") {
+		t.Error("A not in GMOD(P)")
+	}
+}
+
+func TestCommonBlockEffects(t *testing.T) {
+	a := analyze(t, `
+      PROGRAM P
+      COMMON /blk/ G(10)
+      call S
+      END
+      SUBROUTINE S
+      COMMON /blk/ G(10)
+      G(1) = 2.0
+      END
+`)
+	if !a.Summaries["P"].Mod.Has("G") {
+		t.Errorf("common G not in GMOD(P): %v", a.Summaries["P"].Mod.Members())
+	}
+}
+
+// TestAppearFigure4: Appear(F1) contains the formal Z, which is what the
+// cloning algorithm filters reaching decompositions against.
+func TestAppearFigure4(t *testing.T) {
+	a := analyze(t, `
+      PROGRAM P1
+      REAL X(100,100),Y(100,100)
+      do i = 1,100
+        call F1(X,i)
+        call F1(Y,i)
+      enddo
+      END
+      SUBROUTINE F1(Z,i)
+      REAL Z(100,100)
+      call F2(Z,i)
+      END
+      SUBROUTINE F2(Z,i)
+      REAL Z(100,100)
+      do k = 1,100
+        Z(k,i) = F(Z(k+5,i))
+      enddo
+      END
+`)
+	ap := a.AppearSet("F1")
+	if !ap.Has("Z") {
+		t.Errorf("Appear(F1) = %v, missing Z", ap.Members())
+	}
+	if !ap.Has("i") {
+		t.Errorf("Appear(F1) = %v, missing i (passed through to F2's loop body)", ap.Members())
+	}
+	// locals of F2 do not leak
+	if ap.Has("k") {
+		t.Errorf("Appear(F1) leaks F2-local k: %v", ap.Members())
+	}
+}
+
+func TestUnknownProcedureAppear(t *testing.T) {
+	a := analyze(t, `
+      PROGRAM P
+      x = 1
+      END
+`)
+	if got := a.AppearSet("nosuch"); len(got) != 0 {
+		t.Errorf("unknown proc Appear = %v", got.Members())
+	}
+}

@@ -1,0 +1,355 @@
+package spmd
+
+import (
+	"fmt"
+
+	"fortd/internal/ast"
+	"fortd/internal/decomp"
+)
+
+// secBounds evaluates a section's per-dimension bounds.
+func (it *interp) secBounds(f *frame, sec []ast.SecDim) ([][2]int, bool, error) {
+	out := make([][2]int, len(sec))
+	empty := false
+	for d, s := range sec {
+		lo, err := it.evalInt(f, s.Lo)
+		if err != nil {
+			return nil, false, err
+		}
+		hi, err := it.evalInt(f, s.Hi)
+		if err != nil {
+			return nil, false, err
+		}
+		out[d] = [2]int{lo, hi}
+		if hi < lo {
+			empty = true
+		}
+	}
+	return out, empty, nil
+}
+
+// enumerate lists the flat offsets of a section in deterministic
+// (row-major) order, clipped to the array's declared bounds.
+func enumerate(arr *Array, bounds [][2]int) []int {
+	// clip
+	cl := make([][2]int, len(bounds))
+	for d, b := range bounds {
+		lo, hi := b[0], b[1]
+		if lo < arr.Lo[d] {
+			lo = arr.Lo[d]
+		}
+		if hi > arr.Hi[d] {
+			hi = arr.Hi[d]
+		}
+		if hi < lo {
+			return nil
+		}
+		cl[d] = [2]int{lo, hi}
+	}
+	var out []int
+	idx := make([]int, len(cl))
+	for d := range cl {
+		idx[d] = cl[d][0]
+	}
+	for {
+		off, err := arr.index(idx)
+		if err == nil {
+			out = append(out, off)
+		}
+		d := len(cl) - 1
+		for d >= 0 {
+			idx[d]++
+			if idx[d] <= cl[d][1] {
+				break
+			}
+			idx[d] = cl[d][0]
+			d--
+		}
+		if d < 0 {
+			return out
+		}
+	}
+}
+
+func (it *interp) execSend(f *frame, st *ast.Send) error {
+	arr := f.arrays[st.Array]
+	if arr == nil {
+		return fmt.Errorf("send: unknown array %s", st.Array)
+	}
+	bounds, empty, err := it.secBounds(f, st.Sec)
+	if err != nil {
+		return err
+	}
+	if empty {
+		return nil
+	}
+	dest, err := it.evalInt(f, st.Dest)
+	if err != nil {
+		return err
+	}
+	if dest < 0 || dest >= it.nproc || dest == it.p {
+		return nil
+	}
+	offs := enumerate(arr, bounds)
+	if len(offs) == 0 {
+		return nil
+	}
+	data := make([]float64, len(offs))
+	for i, o := range offs {
+		data[i] = arr.Data[o]
+	}
+	it.proc.Send(dest, data)
+	return nil
+}
+
+func (it *interp) execRecv(f *frame, st *ast.Recv) error {
+	arr := f.arrays[st.Array]
+	if arr == nil {
+		return fmt.Errorf("recv: unknown array %s", st.Array)
+	}
+	bounds, empty, err := it.secBounds(f, st.Sec)
+	if err != nil {
+		return err
+	}
+	if empty {
+		return nil
+	}
+	src, err := it.evalInt(f, st.Src)
+	if err != nil {
+		return err
+	}
+	if src < 0 || src >= it.nproc || src == it.p {
+		return nil
+	}
+	offs := enumerate(arr, bounds)
+	if len(offs) == 0 {
+		return nil
+	}
+	data := it.proc.Recv(src)
+	if len(data) != len(offs) {
+		return fmt.Errorf("recv %s: message size %d != section size %d (proc %d from %d)",
+			st.Array, len(data), len(offs), it.p, src)
+	}
+	for i, o := range offs {
+		arr.Data[o] = data[i]
+	}
+	return nil
+}
+
+func (it *interp) execBroadcast(f *frame, st *ast.Broadcast) error {
+	arr := f.arrays[st.Array]
+	if arr == nil {
+		return fmt.Errorf("broadcast: unknown array %s", st.Array)
+	}
+	bounds, empty, err := it.secBounds(f, st.Sec)
+	if err != nil {
+		return err
+	}
+	if empty {
+		return nil
+	}
+	root, err := it.evalInt(f, st.Root)
+	if err != nil {
+		return err
+	}
+	if root < 0 || root >= it.nproc {
+		return fmt.Errorf("broadcast %s: bad root %d", st.Array, root)
+	}
+	offs := enumerate(arr, bounds)
+	var data []float64
+	if it.p == root {
+		data = make([]float64, len(offs))
+		for i, o := range offs {
+			data[i] = arr.Data[o]
+		}
+	}
+	data = it.proc.Broadcast(root, data)
+	if it.p != root {
+		if len(data) != len(offs) {
+			return fmt.Errorf("broadcast %s: size mismatch %d != %d", st.Array, len(data), len(offs))
+		}
+		for i, o := range offs {
+			arr.Data[o] = data[i]
+		}
+	}
+	return nil
+}
+
+func (it *interp) execAllGather(f *frame, st *ast.AllGather) error {
+	arr := f.arrays[st.Array]
+	if arr == nil {
+		return fmt.Errorf("allgather: unknown array %s", st.Array)
+	}
+	if arr.Dist == nil || arr.Dist.IsReplicated() {
+		return nil // data already everywhere
+	}
+	bounds, empty, err := it.secBounds(f, st.Sec)
+	if err != nil {
+		return err
+	}
+	if empty {
+		return nil
+	}
+	parts := it.ownerParts(arr, bounds)
+	// non-blocking sends first, then receives, in processor order
+	for q := 0; q < it.nproc; q++ {
+		if q == it.p || len(parts[it.p]) == 0 {
+			continue
+		}
+		data := make([]float64, len(parts[it.p]))
+		for i, o := range parts[it.p] {
+			data[i] = arr.Data[o]
+		}
+		it.proc.Send(q, data)
+	}
+	for q := 0; q < it.nproc; q++ {
+		if q == it.p || len(parts[q]) == 0 {
+			continue
+		}
+		data := it.proc.Recv(q)
+		if len(data) != len(parts[q]) {
+			return fmt.Errorf("allgather %s: size mismatch from %d", st.Array, q)
+		}
+		for i, o := range parts[q] {
+			arr.Data[o] = data[i]
+		}
+	}
+	return nil
+}
+
+// ownerParts splits a section's offsets by owning processor.
+func (it *interp) ownerParts(arr *Array, bounds [][2]int) [][]int {
+	parts := make([][]int, it.nproc)
+	dim := arr.Dist.DistDim()
+	// clip and enumerate with ownership by the distributed coordinate
+	cl := make([][2]int, len(bounds))
+	for d, b := range bounds {
+		lo, hi := b[0], b[1]
+		if lo < arr.Lo[d] {
+			lo = arr.Lo[d]
+		}
+		if hi > arr.Hi[d] {
+			hi = arr.Hi[d]
+		}
+		if hi < lo {
+			return parts
+		}
+		cl[d] = [2]int{lo, hi}
+	}
+	idx := make([]int, len(cl))
+	for d := range cl {
+		idx[d] = cl[d][0]
+	}
+	for {
+		off, err := arr.index(idx)
+		if err == nil {
+			owner := arr.Dist.OwnerIndex(idx[dim])
+			if owner >= 0 && owner < it.nproc {
+				parts[owner] = append(parts[owner], off)
+			}
+		}
+		d := len(cl) - 1
+		for d >= 0 {
+			idx[d]++
+			if idx[d] <= cl[d][1] {
+				break
+			}
+			idx[d] = cl[d][0]
+			d--
+		}
+		if d < 0 {
+			return parts
+		}
+	}
+}
+
+// execGlobalReduce combines every processor's private copy of a scalar
+// (gather to processor 0, combine, broadcast back).
+func (it *interp) execGlobalReduce(f *frame, st *ast.GlobalReduce) error {
+	sc := f.scalars[st.Var]
+	if sc == nil {
+		v := 0.0
+		sc = &v
+		f.scalars[st.Var] = sc
+	}
+	if it.nproc == 1 {
+		return nil
+	}
+	if it.p == 0 {
+		acc := *sc
+		for q := 1; q < it.nproc; q++ {
+			v := it.proc.Recv(q)[0]
+			switch st.Op {
+			case "MAX":
+				if v > acc {
+					acc = v
+				}
+			case "MIN":
+				if v < acc {
+					acc = v
+				}
+			default:
+				acc += v
+			}
+		}
+		*sc = acc
+		*sc = it.proc.Broadcast(0, []float64{acc})[0]
+		return nil
+	}
+	it.proc.Send(0, []float64{*sc})
+	*sc = it.proc.Broadcast(0, nil)[0]
+	return nil
+}
+
+func (it *interp) execRemap(f *frame, st *ast.Remap) error {
+	arr := f.arrays[st.Array]
+	if arr == nil {
+		return fmt.Errorf("remap: unknown array %s", st.Array)
+	}
+	sizes := make([]int, len(arr.Lo))
+	for d := range sizes {
+		sizes[d] = arr.Hi[d] - arr.Lo[d] + 1
+	}
+	newDist, err := decomp.NewDist(decomp.NewDecomp(st.To...), sizes, it.nproc)
+	if err != nil {
+		return fmt.Errorf("remap %s: %v", st.Array, err)
+	}
+	old := arr.Dist
+	if st.InPlace || old == nil || old.IsReplicated() {
+		arr.Dist = newDist
+		return nil
+	}
+	words := old.RemapWords(newDist)
+	if words > 0 {
+		// physical remap: exchange so every processor's copy is fully
+		// valid (simulated as a full exchange of the owned regions,
+		// charged at the true remap volume)
+		fullSec := make([][2]int, len(arr.Lo))
+		for d := range fullSec {
+			fullSec[d] = [2]int{arr.Lo[d], arr.Hi[d]}
+		}
+		parts := it.ownerParts(arr, fullSec)
+		for q := 0; q < it.nproc; q++ {
+			if q == it.p || len(parts[it.p]) == 0 {
+				continue
+			}
+			data := make([]float64, len(parts[it.p]))
+			for i, o := range parts[it.p] {
+				data[i] = arr.Data[o]
+			}
+			it.proc.Send(q, data)
+		}
+		for q := 0; q < it.nproc; q++ {
+			if q == it.p || len(parts[q]) == 0 {
+				continue
+			}
+			data := it.proc.Recv(q)
+			for i, o := range parts[q] {
+				arr.Data[o] = data[i]
+			}
+		}
+		it.proc.CountRemap(words/it.nproc, it.nproc-1)
+	}
+	arr.Dist = newDist
+	return nil
+}

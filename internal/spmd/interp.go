@@ -1,0 +1,647 @@
+// Package spmd interprets generated SPMD node programs on the simulated
+// MIMD machine: every processor runs the same program text (a goroutine
+// each), with my$p = myproc() selecting its behavior, exactly as the
+// compiler's output would run on the nodes of a distributed-memory
+// machine. The interpreter also runs original (sequential) Fortran D
+// programs on one processor to produce reference results for
+// correctness checks.
+package spmd
+
+import (
+	"fmt"
+	"math"
+
+	"fortd/internal/ast"
+	"fortd/internal/decomp"
+	"fortd/internal/machine"
+)
+
+// Array is one array's simulated storage: a full-size copy per
+// processor (memory is not the simulated resource; messages and time
+// are), plus the distribution descriptor used by allgather and remap.
+type Array struct {
+	Data []float64
+	Lo   []int // per-dim declared lower bound
+	Hi   []int
+	Dist *decomp.Dist
+}
+
+// Size returns the total element count.
+func (a *Array) Size() int {
+	n := 1
+	for i := range a.Lo {
+		n *= a.Hi[i] - a.Lo[i] + 1
+	}
+	return n
+}
+
+func (a *Array) index(idx []int) (int, error) {
+	off := 0
+	for d := range idx {
+		if idx[d] < a.Lo[d] || idx[d] > a.Hi[d] {
+			return 0, fmt.Errorf("index %d out of bounds [%d:%d] in dim %d", idx[d], a.Lo[d], a.Hi[d], d)
+		}
+		off = off*(a.Hi[d]-a.Lo[d]+1) + (idx[d] - a.Lo[d])
+	}
+	return off, nil
+}
+
+// frame is one procedure activation.
+type frame struct {
+	unit    *ast.Procedure
+	scalars map[string]*float64
+	arrays  map[string]*Array
+	consts  map[string]int
+}
+
+// interp executes one processor's node program.
+type interp struct {
+	prog    *ast.Program
+	proc    *machine.Proc
+	p       int
+	nproc   int
+	frames  []*frame
+	verbose bool
+	// initial distributions for main-program arrays
+	dists map[string]*decomp.Dist
+	ops   int
+}
+
+// Options configures a run.
+type Options struct {
+	// Dists assigns initial distribution descriptors to the main
+	// program's arrays (array name → dist). Arrays not listed are
+	// replicated.
+	Dists map[string]*decomp.Dist
+	// Init seeds main-program arrays before execution (array → values
+	// in row-major global order); every processor gets a copy.
+	Init map[string][]float64
+	// InitScalars seeds main-program scalars.
+	InitScalars map[string]float64
+}
+
+// RunResult carries the outcome of a parallel run.
+type RunResult struct {
+	Stats machine.Stats
+	// Arrays holds the main program's arrays assembled from the owning
+	// processors (the logically-global result).
+	Arrays map[string][]float64
+}
+
+// Run executes the program on p processors under the given machine
+// configuration.
+func Run(prog *ast.Program, cfg machine.Config, opts Options) (*RunResult, error) {
+	m := machine.New(cfg)
+	mains := make([]*frame, cfg.P)
+	errs := make([]error, cfg.P)
+	for pid := 0; pid < cfg.P; pid++ {
+		pid := pid
+		m.Go(pid, func(proc *machine.Proc) {
+			it := &interp{prog: prog, proc: proc, p: pid, nproc: cfg.P, dists: opts.Dists}
+			f, err := it.newFrame(prog.Main(), nil, nil)
+			if err != nil {
+				errs[pid] = err
+				return
+			}
+			seed(f, opts)
+			mains[pid] = f
+			errs[pid] = it.execBody(f, prog.Main().Body)
+		})
+	}
+	m.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	res := &RunResult{Stats: m.Stats(), Arrays: map[string][]float64{}}
+	assemble(res, mains)
+	return res, nil
+}
+
+// RunSequential interprets the original program on one processor with
+// no distribution, returning the reference result.
+func RunSequential(prog *ast.Program, opts Options) (*RunResult, error) {
+	return Run(prog, machine.Config{P: 1, FlopCost: 1}, Options{Init: opts.Init, InitScalars: opts.InitScalars})
+}
+
+func seed(f *frame, opts Options) {
+	for name, vals := range opts.Init {
+		if arr, ok := f.arrays[name]; ok {
+			copy(arr.Data, vals)
+		}
+	}
+	for name, v := range opts.InitScalars {
+		if s, ok := f.scalars[name]; ok {
+			*s = v
+		}
+	}
+}
+
+// assemble merges per-processor copies: each element is taken from its
+// owner under the array's final distribution.
+func assemble(res *RunResult, mains []*frame) {
+	if mains[0] == nil {
+		return
+	}
+	for name, arr0 := range mains[0].arrays {
+		out := make([]float64, len(arr0.Data))
+		dist := arr0.Dist
+		if dist == nil || dist.IsReplicated() || len(mains) == 1 {
+			copy(out, arr0.Data)
+			res.Arrays[name] = out
+			continue
+		}
+		dim := dist.DistDim()
+		// iterate all elements; owner by the distributed coordinate
+		sizes := make([]int, len(arr0.Lo))
+		for d := range sizes {
+			sizes[d] = arr0.Hi[d] - arr0.Lo[d] + 1
+		}
+		idx := make([]int, len(sizes))
+		for flat := 0; flat < len(out); flat++ {
+			rem := flat
+			for d := len(sizes) - 1; d >= 0; d-- {
+				idx[d] = rem%sizes[d] + arr0.Lo[d]
+				rem /= sizes[d]
+			}
+			owner := dist.OwnerIndex(idx[dim])
+			if owner >= len(mains) || mains[owner] == nil {
+				owner = 0
+			}
+			out[flat] = mains[owner].arrays[name].Data[flat]
+		}
+		res.Arrays[name] = out
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Frames
+
+func (it *interp) newFrame(unit *ast.Procedure, args []ast.Expr, caller *frame) (*frame, error) {
+	f := &frame{
+		unit:    unit,
+		scalars: map[string]*float64{},
+		arrays:  map[string]*Array{},
+		consts:  map[string]int{},
+	}
+	// constants first (array bounds may use them)
+	for _, sym := range unit.Symbols.Symbols() {
+		if sym.Kind == ast.SymConstant {
+			f.consts[sym.Name] = sym.ConstValue
+		}
+	}
+	// bind formals
+	bound := map[string]bool{}
+	for i, name := range unit.Params {
+		if i >= len(args) {
+			break
+		}
+		bound[name] = true
+		switch a := args[i].(type) {
+		case *ast.Ident:
+			if arr, ok := caller.arrays[a.Name]; ok {
+				f.arrays[name] = arr
+				continue
+			}
+			if sc, ok := caller.scalars[a.Name]; ok {
+				f.scalars[name] = sc
+				continue
+			}
+			v := 0.0
+			f.scalars[name] = &v
+		default:
+			// expression argument: by value
+			val, err := itEval(it, caller, args[i])
+			if err != nil {
+				return nil, err
+			}
+			v := val
+			f.scalars[name] = &v
+		}
+	}
+	// declare locals
+	for _, sym := range unit.Symbols.Symbols() {
+		switch sym.Kind {
+		case ast.SymScalar:
+			if f.scalars[sym.Name] == nil && f.arrays[sym.Name] == nil {
+				v := 0.0
+				f.scalars[sym.Name] = &v
+			}
+		case ast.SymArray:
+			if f.arrays[sym.Name] != nil {
+				continue // bound formal
+			}
+			if sym.Common != "" && caller != nil {
+				// commons: share storage with the ancestor frame that
+				// declares the same common variable
+				if g := it.findCommon(caller, sym.Name); g != nil {
+					f.arrays[sym.Name] = g
+					continue
+				}
+			}
+			arr, err := it.allocArray(f, sym)
+			if err != nil {
+				return nil, err
+			}
+			f.arrays[sym.Name] = arr
+		}
+	}
+	return f, nil
+}
+
+func (it *interp) findCommon(caller *frame, name string) *Array {
+	isCommon := func(fr *frame) bool {
+		sym := fr.unit.Symbols.Lookup(name)
+		return sym != nil && sym.Common != ""
+	}
+	if caller != nil && isCommon(caller) {
+		if a, ok := caller.arrays[name]; ok {
+			return a
+		}
+	}
+	for i := len(it.frames) - 1; i >= 0; i-- {
+		fr := it.frames[i]
+		if !isCommon(fr) {
+			continue
+		}
+		if a, ok := fr.arrays[name]; ok {
+			return a
+		}
+	}
+	return nil
+}
+
+func (it *interp) allocArray(f *frame, sym *ast.Symbol) (*Array, error) {
+	arr := &Array{}
+	size := 1
+	for _, d := range sym.Dims {
+		lo, err := it.evalInt(f, d.Lo)
+		if err != nil {
+			return nil, fmt.Errorf("array %s: %v", sym.Name, err)
+		}
+		hi, err := it.evalInt(f, d.Hi)
+		if err != nil {
+			return nil, fmt.Errorf("array %s: %v", sym.Name, err)
+		}
+		arr.Lo = append(arr.Lo, lo)
+		arr.Hi = append(arr.Hi, hi)
+		size *= hi - lo + 1
+	}
+	arr.Data = make([]float64, size)
+	if it.dists != nil && len(it.frames) == 0 {
+		arr.Dist = it.dists[sym.Name]
+	}
+	return arr, nil
+}
+
+// ---------------------------------------------------------------------------
+// Execution
+
+func (it *interp) execBody(f *frame, body []ast.Stmt) error {
+	for _, s := range body {
+		if err := it.exec(f, s); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (it *interp) exec(f *frame, s ast.Stmt) error {
+	switch st := s.(type) {
+	case *ast.Assign:
+		it.ops = 0
+		val, err := it.eval(f, st.Rhs)
+		if err != nil {
+			return err
+		}
+		switch lhs := st.Lhs.(type) {
+		case *ast.Ident:
+			sc := f.scalars[lhs.Name]
+			if sc == nil {
+				v := 0.0
+				sc = &v
+				f.scalars[lhs.Name] = sc
+			}
+			*sc = val
+		case *ast.ArrayRef:
+			arr := f.arrays[lhs.Name]
+			if arr == nil {
+				return fmt.Errorf("%s: unknown array %s", f.unit.Name, lhs.Name)
+			}
+			idx, err := it.evalSubs(f, lhs.Subs)
+			if err != nil {
+				return err
+			}
+			off, err := arr.index(idx)
+			if err != nil {
+				return fmt.Errorf("%s: %s: %v", f.unit.Name, lhs.Name, err)
+			}
+			arr.Data[off] = val
+		}
+		it.proc.Compute(it.ops + 1)
+		return nil
+
+	case *ast.Do:
+		lo, err := it.evalInt(f, st.Lo)
+		if err != nil {
+			return err
+		}
+		hi, err := it.evalInt(f, st.Hi)
+		if err != nil {
+			return err
+		}
+		step := 1
+		if st.Step != nil {
+			if step, err = it.evalInt(f, st.Step); err != nil {
+				return err
+			}
+		}
+		if step == 0 {
+			return fmt.Errorf("%s: zero loop step", f.unit.Name)
+		}
+		v := f.scalars[st.Var]
+		if v == nil {
+			z := 0.0
+			v = &z
+			f.scalars[st.Var] = v
+		}
+		for i := lo; (step > 0 && i <= hi) || (step < 0 && i >= hi); i += step {
+			*v = float64(i)
+			if err := it.execBody(f, st.Body); err != nil {
+				return err
+			}
+		}
+		return nil
+
+	case *ast.If:
+		it.ops = 0
+		c, err := it.eval(f, st.Cond)
+		if err != nil {
+			return err
+		}
+		it.proc.Compute(it.ops)
+		if c != 0 {
+			return it.execBody(f, st.Then)
+		}
+		return it.execBody(f, st.Else)
+
+	case *ast.Call:
+		callee := it.prog.Proc(st.Name)
+		if callee == nil {
+			return fmt.Errorf("%s: call to unknown procedure %s", f.unit.Name, st.Name)
+		}
+		nf, err := it.newFrame(callee, st.Args, f)
+		if err != nil {
+			return err
+		}
+		it.frames = append(it.frames, f)
+		err = it.execBody(nf, callee.Body)
+		it.frames = it.frames[:len(it.frames)-1]
+		return err
+
+	case *ast.Return:
+		return nil // structured subset: RETURN only at tail positions
+
+	case *ast.Send:
+		return it.execSend(f, st)
+	case *ast.Recv:
+		return it.execRecv(f, st)
+	case *ast.Broadcast:
+		return it.execBroadcast(f, st)
+	case *ast.AllGather:
+		return it.execAllGather(f, st)
+	case *ast.Remap:
+		return it.execRemap(f, st)
+	case *ast.GlobalReduce:
+		return it.execGlobalReduce(f, st)
+
+	case *ast.Decomposition, *ast.Align, *ast.Distribute:
+		return nil // directives are no-ops at run time
+	}
+	return fmt.Errorf("%s: cannot execute %T", f.unit.Name, s)
+}
+
+// evalSubs evaluates subscripts to integers.
+func (it *interp) evalSubs(f *frame, subs []ast.Expr) ([]int, error) {
+	idx := make([]int, len(subs))
+	for i, s := range subs {
+		v, err := it.evalInt(f, s)
+		if err != nil {
+			return nil, err
+		}
+		idx[i] = v
+	}
+	return idx, nil
+}
+
+func (it *interp) evalInt(f *frame, e ast.Expr) (int, error) {
+	v, err := it.eval(f, e)
+	if err != nil {
+		return 0, err
+	}
+	return int(math.Round(v)), nil
+}
+
+func itEval(it *interp, f *frame, e ast.Expr) (float64, error) { return it.eval(f, e) }
+
+func (it *interp) eval(f *frame, e ast.Expr) (float64, error) {
+	switch x := e.(type) {
+	case *ast.IntLit:
+		return float64(x.Value), nil
+	case *ast.RealLit:
+		return x.Value, nil
+	case *ast.Ident:
+		if c, ok := f.consts[x.Name]; ok {
+			return float64(c), nil
+		}
+		if s, ok := f.scalars[x.Name]; ok {
+			return *s, nil
+		}
+		if x.Name == "n$proc" {
+			return float64(it.nproc), nil
+		}
+		return 0, fmt.Errorf("%s: unknown variable %s", f.unit.Name, x.Name)
+	case *ast.ArrayRef:
+		arr := f.arrays[x.Name]
+		if arr == nil {
+			return 0, fmt.Errorf("%s: unknown array %s", f.unit.Name, x.Name)
+		}
+		idx, err := it.evalSubs(f, x.Subs)
+		if err != nil {
+			return 0, err
+		}
+		off, err := arr.index(idx)
+		if err != nil {
+			return 0, fmt.Errorf("%s: %s: %v", f.unit.Name, x.Name, err)
+		}
+		return arr.Data[off], nil
+	case *ast.Unary:
+		v, err := it.eval(f, x.X)
+		if err != nil {
+			return 0, err
+		}
+		it.ops++
+		if x.Op == "-" {
+			return -v, nil
+		}
+		if v == 0 {
+			return 1, nil
+		}
+		return 0, nil
+	case *ast.Binary:
+		a, err := it.eval(f, x.X)
+		if err != nil {
+			return 0, err
+		}
+		b, err := it.eval(f, x.Y)
+		if err != nil {
+			return 0, err
+		}
+		it.ops++
+		switch x.Op {
+		case ast.OpAdd:
+			return a + b, nil
+		case ast.OpSub:
+			return a - b, nil
+		case ast.OpMul:
+			return a * b, nil
+		case ast.OpDiv:
+			if isIntExpr(x.X, f) && isIntExpr(x.Y, f) {
+				if int(b) == 0 {
+					return 0, fmt.Errorf("%s: integer division by zero", f.unit.Name)
+				}
+				return float64(int(a) / int(b)), nil
+			}
+			return a / b, nil
+		case ast.OpPow:
+			return math.Pow(a, b), nil
+		case ast.OpEQ:
+			return b2f(a == b), nil
+		case ast.OpNE:
+			return b2f(a != b), nil
+		case ast.OpLT:
+			return b2f(a < b), nil
+		case ast.OpLE:
+			return b2f(a <= b), nil
+		case ast.OpGT:
+			return b2f(a > b), nil
+		case ast.OpGE:
+			return b2f(a >= b), nil
+		case ast.OpAnd:
+			return b2f(a != 0 && b != 0), nil
+		case ast.OpOr:
+			return b2f(a != 0 || b != 0), nil
+		}
+		return 0, fmt.Errorf("bad operator %v", x.Op)
+	case *ast.FuncCall:
+		return it.evalIntrinsic(f, x)
+	}
+	return 0, fmt.Errorf("cannot evaluate %T", e)
+}
+
+func b2f(b bool) float64 {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+// isIntExpr decides whether an operand is integer-typed (Fortran
+// integer division truncates). Conservative: literals and variables of
+// integer implicit type.
+func isIntExpr(e ast.Expr, f *frame) bool {
+	switch x := e.(type) {
+	case *ast.IntLit:
+		return true
+	case *ast.RealLit:
+		return false
+	case *ast.Ident:
+		if _, ok := f.consts[x.Name]; ok {
+			return true
+		}
+		sym := f.unit.Symbols.Lookup(x.Name)
+		if sym != nil {
+			return sym.Type == ast.TypeInteger
+		}
+		c := x.Name[0]
+		return (c >= 'i' && c <= 'n') || x.Name == "my$p"
+	case *ast.Binary:
+		switch x.Op {
+		case ast.OpAdd, ast.OpSub, ast.OpMul, ast.OpDiv:
+			return isIntExpr(x.X, f) && isIntExpr(x.Y, f)
+		}
+		return false
+	case *ast.Unary:
+		return isIntExpr(x.X, f)
+	case *ast.FuncCall:
+		switch x.Name {
+		case "MOD", "first$", "myproc":
+			return true
+		case "MIN", "MAX":
+			for _, a := range x.Args {
+				if !isIntExpr(a, f) {
+					return false
+				}
+			}
+			return true
+		}
+		return false
+	}
+	return false
+}
+
+func (it *interp) evalIntrinsic(f *frame, x *ast.FuncCall) (float64, error) {
+	args := make([]float64, len(x.Args))
+	for i, a := range x.Args {
+		v, err := it.eval(f, a)
+		if err != nil {
+			return 0, err
+		}
+		args[i] = v
+	}
+	it.ops++
+	switch x.Name {
+	case "myproc":
+		return float64(it.p), nil
+	case "MOD", "mod":
+		if len(args) != 2 || args[1] == 0 {
+			return 0, fmt.Errorf("bad MOD")
+		}
+		return float64(int(args[0]) % int(args[1])), nil
+	case "MIN", "min":
+		m := args[0]
+		for _, v := range args[1:] {
+			if v < m {
+				m = v
+			}
+		}
+		return m, nil
+	case "MAX", "max":
+		m := args[0]
+		for _, v := range args[1:] {
+			if v > m {
+				m = v
+			}
+		}
+		return m, nil
+	case "ABS", "abs":
+		return math.Abs(args[0]), nil
+	case "SQRT", "sqrt":
+		return math.Sqrt(args[0]), nil
+	case "first$":
+		// smallest x >= min with x ≡ anchor (mod step)
+		anchor, min, step := int(args[0]), int(args[1]), int(args[2])
+		if step <= 0 {
+			return 0, fmt.Errorf("first$: bad step %d", step)
+		}
+		r := ((anchor-min)%step + step) % step
+		return float64(min + r), nil
+	case "F", "f":
+		// the paper's generic function F: an arbitrary arithmetic map
+		return 0.5*args[0] + 1.0, nil
+	case "G", "g":
+		return 0.25*args[0] + 2.0, nil
+	}
+	return 0, fmt.Errorf("%s: unknown function %s", f.unit.Name, x.Name)
+}

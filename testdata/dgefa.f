@@ -1,0 +1,34 @@
+      PROGRAM MAIN
+      PARAMETER (n$proc = 4)
+      REAL a(64,64)
+      DISTRIBUTE a(:,CYCLIC)
+      do i = 1, 64
+        do j = 1, 64
+          a(i,j) = 1.0 / (i + j)
+        enddo
+        a(i,i) = 65.0
+      enddo
+      call dgefa(a, 64)
+      END
+      SUBROUTINE dgefa(a, n)
+      REAL a(64,64)
+      do k = 1, n-1
+        t = 1.0 / a(k,k)
+        call dscal(a, n, k, t)
+        do j = k+1, n
+          call daxpy(a, n, k, j)
+        enddo
+      enddo
+      END
+      SUBROUTINE dscal(a, n, k, t)
+      REAL a(64,64)
+      do i = k+1, n
+        a(i,k) = a(i,k) * t
+      enddo
+      END
+      SUBROUTINE daxpy(a, n, k, j)
+      REAL a(64,64)
+      do i = k+1, n
+        a(i,j) = a(i,j) - a(i,k) * a(k,j)
+      enddo
+      END

@@ -1,0 +1,12 @@
+      PROGRAM P1
+      REAL X(100)
+      PARAMETER (n$proc = 4)
+      DISTRIBUTE X(BLOCK)
+      call F1(X)
+      END
+      SUBROUTINE F1(X)
+      REAL X(100)
+      do i = 1,95
+        X(i) = F(X(i+5))
+      enddo
+      END

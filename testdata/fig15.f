@@ -1,0 +1,23 @@
+      PROGRAM P1
+      REAL X(100)
+      PARAMETER (n$proc = 4)
+      DISTRIBUTE X(BLOCK)
+      do k = 1,10
+S1      call F1(X)
+S2      call F1(X)
+      enddo
+      call F2(X)
+      END
+      SUBROUTINE F1(X)
+      REAL X(100)
+      DISTRIBUTE X(CYCLIC)
+      do i = 1,100
+        y = y + X(i)
+      enddo
+      END
+      SUBROUTINE F2(X)
+      REAL X(100)
+      do i = 1,100
+        X(i) = 1.0
+      enddo
+      END

@@ -1,0 +1,22 @@
+      PROGRAM P1
+      REAL X(100,100),Y(100,100)
+      PARAMETER (n$proc = 4)
+      ALIGN Y(i,j) with X(j,i)
+      DISTRIBUTE X(BLOCK,:)
+      do i = 1,100
+S1      call F1(X,i)
+      enddo
+      do j = 1,100
+S2      call F1(Y,j)
+      enddo
+      END
+      SUBROUTINE F1(Z,i)
+      REAL Z(100,100)
+S3    call F2(Z,i)
+      END
+      SUBROUTINE F2(Z,i)
+      REAL Z(100,100)
+      do k = 1,95
+        Z(k,i) = F(Z(k+5,i))
+      enddo
+      END

@@ -1,0 +1,22 @@
+      PROGRAM JAC2
+      PARAMETER (n$proc = 4)
+      REAL a(32,32), b(32,32)
+      DISTRIBUTE a(BLOCK,:)
+      DISTRIBUTE b(BLOCK,:)
+      do j = 1, 32
+        a(1,j) = 100.0
+        a(32,j) = 100.0
+      enddo
+      do t = 1, 8
+        do i = 2, 31
+          do j = 2, 31
+            b(i,j) = 0.25 * (a(i-1,j) + a(i+1,j) + a(i,j-1) + a(i,j+1))
+          enddo
+        enddo
+        do i = 2, 31
+          do j = 2, 31
+            a(i,j) = b(i,j)
+          enddo
+        enddo
+      enddo
+      END

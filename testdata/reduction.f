@@ -1,0 +1,18 @@
+      PROGRAM RED
+      PARAMETER (n$proc = 4)
+      REAL X(128)
+      DISTRIBUTE X(CYCLIC)
+      do i = 1, 128
+        X(i) = MOD(i * 7, 13)
+      enddo
+      s = 0.0
+      do i = 1, 128
+        s = s + X(i)
+      enddo
+      emax = 0.0
+      do i = 1, 128
+        emax = MAX(emax, X(i))
+      enddo
+      X(1) = s
+      X(2) = emax
+      END
