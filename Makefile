@@ -1,0 +1,15 @@
+GO ?= go
+
+.PHONY: check test bench golden
+
+check: ## build + vet + race tests + trace-overhead guard
+	./ci.sh
+
+test:
+	$(GO) test ./...
+
+bench:
+	$(GO) test -run '^$$' -bench . -benchtime 10x .
+
+golden: ## regenerate the trace-summary golden files
+	$(GO) test -run TestGolden -update .

@@ -319,3 +319,36 @@ func BenchmarkReduction(b *testing.B) {
 		})
 	}
 }
+
+// --- Tracing -------------------------------------------------------------------
+
+// BenchmarkTraceOverhead measures the run-time cost of the tracing
+// subsystem: "disabled" is the nil-sink fast path every untraced run
+// takes (the acceptance bar is <5% regression against a build without
+// instrumentation), "enabled" collects and discards a full event
+// stream.
+func BenchmarkTraceOverhead(b *testing.B) {
+	src := Jacobi2DSrc(32, 5, 4)
+	init := map[string][]float64{"a": Ramp(32 * 32)}
+	p := mustCompile(b, src, DefaultOptions())
+
+	b.Run("disabled", func(b *testing.B) {
+		r := NewRunner(WithInit(init)) // no WithTrace: nil sink
+		for i := 0; i < b.N; i++ {
+			if _, err := r.Run(p); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("enabled", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			tr := NewTrace()
+			if _, err := NewRunner(WithInit(init), WithTrace(tr)).Run(p); err != nil {
+				b.Fatal(err)
+			}
+			if len(tr.Events()) == 0 {
+				b.Fatal("no events collected")
+			}
+		}
+	})
+}

@@ -1,0 +1,10 @@
+#!/bin/sh
+# CI gate: build, vet, race-enabled tests, and the trace-overhead guard
+# (the disabled-tracing fast path must stay cheap; compare the two
+# sub-benchmarks by hand when touching the instrumentation).
+set -eux
+
+go build ./...
+go vet ./...
+go test -race ./...
+go test -run '^$' -bench BenchmarkTraceOverhead -benchtime 20x .

@@ -11,6 +11,10 @@
 //	fdpaper -exp dgefa   # run one experiment:
 //	                     #   table1 fig2v3 fig10v12 fig16 overlap
 //	                     #   dgefa jacobi recompile
+//
+// -trace out.json collects every compile and run of the selected
+// experiments into one Chrome trace_event file; -trace-text prints the
+// human-readable summary to stderr instead (or in addition).
 package main
 
 import (
@@ -24,9 +28,19 @@ import (
 	"fortd/internal/recompile"
 )
 
+// tracer is shared by every compile and run of the selected
+// experiments; nil when tracing is off.
+var tracer *fortd.Trace
+
 func main() {
 	exp := flag.String("exp", "all", "experiment to run")
+	traceOut := flag.String("trace", "", "write Chrome trace_event JSON to this file")
+	traceText := flag.Bool("trace-text", false, "print a trace summary to stderr")
 	flag.Parse()
+	if *traceOut != "" || *traceText {
+		tracer = fortd.NewTrace()
+	}
+	defer flushTrace(*traceOut, *traceText)
 
 	all := map[string]func(){
 		"table1":    table1,
@@ -58,7 +72,32 @@ func header(title string) {
 	fmt.Printf("\n================ %s ================\n\n", title)
 }
 
+func flushTrace(out string, text bool) {
+	if tracer == nil {
+		return
+	}
+	if out != "" {
+		f, err := os.Create(out)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := tracer.WriteChrome(f); err == nil {
+			err = f.Close()
+		} else {
+			f.Close()
+		}
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("\ntrace: wrote %s\n", out)
+	}
+	if text {
+		tracer.WriteText(os.Stderr)
+	}
+}
+
 func compile(src string, opts fortd.Options) *fortd.Program {
+	opts.Trace = tracer
 	p, err := fortd.Compile(src, opts)
 	if err != nil {
 		log.Fatal(err)
@@ -67,7 +106,7 @@ func compile(src string, opts fortd.Options) *fortd.Program {
 }
 
 func run(p *fortd.Program, init map[string][]float64) *fortd.Result {
-	r, err := p.Run(fortd.RunOptions{Init: init})
+	r, err := fortd.NewRunner(fortd.WithInit(init), fortd.WithTrace(tracer)).Run(p)
 	if err != nil {
 		log.Fatal(err)
 	}

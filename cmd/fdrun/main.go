@@ -5,7 +5,12 @@
 //
 // Usage:
 //
-//	fdrun [-p N] [-strategy interproc|runtime|immediate] [-zero] [-print-arrays] file.f
+//	fdrun [-p N] [-strategy interproc|runtime|immediate] [-zero] [-print-arrays]
+//	      [-trace out.json] [-trace-text] file.f
+//
+// -trace writes Chrome trace_event JSON covering the compile phases and
+// every message of the run (load in chrome://tracing or Perfetto);
+// -trace-text prints the human-readable summary to stderr.
 package main
 
 import (
@@ -25,6 +30,8 @@ func main() {
 	zero := flag.Bool("zero", false, "zero-initialize arrays instead of a ramp")
 	printArrays := flag.Bool("print-arrays", false, "print final array contents")
 	check := flag.Bool("check", true, "compare against the sequential reference")
+	traceOut := flag.String("trace", "", "write Chrome trace_event JSON to this file")
+	traceText := flag.Bool("trace-text", false, "print a trace summary to stderr")
 	flag.Parse()
 
 	if flag.NArg() != 1 {
@@ -38,8 +45,14 @@ func main() {
 	}
 	src := string(srcBytes)
 
+	var tr *fortd.Trace
+	if *traceOut != "" || *traceText {
+		tr = fortd.NewTrace()
+	}
+
 	opts := fortd.DefaultOptions()
 	opts.P = *p
+	opts.Trace = tr
 	switch *strategy {
 	case "interproc":
 		opts.Strategy = fortd.Interprocedural
@@ -81,13 +94,34 @@ func main() {
 		}
 	}
 
-	res, err := prog.Run(fortd.RunOptions{Init: init})
+	res, err := fortd.NewRunner(fortd.WithInit(init), fortd.WithTrace(tr)).Run(prog)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "fdrun:", err)
 		os.Exit(1)
 	}
 	fmt.Printf("P=%d strategy=%s\n", prog.P(), *strategy)
 	fmt.Printf("stats: %s\n", res.Stats)
+
+	if *traceOut != "" {
+		f, err := os.Create(*traceOut)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "fdrun:", err)
+			os.Exit(1)
+		}
+		if err := tr.WriteChrome(f); err == nil {
+			err = f.Close()
+		} else {
+			f.Close()
+		}
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "fdrun: trace:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("trace: wrote %s\n", *traceOut)
+	}
+	if *traceText {
+		tr.WriteText(os.Stderr)
+	}
 
 	if *check {
 		ref, err := prog.RunReference(fortd.RunOptions{Init: init})

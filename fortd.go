@@ -20,10 +20,21 @@
 //	prog, err := fortd.Compile(src, fortd.DefaultOptions())
 //	res, err := prog.Run(fortd.RunOptions{Init: map[string][]float64{"X": x0}})
 //	fmt.Println(res.Stats)
+//
+// Runs are configured through a Runner built from functional options;
+// Program.Run, Program.RunReference and RunSPMD are thin wrappers over
+// it. To observe a run (or a compilation), attach a Trace:
+//
+//	tr := fortd.NewTrace()
+//	r := fortd.NewRunner(fortd.WithTrace(tr), fortd.WithInit(init))
+//	res, err := r.Run(prog)
+//	tr.WriteText(os.Stdout)         // human-readable summary
+//	tr.WriteChrome(f)               // chrome://tracing / Perfetto JSON
 package fortd
 
 import (
 	"fmt"
+	"strings"
 
 	"fortd/internal/ast"
 	"fortd/internal/codegen"
@@ -33,6 +44,7 @@ import (
 	"fortd/internal/machine"
 	"fortd/internal/parser"
 	"fortd/internal/spmd"
+	"fortd/internal/trace"
 )
 
 // Strategy selects the compilation strategy: the paper's
@@ -68,8 +80,25 @@ const (
 // MachineConfig is the simulated machine's size and cost model.
 type MachineConfig = machine.Config
 
+// Trace collects structured events from a compilation and/or a
+// simulated run: compiler phase spans and counters, one event per
+// message/broadcast-step/remap with source attribution, and
+// per-processor virtual-time totals. Create with NewTrace, attach via
+// Options.Trace or WithTrace, then export with WriteText (human
+// summary) or WriteChrome (trace_event JSON). A nil *Trace disables
+// tracing at near-zero cost.
+type Trace = trace.Tracer
+
+// NewTrace returns an enabled trace sink.
+func NewTrace() *Trace { return trace.New() }
+
 // Stats reports a simulated run's communication and time statistics.
-type Stats = machine.Stats
+// Time is the parallel execution time (the maximum processor clock) in
+// simulated microseconds.
+type Stats machine.Stats
+
+// String renders the headline numbers on one line.
+func (s Stats) String() string { return machine.Stats(s).String() }
 
 // DefaultMachine returns an iPSC/860-like cost model with p processors.
 func DefaultMachine(p int) MachineConfig { return machine.DefaultConfig(p) }
@@ -86,6 +115,9 @@ type Options struct {
 	// CloneLimit bounds procedure cloning; 0 disables cloning and
 	// forces run-time resolution on decomposition conflicts.
 	CloneLimit int
+	// Trace, when non-nil, collects per-phase compile spans and code
+	// generation counters.
+	Trace *Trace
 }
 
 // DefaultOptions enables the full interprocedural pipeline.
@@ -94,8 +126,43 @@ func DefaultOptions() Options {
 	return Options{Strategy: d.Strategy, RemapOpt: d.RemapOpt, CloneLimit: d.CloneLimit}
 }
 
-// Report summarizes what code generation did.
-type Report = core.Report
+// Validate reports the first invalid field. Compile calls it, so
+// malformed options fail loudly instead of being silently defaulted.
+func (o Options) Validate() error {
+	if o.P < 0 {
+		return fmt.Errorf("fortd: Options.P = %d, must be >= 0 (0 reads n$proc)", o.P)
+	}
+	switch o.Strategy {
+	case Interprocedural, RuntimeResolution, Immediate:
+	default:
+		return fmt.Errorf("fortd: unknown Options.Strategy %d", o.Strategy)
+	}
+	switch o.RemapOpt {
+	case RemapNone, RemapLive, RemapHoist, RemapKills:
+	default:
+		return fmt.Errorf("fortd: unknown Options.RemapOpt %d", o.RemapOpt)
+	}
+	if o.CloneLimit < 0 {
+		return fmt.Errorf("fortd: Options.CloneLimit = %d, must be >= 0 (0 disables cloning)", o.CloneLimit)
+	}
+	return nil
+}
+
+// Report summarizes what code generation did: messages and ownership
+// guards inserted, loop bounds reduced to local iterations, dynamic
+// remaps placed, and procedures cloned.
+type Report core.Report
+
+// String renders the counters on one line.
+func (r Report) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "messages=%d guards=%d loops-reduced=%d remaps=%d cloned=%d",
+		r.Messages, r.Guards, r.LoopsReduced, r.Remaps, r.Cloned)
+	if len(r.RuntimeProcs) > 0 {
+		fmt.Fprintf(&b, " runtime-resolution=%v", r.RuntimeProcs)
+	}
+	return b.String()
+}
 
 // Program is a compiled Fortran D program.
 type Program struct {
@@ -104,9 +171,13 @@ type Program struct {
 
 // Compile compiles Fortran D source text.
 func Compile(src string, opts Options) (*Program, error) {
+	if err := opts.Validate(); err != nil {
+		return nil, err
+	}
 	c, err := core.Compile(src, core.Options{
 		P: opts.P, Strategy: opts.Strategy,
 		RemapOpt: opts.RemapOpt, CloneLimit: opts.CloneLimit,
+		Trace: opts.Trace,
 	})
 	if err != nil {
 		return nil, err
@@ -124,7 +195,7 @@ func (p *Program) Listing() string { return ast.Print(p.c.Program) }
 func (p *Program) SourceListing() string { return ast.Print(p.c.Source) }
 
 // Report returns code generation statistics.
-func (p *Program) Report() Report { return p.c.Report }
+func (p *Program) Report() Report { return Report(p.c.Report) }
 
 // Clones maps generated procedure clones to their originals.
 func (p *Program) Clones() map[string]string { return p.c.Reach.ClonedFrom }
@@ -136,16 +207,6 @@ func (p *Program) OverlapExtent(proc, array string, dim, blockSize int) (lo, hi 
 	return p.c.Overlaps.Extents(proc, array, dim, blockSize)
 }
 
-// RunOptions configures a simulated execution.
-type RunOptions struct {
-	// Init seeds main-program arrays (row-major global order).
-	Init map[string][]float64
-	// InitScalars seeds main-program scalars.
-	InitScalars map[string]float64
-	// Machine overrides the cost model (zero value: DefaultMachine(P)).
-	Machine MachineConfig
-}
-
 // Result is the outcome of a simulated run.
 type Result struct {
 	// Stats holds simulated time, message and word counts.
@@ -155,36 +216,88 @@ type Result struct {
 	Arrays map[string][]float64
 }
 
+// Runner executes programs on the simulated machine. The zero value
+// (or NewRunner with no options) runs with the default machine, no
+// initial data, and tracing disabled; configure it with functional
+// options. A Runner is stateless across calls and may be reused.
+type Runner struct {
+	machine     MachineConfig
+	init        map[string][]float64
+	initScalars map[string]float64
+	trace       *Trace
+}
+
+// RunOption configures a Runner.
+type RunOption func(*Runner)
+
+// WithMachine overrides the simulated machine's size and cost model.
+// The zero Config means "DefaultMachine sized to the program".
+func WithMachine(cfg MachineConfig) RunOption {
+	return func(r *Runner) { r.machine = cfg }
+}
+
+// WithInit seeds main-program arrays (row-major global order).
+func WithInit(arrays map[string][]float64) RunOption {
+	return func(r *Runner) { r.init = arrays }
+}
+
+// WithInitScalars seeds main-program scalars.
+func WithInitScalars(scalars map[string]float64) RunOption {
+	return func(r *Runner) { r.initScalars = scalars }
+}
+
+// WithTrace attaches a trace sink: every send/recv/broadcast/remap of
+// the run is recorded with its virtual time and source attribution,
+// plus per-processor end-of-run totals. nil disables tracing.
+func WithTrace(t *Trace) RunOption {
+	return func(r *Runner) { r.trace = t }
+}
+
+// NewRunner builds a Runner from functional options.
+func NewRunner(opts ...RunOption) *Runner {
+	r := &Runner{}
+	for _, o := range opts {
+		o(r)
+	}
+	return r
+}
+
 // Run executes the compiled SPMD program on the simulated machine.
-func (p *Program) Run(opts RunOptions) (*Result, error) {
-	cfg := opts.Machine
+func (r *Runner) Run(p *Program) (*Result, error) {
+	cfg := r.machine
 	if cfg.P == 0 {
 		cfg = machine.DefaultConfig(p.c.P)
 	}
 	rr, err := spmd.Run(p.c.Program, cfg, spmd.Options{
-		Dists: p.c.MainDists, Init: opts.Init, InitScalars: opts.InitScalars,
+		Dists: p.c.MainDists, Init: r.init, InitScalars: r.initScalars,
+		Trace: r.trace,
 	})
 	if err != nil {
 		return nil, err
 	}
-	return &Result{Stats: rr.Stats, Arrays: rr.Arrays}, nil
+	return &Result{Stats: Stats(rr.Stats), Arrays: rr.Arrays}, nil
 }
 
-// DataflowProblem is one row of the paper's Table 1: an
-// interprocedural data-flow problem, its propagation direction over
-// the call graph, the compilation phase that solves it, and the
-// package implementing it here.
-type DataflowProblem = core.DataflowProblem
-
-// Table1 returns the paper's Table 1 as implemented by this compiler.
-func Table1() []DataflowProblem { return core.Table1() }
+// RunReference executes the original sequential program (one
+// processor, no communication) and returns the reference result.
+func (r *Runner) RunReference(p *Program) (*Result, error) {
+	rr, err := spmd.RunSequential(p.c.Source, spmd.Options{
+		Init: r.init, InitScalars: r.initScalars, Trace: r.trace,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &Result{Stats: Stats(rr.Stats), Arrays: rr.Arrays}, nil
+}
 
 // RunSPMD executes hand-written SPMD node-program text directly on the
 // simulated machine, without compiling it — the way the paper's
 // hand-coded comparison points run. DISTRIBUTE directives in the main
 // program supply the distribution descriptors used for allgather/remap
-// semantics and result assembly; they generate no code.
-func RunSPMD(src string, p int, opts RunOptions) (*Result, error) {
+// semantics and result assembly; they generate no code. A DISTRIBUTE
+// whose descriptor cannot be built (non-constant dimension bounds,
+// rank mismatch, bad machine size) is a compile-time error.
+func (r *Runner) RunSPMD(src string, nproc int) (*Result, error) {
 	prog, err := parser.Parse(src)
 	if err != nil {
 		return nil, err
@@ -200,50 +313,103 @@ func RunSPMD(src string, p int, opts RunOptions) (*Result, error) {
 			env[s.Name] = s.ConstValue
 		}
 	}
+	// WalkStmts keeps visiting siblings after a false return, so the
+	// first failure is latched in werr and checked on every visit.
+	var werr error
 	ast.WalkStmts(main.Body, func(s ast.Stmt) bool {
+		if werr != nil {
+			return false
+		}
 		d, ok := s.(*ast.Distribute)
 		if !ok {
 			return true
 		}
 		sym := main.Symbols.Lookup(d.Target)
 		if sym == nil || sym.Kind != ast.SymArray {
-			return true
+			werr = fmt.Errorf("fortd: DISTRIBUTE %s: not a declared array", d.Target)
+			return false
 		}
 		sizes := make([]int, len(sym.Dims))
 		for i, dim := range sym.Dims {
 			lo, okLo := ast.EvalInt(dim.Lo, env)
 			hi, okHi := ast.EvalInt(dim.Hi, env)
 			if !okLo || !okHi {
-				return true
+				werr = fmt.Errorf("fortd: DISTRIBUTE %s: dimension %d bounds are not compile-time constants", d.Target, i+1)
+				return false
 			}
 			sizes[i] = hi - lo + 1
 		}
-		if dist, err := decomp.NewDist(decomp.NewDecomp(d.Specs...), sizes, p); err == nil {
-			dists[d.Target] = dist
+		dist, err := decomp.NewDist(decomp.NewDecomp(d.Specs...), sizes, nproc)
+		if err != nil {
+			werr = fmt.Errorf("fortd: DISTRIBUTE %s: %v", d.Target, err)
+			return false
 		}
+		dists[d.Target] = dist
 		return true
 	})
-	cfg := opts.Machine
+	if werr != nil {
+		return nil, werr
+	}
+	cfg := r.machine
 	if cfg.P == 0 {
-		cfg = machine.DefaultConfig(p)
+		cfg = machine.DefaultConfig(nproc)
 	}
 	rr, err := spmd.Run(prog, cfg, spmd.Options{
-		Dists: dists, Init: opts.Init, InitScalars: opts.InitScalars,
+		Dists: dists, Init: r.init, InitScalars: r.initScalars,
+		Trace: r.trace,
 	})
 	if err != nil {
 		return nil, err
 	}
-	return &Result{Stats: rr.Stats, Arrays: rr.Arrays}, nil
+	return &Result{Stats: Stats(rr.Stats), Arrays: rr.Arrays}, nil
+}
+
+// RunOptions configures a simulated execution (legacy form; the
+// Runner's functional options are the primary API).
+type RunOptions struct {
+	// Init seeds main-program arrays (row-major global order).
+	Init map[string][]float64
+	// InitScalars seeds main-program scalars.
+	InitScalars map[string]float64
+	// Machine overrides the cost model (zero value: DefaultMachine(P)).
+	Machine MachineConfig
+	// Trace, when non-nil, records every message of the run.
+	Trace *Trace
+}
+
+func (o RunOptions) runner() *Runner {
+	return NewRunner(
+		WithMachine(o.Machine),
+		WithInit(o.Init),
+		WithInitScalars(o.InitScalars),
+		WithTrace(o.Trace),
+	)
+}
+
+// Run executes the compiled SPMD program on the simulated machine. It
+// is shorthand for NewRunner(...).Run(p).
+func (p *Program) Run(opts RunOptions) (*Result, error) {
+	return opts.runner().Run(p)
 }
 
 // RunReference executes the original sequential program (one
-// processor, no communication) and returns the reference result.
+// processor, no communication) and returns the reference result. It is
+// shorthand for NewRunner(...).RunReference(p).
 func (p *Program) RunReference(opts RunOptions) (*Result, error) {
-	rr, err := spmd.RunSequential(p.c.Source, spmd.Options{
-		Init: opts.Init, InitScalars: opts.InitScalars,
-	})
-	if err != nil {
-		return nil, err
-	}
-	return &Result{Stats: rr.Stats, Arrays: rr.Arrays}, nil
+	return opts.runner().RunReference(p)
 }
+
+// RunSPMD executes hand-written SPMD node-program text on a p-processor
+// simulated machine. It is shorthand for NewRunner(...).RunSPMD(src, p).
+func RunSPMD(src string, p int, opts RunOptions) (*Result, error) {
+	return opts.runner().RunSPMD(src, p)
+}
+
+// DataflowProblem is one row of the paper's Table 1: an
+// interprocedural data-flow problem, its propagation direction over
+// the call graph, the compilation phase that solves it, and the
+// package implementing it here.
+type DataflowProblem = core.DataflowProblem
+
+// Table1 returns the paper's Table 1 as implemented by this compiler.
+func Table1() []DataflowProblem { return core.Table1() }

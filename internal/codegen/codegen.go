@@ -119,6 +119,9 @@ func Generate(in *Input) (*Result, error) {
 			if err != nil {
 				return nil, err
 			}
+			if acc.Stmt != nil {
+				stampPos(stmts, acc.Stmt.Pos())
+			}
 			res.MessagesInserted += len(stmts)
 			anchorComm(a, stmts, acc.AtLoop, acc.Nest, acc.Stmt)
 		}
@@ -130,6 +133,7 @@ func Generate(in *Input) (*Result, error) {
 			if err != nil {
 				return nil, err
 			}
+			stampPos(stmts, cc.Site.Stmt.Pos())
 			res.MessagesInserted += len(stmts)
 			switch {
 			case cc.AtLoop != nil:
@@ -146,27 +150,29 @@ func Generate(in *Input) (*Result, error) {
 		}
 	}
 
-	// remapping calls
+	// remapping calls, attributed to their anchor's source line
 	if in.Remaps != nil {
-		emitRemaps := func(ops []*livedecomp.Op) []ast.Stmt {
+		emitRemaps := func(ops []*livedecomp.Op, pos ast.Position) []ast.Stmt {
 			out := make([]ast.Stmt, 0, len(ops))
 			for _, op := range ops {
-				out = append(out, remapStmt(in, op))
+				rs := remapStmt(in, op)
+				rs.(*ast.Remap).Position = pos
+				out = append(out, rs)
 				res.RemapsInserted++
 			}
 			return out
 		}
 		for s, ops := range in.Remaps.BeforeStmt {
-			a.beforeStmt[s] = append(a.beforeStmt[s], emitRemaps(ops)...)
+			a.beforeStmt[s] = append(a.beforeStmt[s], emitRemaps(ops, s.Pos())...)
 		}
 		for s, ops := range in.Remaps.AfterStmt {
-			a.afterStmt[s] = append(a.afterStmt[s], emitRemaps(ops)...)
+			a.afterStmt[s] = append(a.afterStmt[s], emitRemaps(ops, s.Pos())...)
 		}
 		for l, ops := range in.Remaps.BeforeLoop {
-			a.beforeLoop[l] = append(a.beforeLoop[l], emitRemaps(ops)...)
+			a.beforeLoop[l] = append(a.beforeLoop[l], emitRemaps(ops, l.Pos())...)
 		}
 		for l, ops := range in.Remaps.AfterLoop {
-			a.afterLoop[l] = append(a.afterLoop[l], emitRemaps(ops)...)
+			a.afterLoop[l] = append(a.afterLoop[l], emitRemaps(ops, l.Pos())...)
 		}
 	}
 
@@ -210,8 +216,9 @@ func Generate(in *Input) (*Result, error) {
 					Rhs: ast.Add(ast.Id(item.Red.Var), ast.Id(partial)),
 				}
 			}
-			a.afterLoop[item.Loop] = append(a.afterLoop[item.Loop],
-				&ast.GlobalReduce{Var: partial, Op: item.Red.Op}, combine)
+			gr := &ast.GlobalReduce{Var: partial, Op: item.Red.Op}
+			gr.Position = item.Loop.Pos()
+			a.afterLoop[item.Loop] = append(a.afterLoop[item.Loop], gr, combine)
 			res.Reductions++
 			res.MessagesInserted++
 		}
@@ -310,6 +317,32 @@ func stmtKey(s ast.Stmt) string {
 	p := &ast.Procedure{Name: "k", Symbols: ast.NewSymbolTable(), Body: []ast.Stmt{s}}
 	ast.PrintProcedure(&b, p)
 	return b.String()
+}
+
+// stampPos attributes generated communication statements (and the
+// guards wrapping them) to the source statement whose compilation
+// placed them, so trace events can name the originating line.
+func stampPos(stmts []ast.Stmt, pos ast.Position) {
+	for _, s := range stmts {
+		switch st := s.(type) {
+		case *ast.Send:
+			st.Position = pos
+		case *ast.Recv:
+			st.Position = pos
+		case *ast.Broadcast:
+			st.Position = pos
+		case *ast.AllGather:
+			st.Position = pos
+		case *ast.GlobalReduce:
+			st.Position = pos
+		case *ast.Remap:
+			st.Position = pos
+		case *ast.If:
+			st.Position = pos
+			stampPos(st.Then, pos)
+			stampPos(st.Else, pos)
+		}
+	}
 }
 
 // guardForCall builds the ownership guard wrapping a call whose delayed

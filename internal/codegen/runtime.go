@@ -58,7 +58,9 @@ func runtimeBody(proc *ast.Procedure, distOf partition.DistOf, p int, body []ast
 		case *ast.Distribute:
 			sym := proc.Symbols.Lookup(st.Target)
 			if sym != nil && sym.Kind == ast.SymArray {
-				out = append(out, &ast.Remap{Array: st.Target, To: append([]ast.DistSpec(nil), st.Specs...)})
+				rm := &ast.Remap{Array: st.Target, To: append([]ast.DistSpec(nil), st.Specs...)}
+				rm.Position = st.Pos()
+				out = append(out, rm)
 				res.RemapsInserted++
 			}
 		case *ast.Do:
@@ -143,7 +145,9 @@ func resolveReads(distOf partition.DistOf, at ast.Stmt, res *Result, exprs ...as
 			for d, sub := range x.Subs {
 				sec[d] = ast.SecDim{Lo: ast.CloneExpr(sub), Hi: ast.CloneExpr(sub)}
 			}
-			out = append(out, &ast.Broadcast{Array: x.Name, Sec: sec, Root: owner})
+			bc := &ast.Broadcast{Array: x.Name, Sec: sec, Root: owner}
+			bc.Position = at.Pos()
+			out = append(out, bc)
 			res.MessagesInserted++
 		case *ast.FuncCall:
 			for _, a := range x.Args {
@@ -217,7 +221,9 @@ func runtimeAssign(proc *ast.Procedure, distOf partition.DistOf, st *ast.Assign,
 		}
 		if replicated {
 			// every processor computes: the owner broadcasts the element
-			out = append(out, &ast.Broadcast{Array: ref.Name, Sec: sec, Root: ast.CloneExpr(srcOwner)})
+			bc := &ast.Broadcast{Array: ref.Name, Sec: sec, Root: ast.CloneExpr(srcOwner)}
+			bc.Position = st.Pos()
+			out = append(out, bc)
 			res.MessagesInserted++
 			continue
 		}
@@ -225,11 +231,13 @@ func runtimeAssign(proc *ast.Procedure, distOf partition.DistOf, st *ast.Assign,
 		differ := ast.Cmp(ast.OpNE, ast.CloneExpr(srcOwner), ast.CloneExpr(lhsOwner))
 		iOwnSrc := ast.Cmp(ast.OpEQ, myP(), ast.CloneExpr(srcOwner))
 		send := &ast.Send{Array: ref.Name, Sec: sec, Dest: ast.CloneExpr(lhsOwner)}
+		send.Position = st.Pos()
 		recvSec := make([]ast.SecDim, len(sec))
 		for i, d := range sec {
 			recvSec[i] = ast.SecDim{Lo: ast.CloneExpr(d.Lo), Hi: ast.CloneExpr(d.Hi)}
 		}
 		recv := &ast.Recv{Array: ref.Name, Sec: recvSec, Src: ast.CloneExpr(srcOwner)}
+		recv.Position = st.Pos()
 		out = append(out, &ast.If{
 			Cond: differ,
 			Then: []ast.Stmt{

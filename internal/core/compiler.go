@@ -21,6 +21,7 @@ import (
 	"fortd/internal/partition"
 	"fortd/internal/reach"
 	"fortd/internal/symconst"
+	"fortd/internal/trace"
 )
 
 // Options configures a compilation.
@@ -36,6 +37,9 @@ type Options struct {
 	RemapOpt livedecomp.Level
 	// CloneLimit bounds procedure cloning (Figure 8); 0 disables it.
 	CloneLimit int
+	// Trace, when non-nil, collects per-phase compile spans and
+	// code-generation counters.
+	Trace *trace.Tracer
 }
 
 // DefaultOptions enables everything the paper's compiler does.
@@ -88,7 +92,9 @@ type Compilation struct {
 
 // Compile parses and compiles Fortran D source text.
 func Compile(src string, opts Options) (*Compilation, error) {
+	endParse := opts.Trace.Phase("parse")
 	prog, err := parser.Parse(src)
+	endParse()
 	if err != nil {
 		return nil, err
 	}
@@ -98,14 +104,19 @@ func Compile(src string, opts Options) (*Compilation, error) {
 // CompileProgram compiles an already-parsed program. The program is
 // transformed in place; a deep copy is kept as Compilation.Source.
 func CompileProgram(prog *ast.Program, opts Options) (*Compilation, error) {
+	tr := opts.Trace
 	source := cloneProgram(prog)
+	endACG := tr.Phase("acg-build")
 	g, err := acg.Build(prog)
+	endACG()
 	if err != nil {
 		return nil, err
 	}
 
 	// Phase 1+2: reaching decompositions with cloning.
+	endReach := tr.Phase("reaching-decompositions")
 	reachRes, err := reach.Analyze(g, reach.Options{CloneLimit: opts.CloneLimit})
+	endReach()
 	if err != nil {
 		return nil, err
 	}
@@ -136,9 +147,15 @@ func CompileProgram(prog *ast.Program, opts Options) (*Compilation, error) {
 	}
 	sort.Strings(c.Report.RuntimeProcs)
 
+	endSections := tr.Phase("section-analysis")
 	sections := comm.ComputeSections(g)
+	endSections()
+	endOverlap := tr.Phase("overlap-estimates")
 	c.Overlaps = overlap.ComputeEstimates(g)
+	endOverlap()
+	endConsts := tr.Phase("symbolic-constants")
 	consts := symconst.Compute(g)
+	endConsts()
 	killTest := func(site *acg.CallSite, arr string) bool {
 		return livedecomp.KillsArray(site, arr, sections)
 	}
@@ -152,6 +169,7 @@ func CompileProgram(prog *ast.Program, opts Options) (*Compilation, error) {
 
 	for _, n := range g.ReverseTopoOrder() {
 		proc := n.Proc
+		endProc := tr.Phase("codegen " + proc.Name)
 		// the procedure's PARAMETER constants plus interprocedurally
 		// propagated constant formals
 		env := consts.Env(proc.Name)
@@ -201,6 +219,7 @@ func CompileProgram(prog *ast.Program, opts Options) (*Compilation, error) {
 				reachView[v] = set
 			}
 			c.InputsUsed[proc.Name] = inputsString(n, reachView, c.Interfaces)
+			endProc()
 			continue
 		}
 
@@ -287,6 +306,7 @@ func CompileProgram(prog *ast.Program, opts Options) (*Compilation, error) {
 			reachView[v] = set
 		}
 		c.InputsUsed[proc.Name] = inputsString(n, reachView, c.Interfaces)
+		endProc()
 	}
 
 	// swap in the generated bodies
@@ -295,6 +315,11 @@ func CompileProgram(prog *ast.Program, opts Options) (*Compilation, error) {
 			u.Body = body
 		}
 	}
+	tr.Counter("messages-inserted", int64(c.Report.Messages))
+	tr.Counter("guards-inserted", int64(c.Report.Guards))
+	tr.Counter("loops-reduced", int64(c.Report.LoopsReduced))
+	tr.Counter("remaps-inserted", int64(c.Report.Remaps))
+	tr.Counter("procedures-cloned", int64(c.Report.Cloned))
 	return c, nil
 }
 

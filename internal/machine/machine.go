@@ -11,6 +11,8 @@ package machine
 import (
 	"fmt"
 	"sync"
+
+	"fortd/internal/trace"
 )
 
 // Config sets the machine's size and cost model. Times are in
@@ -46,6 +48,9 @@ type ProcStats struct {
 	Received int64
 	Words    int64
 	Flops    int64
+	// Wait is the cumulative virtual time the processor spent blocked in
+	// Recv for messages that had not yet arrived (idle time).
+	Wait float64
 }
 
 func (s Stats) String() string {
@@ -57,6 +62,7 @@ func (s Stats) String() string {
 type message struct {
 	data     []float64
 	sendTime float64
+	seq      int64 // trace message id (0 when tracing is disabled)
 }
 
 // Machine is one simulated machine instance. Create with New, obtain
@@ -67,6 +73,7 @@ type Machine struct {
 	links [][]chan message // links[from][to]
 	procs []*Proc
 	wg    sync.WaitGroup
+	tr    *trace.Tracer // nil: tracing disabled
 }
 
 // New builds a machine.
@@ -97,6 +104,13 @@ func (m *Machine) P() int { return m.cfg.P }
 
 // Config returns the cost model.
 func (m *Machine) Config() Config { return m.cfg }
+
+// SetTracer attaches a tracer; every subsequent send, receive,
+// broadcast step and remap emits one event. Call before Go.
+func (m *Machine) SetTracer(t *trace.Tracer) { m.tr = t }
+
+// Tracer returns the attached tracer (nil when tracing is disabled).
+func (m *Machine) Tracer() *trace.Tracer { return m.tr }
 
 // Proc returns processor p's handle.
 func (m *Machine) Proc(p int) *Proc { return m.procs[p] }
@@ -142,6 +156,31 @@ type Proc struct {
 	stats  ProcStats
 	remaps int64
 	bcast  int64
+	// trace attribution context, set by the interpreter before each
+	// communication statement: the owning procedure, source line and
+	// operation kind. Read only by this processor's goroutine.
+	ctxProc string
+	ctxLine int
+	ctxOp   string
+}
+
+// SetContext records the source attribution (procedure, line,
+// operation) carried by every trace event this processor emits until
+// the next call. A no-op when tracing is disabled.
+func (p *Proc) SetContext(proc string, line int, op string) {
+	if p.m.tr == nil {
+		return
+	}
+	p.ctxProc, p.ctxLine, p.ctxOp = proc, line, op
+}
+
+// op returns the operation label for emitted events ("send" when the
+// interpreter never set a context, e.g. hand-driven machine tests).
+func (p *Proc) op() string {
+	if p.ctxOp == "" {
+		return "send"
+	}
+	return p.ctxOp
 }
 
 // ID returns the processor number in [0, P).
@@ -166,10 +205,21 @@ func (p *Proc) Send(to int, data []float64) {
 		// local move: no message
 		return
 	}
+	start := p.stats.Clock
 	p.stats.Clock += p.m.cfg.Latency
 	p.stats.Sent++
 	p.stats.Words += int64(len(data))
-	p.m.links[p.id][to] <- message{data: data, sendTime: p.stats.Clock}
+	var seq int64
+	if p.m.tr != nil {
+		seq = p.m.tr.NextSeq()
+		p.m.tr.Emit(trace.Event{
+			Kind: trace.KindSend, Name: p.op(),
+			Proc: p.ctxProc, Line: p.ctxLine,
+			PID: p.id, Src: p.id, Dst: to, Words: len(data),
+			Start: start, Dur: p.stats.Clock - start, Seq: seq,
+		})
+	}
+	p.m.links[p.id][to] <- message{data: data, sendTime: p.stats.Clock, seq: seq}
 }
 
 // Recv blocks until a message from processor from arrives, advancing
@@ -179,11 +229,21 @@ func (p *Proc) Recv(from int) []float64 {
 		return nil
 	}
 	msg := <-p.m.links[from][p.id]
+	start := p.stats.Clock
 	arrival := msg.sendTime + p.m.cfg.Latency + float64(len(msg.data))*p.m.cfg.PerWord
 	if arrival > p.stats.Clock {
+		p.stats.Wait += arrival - p.stats.Clock
 		p.stats.Clock = arrival
 	}
 	p.stats.Received++
+	if p.m.tr != nil {
+		p.m.tr.Emit(trace.Event{
+			Kind: trace.KindRecv, Name: p.op(),
+			Proc: p.ctxProc, Line: p.ctxLine,
+			PID: p.id, Src: from, Dst: p.id, Words: len(msg.data),
+			Start: start, Dur: p.stats.Clock - start, Seq: msg.seq,
+		})
+	}
 	return msg.data
 }
 
@@ -236,7 +296,17 @@ func (p *Proc) CountRemap(words, partners int) {
 	if partners < 1 {
 		partners = 1
 	}
+	start := p.stats.Clock
 	p.stats.Sent += int64(partners)
 	p.stats.Words += int64(words)
 	p.stats.Clock += float64(partners)*p.m.cfg.Latency + float64(words)*p.m.cfg.PerWord
+	if p.m.tr != nil {
+		p.m.tr.Emit(trace.Event{
+			Kind: trace.KindRemap, Name: "remap",
+			Proc: p.ctxProc, Line: p.ctxLine,
+			PID: p.id, Src: p.id, Dst: p.id, Words: words,
+			Start: start, Dur: p.stats.Clock - start,
+			Value: int64(partners),
+		})
+	}
 }

@@ -14,6 +14,7 @@ import (
 	"fortd/internal/ast"
 	"fortd/internal/decomp"
 	"fortd/internal/machine"
+	"fortd/internal/trace"
 )
 
 // Array is one array's simulated storage: a full-size copy per
@@ -65,6 +66,18 @@ type interp struct {
 	// initial distributions for main-program arrays
 	dists map[string]*decomp.Dist
 	ops   int
+	// tracing enabled flag, checked before touching the machine's
+	// attribution context so untraced runs skip it entirely
+	traced bool
+}
+
+// setTraceCtx attributes the communication the statement is about to
+// generate to its owning procedure and source line.
+func (it *interp) setTraceCtx(f *frame, s ast.Stmt, op string) {
+	if !it.traced {
+		return
+	}
+	it.proc.SetContext(f.unit.Name, s.Pos().Line, op)
 }
 
 // Options configures a run.
@@ -78,6 +91,9 @@ type Options struct {
 	Init map[string][]float64
 	// InitScalars seeds main-program scalars.
 	InitScalars map[string]float64
+	// Trace collects per-message events and per-processor timelines
+	// (nil: tracing disabled, the zero-cost default).
+	Trace *trace.Tracer
 }
 
 // RunResult carries the outcome of a parallel run.
@@ -92,12 +108,15 @@ type RunResult struct {
 // configuration.
 func Run(prog *ast.Program, cfg machine.Config, opts Options) (*RunResult, error) {
 	m := machine.New(cfg)
+	if opts.Trace != nil {
+		m.SetTracer(opts.Trace)
+	}
 	mains := make([]*frame, cfg.P)
 	errs := make([]error, cfg.P)
 	for pid := 0; pid < cfg.P; pid++ {
 		pid := pid
 		m.Go(pid, func(proc *machine.Proc) {
-			it := &interp{prog: prog, proc: proc, p: pid, nproc: cfg.P, dists: opts.Dists}
+			it := &interp{prog: prog, proc: proc, p: pid, nproc: cfg.P, dists: opts.Dists, traced: opts.Trace != nil}
 			f, err := it.newFrame(prog.Main(), nil, nil)
 			if err != nil {
 				errs[pid] = err
@@ -115,6 +134,15 @@ func Run(prog *ast.Program, cfg machine.Config, opts Options) (*RunResult, error
 		}
 	}
 	res := &RunResult{Stats: m.Stats(), Arrays: map[string][]float64{}}
+	if opts.Trace != nil {
+		for pid, ps := range res.Stats.PerProc {
+			opts.Trace.Emit(trace.Event{
+				Kind: trace.KindProcSummary, PID: pid,
+				Dur: ps.Clock, Wait: ps.Wait, Words: int(ps.Words),
+				Sent: ps.Sent, Recvd: ps.Received, Flops: ps.Flops,
+			})
+		}
+	}
 	assemble(res, mains)
 	return res, nil
 }
@@ -122,7 +150,8 @@ func Run(prog *ast.Program, cfg machine.Config, opts Options) (*RunResult, error
 // RunSequential interprets the original program on one processor with
 // no distribution, returning the reference result.
 func RunSequential(prog *ast.Program, opts Options) (*RunResult, error) {
-	return Run(prog, machine.Config{P: 1, FlopCost: 1}, Options{Init: opts.Init, InitScalars: opts.InitScalars})
+	return Run(prog, machine.Config{P: 1, FlopCost: 1},
+		Options{Init: opts.Init, InitScalars: opts.InitScalars, Trace: opts.Trace})
 }
 
 func seed(f *frame, opts Options) {
@@ -404,16 +433,22 @@ func (it *interp) exec(f *frame, s ast.Stmt) error {
 		return nil // structured subset: RETURN only at tail positions
 
 	case *ast.Send:
+		it.setTraceCtx(f, st, "send")
 		return it.execSend(f, st)
 	case *ast.Recv:
+		it.setTraceCtx(f, st, "send")
 		return it.execRecv(f, st)
 	case *ast.Broadcast:
+		it.setTraceCtx(f, st, "bcast")
 		return it.execBroadcast(f, st)
 	case *ast.AllGather:
+		it.setTraceCtx(f, st, "allgather")
 		return it.execAllGather(f, st)
 	case *ast.Remap:
+		it.setTraceCtx(f, st, "remap")
 		return it.execRemap(f, st)
 	case *ast.GlobalReduce:
+		it.setTraceCtx(f, st, "reduce")
 		return it.execGlobalReduce(f, st)
 
 	case *ast.Decomposition, *ast.Align, *ast.Distribute:

@@ -1,0 +1,149 @@
+package trace
+
+import (
+	"fmt"
+	"io"
+	"sort"
+)
+
+// site aggregates the messages generated at one source location by one
+// communication operation.
+type site struct {
+	proc  string
+	line  int
+	op    string
+	msgs  int64
+	words int64
+}
+
+func (s site) key() string {
+	if s.proc == "" {
+		return "(unattributed)"
+	}
+	if s.line == 0 {
+		return fmt.Sprintf("%s %s", s.proc, s.op)
+	}
+	return fmt.Sprintf("%s:%d %s", s.proc, s.line, s.op)
+}
+
+// WriteText renders the tracer's collected events with the package
+// function of the same name.
+func (t *Tracer) WriteText(w io.Writer) error { return WriteText(w, t.Events()) }
+
+// WriteText renders the human-readable trace summary: compile phase
+// timings and counters, the top communication sites by volume, the
+// attribution rate, and per-processor utilization. Sections with no
+// events are omitted, so a run-only trace contains no compiler lines
+// and its output is fully deterministic (virtual time only).
+func WriteText(w io.Writer, events []Event) error {
+	var phases, counters, sums []Event
+	sites := map[[3]interface{}]*site{}
+	var msgs, words, remaps, attributed int64
+	for _, ev := range events {
+		switch ev.Kind {
+		case KindPhase:
+			phases = append(phases, ev)
+		case KindCounter:
+			counters = append(counters, ev)
+		case KindProcSummary:
+			sums = append(sums, ev)
+		case KindSend, KindRemap:
+			// one remap event stands for Value partner messages, the way
+			// the cost model charges it
+			weight := int64(1)
+			if ev.Kind == KindRemap {
+				remaps++
+				weight = ev.Value
+			}
+			msgs += weight
+			words += int64(ev.Words)
+			if ev.Proc != "" {
+				attributed += weight
+			}
+			k := [3]interface{}{ev.Proc, ev.Line, ev.Name}
+			s := sites[k]
+			if s == nil {
+				s = &site{proc: ev.Proc, line: ev.Line, op: ev.Name}
+				sites[k] = s
+			}
+			s.msgs += weight
+			s.words += int64(ev.Words)
+		}
+	}
+
+	if _, err := fmt.Fprintf(w, "=== trace summary ===\n"); err != nil {
+		return err
+	}
+
+	if len(phases) > 0 {
+		// phases are reported in completion order, which New's
+		// single-pass pipeline makes the natural reading order
+		fmt.Fprintf(w, "\ncompile phases:\n")
+		for _, ev := range phases {
+			fmt.Fprintf(w, "  %-28s %10.1fµs\n", ev.Name, ev.Dur)
+		}
+	}
+	if len(counters) > 0 {
+		fmt.Fprintf(w, "\ncompile counters:\n")
+		for _, ev := range counters {
+			fmt.Fprintf(w, "  %-28s %10d\n", ev.Name, ev.Value)
+		}
+	}
+
+	fmt.Fprintf(w, "\nrun: %d messages, %d words", msgs, words)
+	if remaps > 0 {
+		fmt.Fprintf(w, " (%d remap events)", remaps)
+	}
+	fmt.Fprintf(w, "\n")
+
+	if len(sites) > 0 {
+		list := make([]*site, 0, len(sites))
+		for _, s := range sites {
+			list = append(list, s)
+		}
+		sort.Slice(list, func(i, j int) bool {
+			a, b := list[i], list[j]
+			if a.words != b.words {
+				return a.words > b.words
+			}
+			if a.msgs != b.msgs {
+				return a.msgs > b.msgs
+			}
+			return a.key() < b.key()
+		})
+		fmt.Fprintf(w, "communication sites (by words):\n")
+		const maxSites = 12
+		for i, s := range list {
+			if i >= maxSites {
+				fmt.Fprintf(w, "  ... %d more sites\n", len(list)-maxSites)
+				break
+			}
+			fmt.Fprintf(w, "  %-24s msgs=%-7d words=%d\n", s.key(), s.msgs, s.words)
+		}
+		pct := 100.0
+		if msgs > 0 {
+			pct = 100 * float64(attributed) / float64(msgs)
+		}
+		fmt.Fprintf(w, "attribution: %.1f%% of %d messages carry a source procedure\n", pct, msgs)
+	}
+
+	if len(sums) > 0 {
+		sort.Slice(sums, func(i, j int) bool { return sums[i].PID < sums[j].PID })
+		var maxClock float64
+		for _, ev := range sums {
+			if ev.Dur > maxClock {
+				maxClock = ev.Dur
+			}
+		}
+		fmt.Fprintf(w, "\nper-processor (parallel time %.1fµs):\n", maxClock)
+		for _, ev := range sums {
+			busy := 100.0
+			if ev.Dur > 0 {
+				busy = 100 * (ev.Dur - ev.Wait) / ev.Dur
+			}
+			fmt.Fprintf(w, "  p%-3d clock=%-11s busy=%5.1f%%  sent=%-6d recvd=%-6d words=%-8d flops=%-8d wait=%.1fµs\n",
+				ev.PID, fmt.Sprintf("%.1fµs", ev.Dur), busy, ev.Sent, ev.Recvd, int64(ev.Words), ev.Flops, ev.Wait)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,193 @@
+package trace
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+func TestNilTracerIsSafeAndAllocationFree(t *testing.T) {
+	var tr *Tracer
+	if tr.Enabled() {
+		t.Fatal("nil tracer reports enabled")
+	}
+	if got := tr.Events(); got != nil {
+		t.Fatalf("nil tracer events = %v", got)
+	}
+	if seq := tr.NextSeq(); seq != 0 {
+		t.Fatalf("nil tracer seq = %d", seq)
+	}
+	allocs := testing.AllocsPerRun(1000, func() {
+		tr.Emit(Event{Kind: KindSend, Words: 10})
+		tr.Phase("p")()
+		tr.Counter("c", 1)
+		tr.NextSeq()
+		tr.Reset()
+	})
+	if allocs != 0 {
+		t.Errorf("disabled tracing allocates %.1f per op, want 0", allocs)
+	}
+}
+
+func TestPhaseAndCounter(t *testing.T) {
+	tr := New()
+	end := tr.Phase("parse")
+	end()
+	tr.Counter("messages", 7)
+	evs := tr.Events()
+	if len(evs) != 2 {
+		t.Fatalf("got %d events", len(evs))
+	}
+	if evs[0].Kind != KindPhase || evs[0].Name != "parse" || evs[0].Dur < 0 {
+		t.Errorf("phase event = %+v", evs[0])
+	}
+	if evs[1].Kind != KindCounter || evs[1].Value != 7 {
+		t.Errorf("counter event = %+v", evs[1])
+	}
+	tr.Reset()
+	if len(tr.Events()) != 0 {
+		t.Error("reset did not clear events")
+	}
+}
+
+func TestMessageWords(t *testing.T) {
+	evs := []Event{
+		{Kind: KindSend, Words: 10},
+		{Kind: KindRecv, Words: 10}, // recv must not double-count
+		{Kind: KindSend, Words: 5},
+		{Kind: KindRemap, Words: 30},
+		{Kind: KindCounter, Value: 99},
+	}
+	if got := MessageWords(evs); got != 45 {
+		t.Errorf("MessageWords = %d, want 45", got)
+	}
+}
+
+// sample is a small synthetic trace exercising every event kind.
+func sample() []Event {
+	return []Event{
+		{Kind: KindPhase, Name: "parse", Start: 0, Dur: 12.5},
+		{Kind: KindCounter, Name: "messages-inserted", Value: 3},
+		{Kind: KindSend, Name: "send", Proc: "JAC", Line: 9, PID: 0, Src: 0, Dst: 1, Words: 16, Start: 10, Dur: 76.4, Seq: 1},
+		{Kind: KindRecv, Name: "send", Proc: "JAC", Line: 9, PID: 1, Src: 0, Dst: 1, Words: 16, Start: 40, Dur: 46.4, Seq: 1},
+		{Kind: KindSend, Name: "bcast", Proc: "MAIN", Line: 4, PID: 1, Src: 1, Dst: 0, Words: 1, Start: 90, Dur: 70.4, Seq: 2},
+		{Kind: KindRemap, Name: "remap", Proc: "ADI", Line: 12, PID: 2, Words: 64, Start: 100, Dur: 95.6, Value: 3},
+		{Kind: KindProcSummary, PID: 0, Dur: 500, Wait: 100, Sent: 2, Recvd: 1, Words: 17, Flops: 400},
+		{Kind: KindProcSummary, PID: 1, Dur: 480, Wait: 50, Sent: 1, Recvd: 2, Words: 16, Flops: 380},
+	}
+}
+
+func TestWriteChromeValidJSON(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteChrome(&buf, sample()); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []struct {
+			Name string                 `json:"name"`
+			Ph   string                 `json:"ph"`
+			TS   float64                `json:"ts"`
+			Dur  float64                `json:"dur"`
+			PID  int                    `json:"pid"`
+			TID  int                    `json:"tid"`
+			Args map[string]interface{} `json:"args"`
+		} `json:"traceEvents"`
+		DisplayTimeUnit string `json:"displayTimeUnit"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("invalid JSON: %v\n%s", err, buf.String())
+	}
+	if doc.DisplayTimeUnit == "" {
+		t.Error("missing displayTimeUnit")
+	}
+	if len(doc.TraceEvents) == 0 {
+		t.Fatal("no trace events")
+	}
+	var sends int
+	for _, ev := range doc.TraceEvents {
+		if ev.Ph == "X" && ev.PID == ChromePIDMachine && !strings.HasPrefix(ev.Name, "wait ") && ev.Args["words"] != nil {
+			sends++
+		}
+	}
+	if sends != 3 {
+		t.Errorf("message slices = %d, want 3 (2 sends + 1 remap)", sends)
+	}
+}
+
+func TestWriteChromeMonotoneTimestamps(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteChrome(&buf, sample()); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []struct {
+			Ph  string  `json:"ph"`
+			TS  float64 `json:"ts"`
+			PID int     `json:"pid"`
+			TID int     `json:"tid"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatal(err)
+	}
+	last := map[[2]int]float64{}
+	for _, ev := range doc.TraceEvents {
+		if ev.Ph == "M" {
+			continue
+		}
+		k := [2]int{ev.PID, ev.TID}
+		if prev, ok := last[k]; ok && ev.TS < prev {
+			t.Fatalf("timestamps not monotone on pid=%d tid=%d: %f after %f", ev.PID, ev.TID, ev.TS, prev)
+		}
+		last[k] = ev.TS
+	}
+}
+
+func TestWriteTextSummary(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteText(&buf, sample()); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"compile phases:",
+		"parse",
+		"messages-inserted",
+		// 2 sends + remap weighted by its 3 partners = 5 messages,
+		// 16+1+64 = 81 words
+		"run: 5 messages, 81 words (1 remap events)",
+		"JAC:9 send",
+		"ADI:12 remap",
+		"attribution: 100.0% of 5 messages",
+		"per-processor",
+		"p0",
+		"p1",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("summary missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestWriteTextEmpty(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteText(&buf, nil); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "run: 0 messages, 0 words") {
+		t.Errorf("empty summary = %q", buf.String())
+	}
+}
+
+func TestTracerSeqMonotone(t *testing.T) {
+	tr := New()
+	prev := int64(0)
+	for i := 0; i < 10; i++ {
+		s := tr.NextSeq()
+		if s <= prev {
+			t.Fatalf("seq %d after %d", s, prev)
+		}
+		prev = s
+	}
+}
