@@ -8,8 +8,9 @@ check: ## build + vet + race tests + trace-overhead guard
 test:
 	$(GO) test ./...
 
-bench:
+bench: ## go benchmarks + the BENCH_<yyyymmdd>.json snapshot
 	$(GO) test -run '^$$' -bench . -benchtime 10x .
+	$(GO) run ./cmd/fdbench
 
-golden: ## regenerate the trace-summary golden files
+golden: ## regenerate the trace-summary and optimization-report goldens
 	$(GO) test -run TestGolden -update .

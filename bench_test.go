@@ -352,3 +352,37 @@ func BenchmarkTraceOverhead(b *testing.B) {
 		}
 	})
 }
+
+// --- Optimization remarks -------------------------------------------------------
+
+// BenchmarkExplainOverhead measures the compile-time cost of the remark
+// engine: "disabled" is the nil-collector fast path every unexplained
+// compile takes (static Why strings are pointer stores, so the bar is
+// zero extra allocations — guarded by ReportAllocs against the enabled
+// variant), "enabled" collects and discards a full remark stream.
+func BenchmarkExplainOverhead(b *testing.B) {
+	src := DgefaSrc(64, 4)
+	opts := DefaultOptions()
+
+	b.Run("disabled", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := Compile(src, opts); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("enabled", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			o := opts
+			o.Explain = NewExplain()
+			if _, err := Compile(src, o); err != nil {
+				b.Fatal(err)
+			}
+			if len(o.Explain.Remarks()) == 0 {
+				b.Fatal("no remarks collected")
+			}
+		}
+	})
+}

@@ -4,6 +4,7 @@
 # sub-benchmarks by hand when touching the instrumentation).
 set -eux
 
+test -z "$(gofmt -l .)"
 go build ./...
 go vet ./...
 go test -race ./...

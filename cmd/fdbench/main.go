@@ -1,0 +1,123 @@
+// Command fdbench runs the repository's standard compile+simulate
+// benchmark workloads — the 2-D Jacobi stencil, the §9 dgefa case
+// study, and the Figure 15 dynamic-distribution program — and writes
+// one JSON snapshot per invocation, named BENCH_<yyyymmdd>.json, with
+// the wall-clock time and the simulated run's message and word counts
+// for each workload. Successive snapshots committed to the repository
+// give a coarse performance history of both the compiler and the
+// generated code.
+//
+// Usage:
+//
+//	fdbench [-o file.json] [-runs N]
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"time"
+
+	"fortd"
+)
+
+// result is one workload's snapshot entry.
+type result struct {
+	Name string `json:"name"`
+	// WallNs is the best-of-N wall-clock time for one compile plus one
+	// simulated run, in nanoseconds.
+	WallNs int64 `json:"wall_ns"`
+	// Words and Msgs are the simulated run's communication totals —
+	// the figures of merit the paper compares.
+	Words int64 `json:"words"`
+	Msgs  int64 `json:"msgs"`
+}
+
+type workload struct {
+	name string
+	src  string
+	init func() map[string][]float64
+}
+
+func workloads() []workload {
+	return []workload{
+		{
+			name: "jacobi",
+			src:  fortd.Jacobi2DSrc(64, 10, 4),
+			init: func() map[string][]float64 {
+				const n = 64
+				grid := make([]float64, n*n)
+				for j := 0; j < n; j++ {
+					grid[j] = 100
+					grid[(n-1)*n+j] = 100
+				}
+				return map[string][]float64{"a": grid}
+			},
+		},
+		{
+			name: "dgefa",
+			src:  fortd.DgefaSrc(64, 4),
+			init: func() map[string][]float64 {
+				return map[string][]float64{"a": fortd.DgefaMatrix(64)}
+			},
+		},
+		{
+			name: "dyndist",
+			src:  fortd.Fig15Src(25, 4),
+			init: func() map[string][]float64 {
+				return map[string][]float64{"X": fortd.Ramp(100)}
+			},
+		},
+	}
+}
+
+func measure(w workload, runs int) result {
+	best := result{Name: w.name}
+	for i := 0; i < runs; i++ {
+		init := w.init()
+		start := time.Now()
+		prog, err := fortd.Compile(w.src, fortd.DefaultOptions())
+		if err != nil {
+			log.Fatalf("%s: %v", w.name, err)
+		}
+		res, err := fortd.NewRunner(fortd.WithInit(init)).Run(prog)
+		if err != nil {
+			log.Fatalf("%s: %v", w.name, err)
+		}
+		wall := time.Since(start).Nanoseconds()
+		if best.WallNs == 0 || wall < best.WallNs {
+			best.WallNs = wall
+		}
+		best.Words = res.Stats.Words
+		best.Msgs = res.Stats.Messages
+	}
+	return best
+}
+
+func main() {
+	out := flag.String("o", "", "output file (default BENCH_<yyyymmdd>.json)")
+	runs := flag.Int("runs", 3, "measurement repetitions per workload (best is kept)")
+	flag.Parse()
+
+	path := *out
+	if path == "" {
+		path = fmt.Sprintf("BENCH_%s.json", time.Now().Format("20060102"))
+	}
+	var results []result
+	for _, w := range workloads() {
+		r := measure(w, *runs)
+		fmt.Printf("%-10s wall=%-12s words=%-8d msgs=%d\n",
+			r.Name, time.Duration(r.WallNs), r.Words, r.Msgs)
+		results = append(results, r)
+	}
+	data, err := json.MarshalIndent(results, "", "  ")
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := os.WriteFile(path, append(data, '\n'), 0644); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("wrote %s\n", path)
+}

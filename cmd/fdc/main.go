@@ -4,7 +4,12 @@
 //
 // Usage:
 //
-//	fdc [-p N] [-strategy interproc|runtime|immediate] [-remap none|live|hoist|kills] file.f
+//	fdc [-p N] [-strategy interproc|runtime|immediate] [-remap none|live|hoist|kills]
+//	    [-explain] [-explain-json out.jsonl] file.f
+//
+// -explain prints the optimization report (every pass's applied/missed
+// decisions with their reasons) to stderr; -explain-json writes the
+// same remarks as JSON lines to a file.
 package main
 
 import (
@@ -20,6 +25,8 @@ func main() {
 	strategy := flag.String("strategy", "interproc", "interproc | runtime | immediate")
 	remap := flag.String("remap", "kills", "none | live | hoist | kills")
 	report := flag.Bool("report", true, "print the compilation report")
+	explainText := flag.Bool("explain", false, "print the optimization report to stderr")
+	explainJSON := flag.String("explain-json", "", "write optimization remarks as JSON lines to this file")
 	flag.Parse()
 
 	if flag.NArg() != 1 {
@@ -33,8 +40,14 @@ func main() {
 		os.Exit(1)
 	}
 
+	var ex *fortd.Explain
+	if *explainText || *explainJSON != "" {
+		ex = fortd.NewExplain()
+	}
+
 	opts := fortd.DefaultOptions()
 	opts.P = *p
+	opts.Explain = ex
 	switch *strategy {
 	case "interproc":
 		opts.Strategy = fortd.Interprocedural
@@ -81,4 +94,25 @@ func main() {
 			fmt.Printf("! clone %s <- %s\n", clone, orig)
 		}
 	}
+	if *explainText {
+		ex.WriteText(os.Stderr)
+	}
+	if *explainJSON != "" {
+		if err := writeJSONFile(*explainJSON, ex); err != nil {
+			fmt.Fprintln(os.Stderr, "fdc: explain:", err)
+			os.Exit(1)
+		}
+	}
+}
+
+func writeJSONFile(path string, ex *fortd.Explain) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := ex.WriteJSON(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }

@@ -14,7 +14,9 @@
 //
 // -trace out.json collects every compile and run of the selected
 // experiments into one Chrome trace_event file; -trace-text prints the
-// human-readable summary to stderr instead (or in addition).
+// human-readable summary to stderr instead (or in addition). -explain
+// prints every compile's optimization remarks to stderr; -explain-json
+// writes them as JSON lines to a file.
 package main
 
 import (
@@ -32,15 +34,25 @@ import (
 // experiments; nil when tracing is off.
 var tracer *fortd.Trace
 
+// explainer is shared by every compile of the selected experiments;
+// nil when remark collection is off.
+var explainer *fortd.Explain
+
 func main() {
 	exp := flag.String("exp", "all", "experiment to run")
 	traceOut := flag.String("trace", "", "write Chrome trace_event JSON to this file")
 	traceText := flag.Bool("trace-text", false, "print a trace summary to stderr")
+	explainText := flag.Bool("explain", false, "print the optimization report to stderr")
+	explainJSON := flag.String("explain-json", "", "write optimization remarks as JSON lines to this file")
 	flag.Parse()
 	if *traceOut != "" || *traceText {
 		tracer = fortd.NewTrace()
 	}
+	if *explainText || *explainJSON != "" {
+		explainer = fortd.NewExplain()
+	}
 	defer flushTrace(*traceOut, *traceText)
+	defer flushExplain(*explainJSON, *explainText)
 
 	all := map[string]func(){
 		"table1":    table1,
@@ -96,8 +108,33 @@ func flushTrace(out string, text bool) {
 	}
 }
 
+func flushExplain(out string, text bool) {
+	if explainer == nil {
+		return
+	}
+	if out != "" {
+		f, err := os.Create(out)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := explainer.WriteJSON(f); err == nil {
+			err = f.Close()
+		} else {
+			f.Close()
+		}
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("\nexplain: wrote %s\n", out)
+	}
+	if text {
+		explainer.WriteText(os.Stderr)
+	}
+}
+
 func compile(src string, opts fortd.Options) *fortd.Program {
 	opts.Trace = tracer
+	opts.Explain = explainer
 	p, err := fortd.Compile(src, opts)
 	if err != nil {
 		log.Fatal(err)

@@ -6,11 +6,14 @@
 // Usage:
 //
 //	fdrun [-p N] [-strategy interproc|runtime|immediate] [-zero] [-print-arrays]
-//	      [-trace out.json] [-trace-text] file.f
+//	      [-trace out.json] [-trace-text] [-explain] [-explain-json out.jsonl] file.f
 //
 // -trace writes Chrome trace_event JSON covering the compile phases and
 // every message of the run (load in chrome://tracing or Perfetto);
-// -trace-text prints the human-readable summary to stderr.
+// -trace-text prints the human-readable summary — including the
+// per-processor run profile — to stderr. -explain prints the compiler's
+// optimization report to stderr; -explain-json writes the remarks as
+// JSON lines to a file.
 package main
 
 import (
@@ -32,6 +35,8 @@ func main() {
 	check := flag.Bool("check", true, "compare against the sequential reference")
 	traceOut := flag.String("trace", "", "write Chrome trace_event JSON to this file")
 	traceText := flag.Bool("trace-text", false, "print a trace summary to stderr")
+	explainText := flag.Bool("explain", false, "print the optimization report to stderr")
+	explainJSON := flag.String("explain-json", "", "write optimization remarks as JSON lines to this file")
 	flag.Parse()
 
 	if flag.NArg() != 1 {
@@ -49,10 +54,15 @@ func main() {
 	if *traceOut != "" || *traceText {
 		tr = fortd.NewTrace()
 	}
+	var ex *fortd.Explain
+	if *explainText || *explainJSON != "" {
+		ex = fortd.NewExplain()
+	}
 
 	opts := fortd.DefaultOptions()
 	opts.P = *p
 	opts.Trace = tr
+	opts.Explain = ex
 	switch *strategy {
 	case "interproc":
 		opts.Strategy = fortd.Interprocedural
@@ -121,6 +131,23 @@ func main() {
 	}
 	if *traceText {
 		tr.WriteText(os.Stderr)
+	}
+	if *explainText {
+		ex.WriteText(os.Stderr)
+	}
+	if *explainJSON != "" {
+		f, err := os.Create(*explainJSON)
+		if err == nil {
+			if err = ex.WriteJSON(f); err == nil {
+				err = f.Close()
+			} else {
+				f.Close()
+			}
+		}
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "fdrun: explain:", err)
+			os.Exit(1)
+		}
 	}
 
 	if *check {

@@ -1,0 +1,149 @@
+package fortd
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// goldenExplain compiles src with a remark collector attached and
+// compares the text report against the golden file. Remarks are fully
+// deterministic (no wall-clock content), so the whole report is
+// locked.
+func goldenExplain(t *testing.T, name, src string, opts Options) *Explain {
+	t.Helper()
+	ex := NewExplain()
+	opts.Explain = ex
+	if _, err := Compile(src, opts); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := ex.WriteText(&buf); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join("testdata", "golden", name+".golden")
+	if *update {
+		if err := os.MkdirAll(filepath.Dir(path), 0755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, buf.Bytes(), 0644); err != nil {
+			t.Fatal(err)
+		}
+		return ex
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("%v (run `go test -run TestGolden -update` to create)", err)
+	}
+	if got := buf.String(); got != string(want) {
+		t.Errorf("optimization report differs from %s:\n--- got ---\n%s--- want ---\n%s", path, got, want)
+	}
+	return ex
+}
+
+func TestGoldenExplainJacobi(t *testing.T) {
+	goldenExplain(t, "jacobi_explain", Jacobi2DSrc(16, 3, 4), DefaultOptions())
+}
+
+// TestGoldenExplainDgefa locks the §9 acceptance story: under the
+// interprocedural strategy the report shows idamax, dscal and daxpy
+// compiled interprocedurally, with their communication vectorized at
+// caller level in dgefa.
+func TestGoldenExplainDgefa(t *testing.T) {
+	ex := goldenExplain(t, "dgefa_explain", DgefaSrc(32, 4), DefaultOptions())
+
+	var buf bytes.Buffer
+	if err := ex.WriteText(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, callee := range []string{"idamax", "dscal", "daxpy"} {
+		if !strings.Contains(out, callee) {
+			t.Errorf("interprocedural report does not mention %s", callee)
+		}
+	}
+	if !strings.Contains(out, "vectorized at caller level") {
+		t.Error("interprocedural report shows no caller-level vectorized message")
+	}
+	if strings.Contains(out, "runtime-resolution") {
+		t.Error("interprocedural report claims run-time resolution")
+	}
+}
+
+// TestGoldenExplainDgefaRuntime locks the other half of the story: the
+// same program compiled under the run-time resolution baseline names
+// each procedure and the reason it was resolved at run time.
+func TestGoldenExplainDgefaRuntime(t *testing.T) {
+	opts := DefaultOptions()
+	opts.Strategy = RuntimeResolution
+	ex := goldenExplain(t, "dgefa_explain_runtime", DgefaSrc(32, 4), opts)
+
+	var buf bytes.Buffer
+	if err := ex.WriteText(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, proc := range []string{"dgefa", "idamax", "dscal", "daxpy"} {
+		if !strings.Contains(out, proc+" compiled with run-time resolution") {
+			t.Errorf("runtime report does not explain %s's run-time resolution", proc)
+		}
+	}
+	if !strings.Contains(out, "baseline strategy") {
+		t.Error("runtime report does not state the reason")
+	}
+}
+
+// TestExplainJSONWellFormed checks the JSON-lines exporter on a real
+// compile: every line parses and carries the required fields.
+func TestExplainJSONWellFormed(t *testing.T) {
+	ex := NewExplain()
+	opts := DefaultOptions()
+	opts.Explain = ex
+	if _, err := Compile(DgefaSrc(32, 4), opts); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := ex.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimRight(buf.String(), "\n"), "\n")
+	if len(lines) < 10 {
+		t.Fatalf("only %d remark lines", len(lines))
+	}
+	for _, line := range lines {
+		if !strings.HasPrefix(line, `{"kind":`) || !strings.Contains(line, `"msg":`) {
+			t.Fatalf("malformed remark line: %s", line)
+		}
+	}
+}
+
+// TestExplainAnnotatedListing checks the annotated-source exporter
+// interleaves remarks under their source lines.
+func TestExplainAnnotatedListing(t *testing.T) {
+	src := Jacobi2DSrc(16, 3, 4)
+	ex := NewExplain()
+	opts := DefaultOptions()
+	opts.Explain = ex
+	if _, err := Compile(src, opts); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := ex.WriteAnnotated(&buf, src); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "!applied") && !strings.Contains(out, "!note") {
+		t.Errorf("annotated listing carries no remarks:\n%s", out)
+	}
+	// the source must survive verbatim
+	for _, line := range strings.Split(src, "\n") {
+		if strings.TrimSpace(line) == "" {
+			continue
+		}
+		if !strings.Contains(out, line) {
+			t.Errorf("annotated listing lost source line %q", line)
+		}
+	}
+}

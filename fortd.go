@@ -34,12 +34,12 @@ package fortd
 
 import (
 	"fmt"
-	"strings"
 
 	"fortd/internal/ast"
 	"fortd/internal/codegen"
 	"fortd/internal/core"
 	"fortd/internal/decomp"
+	"fortd/internal/explain"
 	"fortd/internal/livedecomp"
 	"fortd/internal/machine"
 	"fortd/internal/parser"
@@ -92,6 +92,24 @@ type Trace = trace.Tracer
 // NewTrace returns an enabled trace sink.
 func NewTrace() *Trace { return trace.New() }
 
+// Explain collects structured optimization remarks from every compiler
+// pass: why a message was (or was not) vectorized and at which loop
+// level, which remaps were eliminated by which Figure 16 rule, which
+// procedures were cloned or left to run-time resolution, per-array
+// overlap widths, and every rejection (aliasing, un-buildable
+// DISTRIBUTE). Create with NewExplain, attach via Options.Explain or
+// WithExplain, then export with WriteText (grouped by procedure),
+// WriteJSON (one JSON object per line) or WriteAnnotated (source
+// listing with interleaved remarks). A nil *Explain disables remark
+// collection at zero cost.
+type Explain = explain.Collector
+
+// Remark is a single optimization remark.
+type Remark = explain.Remark
+
+// NewExplain returns an enabled remark collector.
+func NewExplain() *Explain { return explain.New() }
+
 // Stats reports a simulated run's communication and time statistics.
 // Time is the parallel execution time (the maximum processor clock) in
 // simulated microseconds.
@@ -118,6 +136,9 @@ type Options struct {
 	// Trace, when non-nil, collects per-phase compile spans and code
 	// generation counters.
 	Trace *Trace
+	// Explain, when non-nil, collects optimization remarks from every
+	// compiler pass.
+	Explain *Explain
 }
 
 // DefaultOptions enables the full interprocedural pipeline.
@@ -153,16 +174,9 @@ func (o Options) Validate() error {
 // remaps placed, and procedures cloned.
 type Report core.Report
 
-// String renders the counters on one line.
-func (r Report) String() string {
-	var b strings.Builder
-	fmt.Fprintf(&b, "messages=%d guards=%d loops-reduced=%d remaps=%d cloned=%d",
-		r.Messages, r.Guards, r.LoopsReduced, r.Remaps, r.Cloned)
-	if len(r.RuntimeProcs) > 0 {
-		fmt.Fprintf(&b, " runtime-resolution=%v", r.RuntimeProcs)
-	}
-	return b.String()
-}
+// String renders the counters on one line, naming each procedure left
+// to run-time resolution.
+func (r Report) String() string { return core.Report(r).String() }
 
 // Program is a compiled Fortran D program.
 type Program struct {
@@ -177,7 +191,7 @@ func Compile(src string, opts Options) (*Program, error) {
 	c, err := core.Compile(src, core.Options{
 		P: opts.P, Strategy: opts.Strategy,
 		RemapOpt: opts.RemapOpt, CloneLimit: opts.CloneLimit,
-		Trace: opts.Trace,
+		Trace: opts.Trace, Explain: opts.Explain,
 	})
 	if err != nil {
 		return nil, err
@@ -225,6 +239,7 @@ type Runner struct {
 	init        map[string][]float64
 	initScalars map[string]float64
 	trace       *Trace
+	explain     *Explain
 }
 
 // RunOption configures a Runner.
@@ -251,6 +266,14 @@ func WithInitScalars(scalars map[string]float64) RunOption {
 // plus per-processor end-of-run totals. nil disables tracing.
 func WithTrace(t *Trace) RunOption {
 	return func(r *Runner) { r.trace = t }
+}
+
+// WithExplain attaches a remark collector to runs executed through
+// this Runner; RunSPMD records which DISTRIBUTE directives produced
+// distribution descriptors. (Compile-time remarks attach through
+// Options.Explain.) nil disables collection.
+func WithExplain(ex *Explain) RunOption {
+	return func(r *Runner) { r.explain = ex }
 }
 
 // NewRunner builds a Runner from functional options.
@@ -345,6 +368,13 @@ func (r *Runner) RunSPMD(src string, nproc int) (*Result, error) {
 			return false
 		}
 		dists[d.Target] = dist
+		if ex := r.explain; ex.Enabled() {
+			ex.Add(Remark{
+				Kind: explain.Note, Pass: "spmd", Proc: main.Name,
+				Line: d.Pos().Line, Name: "distribute",
+				Msg: fmt.Sprintf("DISTRIBUTE %s: built descriptor %s", d.Target, dist),
+			})
+		}
 		return true
 	})
 	if werr != nil {

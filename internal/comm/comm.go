@@ -63,6 +63,9 @@ type Access struct {
 	// before the outermost enclosing loop. Delay passes it to callers.
 	AtLoop *ast.Do
 	Delay  bool
+	// Why records the reason for the placement (static strings only, so
+	// recording is allocation-free when remarks are disabled).
+	Why string
 }
 
 // Delayed is a communication descriptor passed up to callers (delayed
@@ -100,6 +103,8 @@ type CallComm struct {
 	// PointVar in caller space for KPoint.
 	PointVar string
 	PointOff int
+	// Why records the reason for the placement (static strings only).
+	Why string
 }
 
 // Result is the communication analysis of one procedure.
@@ -255,11 +260,27 @@ func classify(proc *ast.Procedure, ref *depend.Ref, item *partition.Item, distOf
 	return acc
 }
 
+// Placement reasons, recorded on Access.Why / CallComm.Why. They are
+// package-level constants so recording them is a pointer store —
+// allocation-free whether or not remarks are collected.
+const (
+	WhyCarriedDep   = "a true dependence is carried at this loop level"
+	WhyOwnerVaries  = "the broadcasting owner changes every iteration of this loop"
+	WhyFormalRange  = "the nonlocal section ranges over formal parameters only known in the caller"
+	WhyCalleeWrites = "the callee's writes overlap the section: the dependence is carried by this loop"
+	WhySymbolBounds = "the loop bounds are not compile-time constants, so the section cannot be expanded"
+	WhyFormalOwner  = "the broadcasting owner is selected by a formal parameter only known in the caller"
+)
+
 // place chooses the message's loop level from dependence information
 // (message vectorization: the deepest loop-carried true dependence with
 // the reference as sink).
 func place(proc *ast.Procedure, acc *Access, deps *depend.Info, env ast.Env) {
 	level := deps.DeepestTrueSinkLevel(acc.Ref)
+	why := ""
+	if level > 0 {
+		why = WhyCarriedDep
+	}
 	// a broadcast whose point subscript varies with a local loop cannot
 	// be hoisted above the loop defining that variable
 	if acc.Kind == KPoint && acc.Point != nil {
@@ -267,18 +288,21 @@ func place(proc *ast.Procedure, acc *Access, deps *depend.Info, env ast.Env) {
 			for i, l := range acc.Nest {
 				if l.Var == v && i+1 > level {
 					level = i + 1
+					why = WhyOwnerVaries
 				}
 			}
 		}
 	}
 	if level > 0 {
 		acc.AtLoop = acc.Nest[level-1]
+		acc.Why = why
 		return
 	}
 	// fully vectorized: delay to the caller when the section still
 	// references formal scalars (their ranges are only known there)
 	if !proc.IsMain && sectionHasFormalAnchor(proc, acc, env) {
 		acc.Delay = true
+		acc.Why = WhyFormalRange
 	}
 }
 
@@ -382,10 +406,12 @@ func instantiate(
 		if cc.PointVar != "" {
 			if loop := loopIn(nest, cc.PointVar); loop != nil {
 				cc.AtLoop = loop
+				cc.Why = WhyOwnerVaries
 				return cc
 			}
 			if isOuterVar(proc, cc.PointVar) && !proc.IsMain {
 				cc.Delay = true
+				cc.Why = WhyFormalOwner
 				return cc
 			}
 		}
@@ -405,16 +431,19 @@ func instantiate(
 				continue
 			}
 			cc.AtLoop = loop
+			cc.Why = WhyCalleeWrites
 			return cc
 		}
 		if carriedAt(writeSecs, cc.Section, loop.Var) {
 			cc.AtLoop = loop
+			cc.Why = WhyCalleeWrites
 			return cc
 		}
 		lo, okLo := ast.EvalInt(loop.Lo, env)
 		hi, okHi := ast.EvalInt(loop.Hi, env)
 		if !okLo || !okHi {
 			cc.AtLoop = loop // cannot expand: keep per-iteration
+			cc.Why = WhySymbolBounds
 			return cc
 		}
 		cc.Section = cc.Section.Bind(loop.Var, lo, hi)
@@ -423,6 +452,7 @@ func instantiate(
 	if cc.Section.Symbolic() && !proc.IsMain {
 		cc.Delay = true
 		cc.BeforeLoop = nil
+		cc.Why = WhyFormalRange
 	}
 	return cc
 }

@@ -1,0 +1,95 @@
+package comm
+
+import (
+	"fmt"
+
+	"fortd/internal/explain"
+)
+
+// Explain emits the communication-placement decisions of one analyzed
+// procedure as optimization remarks: for every nonlocal reference and
+// every instantiated callee message, whether it was vectorized (and at
+// which level), lifted to the caller, delayed, or left inside a loop —
+// with the blocking reason for every missed vectorization.
+func Explain(ex *explain.Collector, procName string, res *Result) {
+	if !ex.Enabled() {
+		return
+	}
+	for _, acc := range res.Accesses {
+		line := 0
+		if acc.Stmt != nil {
+			line = acc.Stmt.Pos().Line
+		}
+		switch {
+		case acc.Delay:
+			ex.Add(explain.Remark{
+				Kind: explain.Applied, Pass: "comm", Proc: procName, Line: line, Name: "delay",
+				Msg: fmt.Sprintf("%s of %s %s delayed to callers (delayed instantiation): %s",
+					acc.Kind, acc.Array, acc.Section, acc.Why),
+			})
+		case acc.AtLoop != nil && acc.Why == WhyOwnerVaries:
+			// still a vectorized section message; the per-iteration
+			// placement is forced by the rotating owner, not a
+			// vectorization failure
+			ex.Add(explain.Remark{
+				Kind: explain.Applied, Pass: "comm", Proc: procName, Line: line, Name: "vectorize",
+				Msg: fmt.Sprintf("%s of %s %s vectorized into one section message per iteration of loop %s: %s",
+					acc.Kind, acc.Array, acc.Section, acc.AtLoop.Var, acc.Why),
+			})
+		case acc.AtLoop != nil:
+			ex.Add(explain.Remark{
+				Kind: explain.Missed, Pass: "comm", Proc: procName, Line: line, Name: "vectorize",
+				Msg: fmt.Sprintf("%s of %s %s placed inside loop %s (one message per iteration): %s",
+					acc.Kind, acc.Array, acc.Section, acc.AtLoop.Var, acc.Why),
+			})
+		default:
+			ex.Add(explain.Remark{
+				Kind: explain.Applied, Pass: "comm", Proc: procName, Line: line, Name: "vectorize",
+				Msg: fmt.Sprintf("%s of %s %s fully vectorized: hoisted above the loop nest",
+					acc.Kind, acc.Array, acc.Section),
+			})
+		}
+	}
+	for _, cc := range res.CallComms {
+		line := 0
+		if cc.Site != nil && cc.Site.Stmt != nil {
+			line = cc.Site.Stmt.Pos().Line
+		}
+		callee := ""
+		if cc.Site != nil {
+			callee = cc.Site.Callee.Name()
+		}
+		switch {
+		case cc.Delay:
+			ex.Add(explain.Remark{
+				Kind: explain.Applied, Pass: "comm", Proc: procName, Line: line, Name: "delay",
+				Msg: fmt.Sprintf("%s for callee %s (%s %s) re-delayed to this procedure's callers: %s",
+					cc.D.Kind, callee, cc.Array, cc.Section, cc.Why),
+			})
+		case cc.AtLoop != nil && cc.Why == WhyOwnerVaries:
+			ex.Add(explain.Remark{
+				Kind: explain.Applied, Pass: "comm", Proc: procName, Line: line, Name: "vectorize",
+				Msg: fmt.Sprintf("%s for callee %s (%s %s) vectorized at caller level: one section message per iteration of loop %s (%s)",
+					cc.D.Kind, callee, cc.Array, cc.Section, cc.AtLoop.Var, cc.Why),
+			})
+		case cc.AtLoop != nil:
+			ex.Add(explain.Remark{
+				Kind: explain.Missed, Pass: "comm", Proc: procName, Line: line, Name: "vectorize",
+				Msg: fmt.Sprintf("%s for callee %s (%s %s) placed inside loop %s (one message per iteration): %s",
+					cc.D.Kind, callee, cc.Array, cc.Section, cc.AtLoop.Var, cc.Why),
+			})
+		case cc.BeforeLoop != nil:
+			ex.Add(explain.Remark{
+				Kind: explain.Applied, Pass: "comm", Proc: procName, Line: line, Name: "vectorize",
+				Msg: fmt.Sprintf("%s for callee %s (%s %s) vectorized at caller level: one message hoisted before loop %s",
+					cc.D.Kind, callee, cc.Array, cc.Section, cc.BeforeLoop.Var),
+			})
+		default:
+			ex.Add(explain.Remark{
+				Kind: explain.Applied, Pass: "comm", Proc: procName, Line: line, Name: "instantiate",
+				Msg: fmt.Sprintf("%s for callee %s (%s %s) instantiated at the call site",
+					cc.D.Kind, callee, cc.Array, cc.Section),
+			})
+		}
+	}
+}

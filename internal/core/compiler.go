@@ -8,6 +8,7 @@ package core
 import (
 	"fmt"
 	"sort"
+	"strings"
 
 	"fortd/internal/acg"
 	"fortd/internal/ast"
@@ -15,6 +16,7 @@ import (
 	"fortd/internal/comm"
 	"fortd/internal/decomp"
 	"fortd/internal/depend"
+	"fortd/internal/explain"
 	"fortd/internal/livedecomp"
 	"fortd/internal/overlap"
 	"fortd/internal/parser"
@@ -40,6 +42,9 @@ type Options struct {
 	// Trace, when non-nil, collects per-phase compile spans and
 	// code-generation counters.
 	Trace *trace.Tracer
+	// Explain, when non-nil, collects optimization remarks from every
+	// pass (nil = disabled, allocation-free).
+	Explain *explain.Collector
 }
 
 // DefaultOptions enables everything the paper's compiler does.
@@ -60,6 +65,38 @@ type Report struct {
 	Cloned       int
 	RuntimeProcs []string
 	PerProc      map[string]*codegen.Result
+}
+
+// String renders the counters on one line, naming each procedure left
+// to run-time resolution.
+func (r Report) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "messages=%d guards=%d loops-reduced=%d remaps=%d cloned=%d",
+		r.Messages, r.Guards, r.LoopsReduced, r.Remaps, r.Cloned)
+	if len(r.RuntimeProcs) > 0 {
+		fmt.Fprintf(&b, " runtime-resolution=%v", r.RuntimeProcs)
+	}
+	return b.String()
+}
+
+// DedupRuntimeProcs maps clone names back to their original procedure
+// and returns the sorted, deduplicated list: a procedure cloned into
+// foo$1, foo$2 that still needs run-time resolution is reported once,
+// as foo.
+func DedupRuntimeProcs(names []string, clonedFrom map[string]string) []string {
+	seen := map[string]bool{}
+	var out []string
+	for _, name := range names {
+		if orig, ok := clonedFrom[name]; ok {
+			name = orig
+		}
+		if !seen[name] {
+			seen[name] = true
+			out = append(out, name)
+		}
+	}
+	sort.Strings(out)
+	return out
 }
 
 // Compilation is the result of compiling a Fortran D program.
@@ -105,6 +142,13 @@ func Compile(src string, opts Options) (*Compilation, error) {
 // transformed in place; a deep copy is kept as Compilation.Source.
 func CompileProgram(prog *ast.Program, opts Options) (*Compilation, error) {
 	tr := opts.Trace
+	ex := opts.Explain
+	if ex.Enabled() {
+		ex.Add(explain.Remark{
+			Kind: explain.Note, Pass: "core", Name: "strategy",
+			Msg: "compilation strategy: " + opts.Strategy.String(),
+		})
+	}
 	source := cloneProgram(prog)
 	endACG := tr.Phase("acg-build")
 	g, err := acg.Build(prog)
@@ -115,7 +159,7 @@ func CompileProgram(prog *ast.Program, opts Options) (*Compilation, error) {
 
 	// Phase 1+2: reaching decompositions with cloning.
 	endReach := tr.Phase("reaching-decompositions")
-	reachRes, err := reach.Analyze(g, reach.Options{CloneLimit: opts.CloneLimit})
+	reachRes, err := reach.Analyze(g, reach.Options{CloneLimit: opts.CloneLimit, Explain: opts.Explain})
 	endReach()
 	if err != nil {
 		return nil, err
@@ -142,10 +186,13 @@ func CompileProgram(prog *ast.Program, opts Options) (*Compilation, error) {
 		InputsUsed: map[string]string{},
 	}
 	c.Report.Cloned = len(reachRes.ClonedFrom)
-	for name := range reachRes.RuntimeResolution {
-		c.Report.RuntimeProcs = append(c.Report.RuntimeProcs, name)
+	{
+		var names []string
+		for name := range reachRes.RuntimeResolution {
+			names = append(names, name)
+		}
+		c.Report.RuntimeProcs = DedupRuntimeProcs(names, reachRes.ClonedFrom)
 	}
-	sort.Strings(c.Report.RuntimeProcs)
 
 	endSections := tr.Phase("section-analysis")
 	sections := comm.ComputeSections(g)
@@ -194,6 +241,17 @@ func CompileProgram(prog *ast.Program, opts Options) (*Compilation, error) {
 		runtimeProc := opts.Strategy == codegen.StrategyRuntime ||
 			len(reachRes.RuntimeResolution[proc.Name]) > 0
 		if runtimeProc {
+			if ex.Enabled() {
+				reason := "the run-time resolution baseline strategy is selected"
+				if vars := reachRes.RuntimeResolution[proc.Name]; len(vars) > 0 {
+					reason = fmt.Sprintf("multiple decompositions reach %v and cloning did not separate them", vars)
+				}
+				ex.Add(explain.Remark{
+					Kind: explain.Note, Pass: "core", Proc: proc.Name, Name: "runtime-resolution",
+					Msg: fmt.Sprintf("%s compiled with run-time resolution (per-element ownership tests, Figure 3): %s",
+						proc.Name, reason),
+				})
+			}
 			entryDists := map[string]*decomp.Dist{}
 			for arr, d := range entry {
 				if dist := mkDistFor(proc, arr, d, env, c.P); dist != nil {
@@ -266,11 +324,19 @@ func CompileProgram(prog *ast.Program, opts Options) (*Compilation, error) {
 		// aliased variables — reject calls that pass the same array to
 		// two formals when the callee remaps either of them
 		if err := checkAliasRestriction(n, decompSums); err != nil {
+			if ex.Enabled() {
+				ex.Add(explain.Remark{
+					Kind: explain.Missed, Pass: "core", Proc: proc.Name, Name: "alias-restriction",
+					Msg: err.Error(),
+				})
+			}
 			return nil, err
 		}
 
 		remapLevel := opts.RemapOpt
-		remaps, decompSum := livedecomp.Analyze(proc, n, entry, decompSums, killTest, remapLevel)
+		remaps, decompSum := livedecomp.AnalyzeExplain(proc, n, entry, decompSums, killTest, remapLevel, ex)
+		partition.Explain(ex, proc.Name, plan)
+		comm.Explain(ex, proc.Name, commRes)
 
 		// overlap bookkeeping: shifts extend the block boundary
 		for _, acc := range commRes.Accesses {
@@ -295,6 +361,7 @@ func CompileProgram(prog *ast.Program, opts Options) (*Compilation, error) {
 		}
 		c.record(proc.Name, gen)
 		newBodies[proc.Name] = gen.Body
+		c.Overlaps.Explain(ex, proc.Name)
 
 		partDelayed[proc.Name] = plan.Delayed
 		commDelayed[proc.Name] = commRes.Delayed
@@ -402,6 +469,14 @@ func (c *Compilation) procDists(proc *ast.Procedure, env ast.Env) (map[string]*d
 	for name, d := range firstUse {
 		if dist := mkDist(name, d); dist != nil {
 			dists[name] = dist
+		} else if !d.IsReplicated() {
+			if ex := c.Options.Explain; ex.Enabled() {
+				ex.Add(explain.Remark{
+					Kind: explain.Missed, Pass: "core", Proc: proc.Name, Name: "distribute",
+					Msg: fmt.Sprintf("no distribution descriptor built for %s %s: dimension bounds are not compile-time constants or the decomposition does not fit — the array stays replicated",
+						name, d.Key()),
+				})
+			}
 		}
 	}
 	atStmt := map[ast.Stmt]map[string]*decomp.Dist{}
@@ -482,7 +557,7 @@ func checkAliasRestriction(n *acg.Node, sums map[string]*livedecomp.Summary) err
 	for _, site := range n.Calls {
 		sum := sums[site.Callee.Name()]
 		if sum == nil || len(sum.Kill) == 0 {
-			return nil
+			continue
 		}
 		byActual := map[string][]string{}
 		for _, b := range site.Bindings {
@@ -518,6 +593,7 @@ func forceLocalPlan(plan *partition.Plan) {
 		if it.DelayVar != "" {
 			it.DelayVar = ""
 			it.Guard = true
+			it.Why = "immediate instantiation baseline: delayed constraints are forced local (Figure 12)"
 		}
 	}
 	plan.Delayed = map[string]*partition.Constraint{}

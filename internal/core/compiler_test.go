@@ -318,3 +318,69 @@ func TestAliasRestriction(t *testing.T) {
 		t.Errorf("aliasing without remapping must compile: %v", err)
 	}
 }
+
+// TestAliasRestrictionAfterBenignCall is the regression test for the
+// early-return bug in checkAliasRestriction: a first call site whose
+// callee has no remaps must not stop the check before it reaches a
+// later aliased call of a remapping callee.
+func TestAliasRestrictionAfterBenignCall(t *testing.T) {
+	src := `
+      PROGRAM P
+      REAL X(100), Y(100)
+      PARAMETER (n$proc = 4)
+      DISTRIBUTE X(BLOCK)
+      DISTRIBUTE Y(BLOCK)
+      call BENIGN(Y)
+      call S(X, X)
+      END
+      SUBROUTINE BENIGN(C)
+      REAL C(100)
+      do i = 1,100
+        C(i) = C(i) + 1.0
+      enddo
+      END
+      SUBROUTINE S(A, B)
+      REAL A(100), B(100)
+      DISTRIBUTE A(CYCLIC)
+      do i = 1,100
+        B(i) = A(i)
+      enddo
+      END
+`
+	_, err := Compile(src, DefaultOptions())
+	if err == nil {
+		t.Fatal("aliased remapping call after a benign call must be rejected")
+	}
+	if !strings.Contains(err.Error(), "alias") {
+		t.Errorf("error = %v, want an aliasing rejection", err)
+	}
+}
+
+func TestDedupRuntimeProcs(t *testing.T) {
+	got := DedupRuntimeProcs(
+		[]string{"foo$2", "bar", "foo$1", "bar"},
+		map[string]string{"foo$1": "foo", "foo$2": "foo"})
+	if len(got) != 2 || got[0] != "bar" || got[1] != "foo" {
+		t.Errorf("DedupRuntimeProcs = %v, want [bar foo]", got)
+	}
+	if got := DedupRuntimeProcs(nil, nil); got != nil {
+		t.Errorf("DedupRuntimeProcs(nil) = %v, want nil", got)
+	}
+}
+
+func TestReportString(t *testing.T) {
+	r := Report{Messages: 3, Guards: 1, LoopsReduced: 2, Remaps: 4, Cloned: 5,
+		RuntimeProcs: []string{"s1", "s2"}}
+	s := r.String()
+	for _, want := range []string{
+		"messages=3", "guards=1", "loops-reduced=2", "remaps=4", "cloned=5",
+		"runtime-resolution=[s1 s2]",
+	} {
+		if !strings.Contains(s, want) {
+			t.Errorf("Report.String() = %q, missing %q", s, want)
+		}
+	}
+	if s := (Report{}).String(); strings.Contains(s, "runtime-resolution") {
+		t.Errorf("empty report mentions runtime-resolution: %q", s)
+	}
+}

@@ -1,0 +1,303 @@
+// Package explain is the structured optimization-remark engine
+// threaded through the compile pipeline, the counterpart of
+// internal/trace on the compiler side. Every pass that makes an
+// interprocedural decision — reaching-decomposition analysis, cloning,
+// computation partitioning, message placement and vectorization,
+// live-decomposition remapping, overlap sizing — emits a typed remark
+// carrying the source position and a why-string, in the style of
+// LLVM's optimization remarks: "applied" records a transformation that
+// fired, "missed" records one that was blocked (with the blocking
+// reason), and "note" records analysis facts worth surfacing.
+//
+// Three exporters render a remark stream: WriteText groups remarks by
+// procedure for humans, WriteJSON emits one JSON object per line for
+// tools, and WriteAnnotated interleaves remarks into the source
+// listing at their positions.
+//
+// A nil *Collector is the disabled state: every method is nil-safe and
+// allocation-free, so instrumented passes call unconditionally and
+// default (unexplained) compiles pay only a pointer test. Call sites
+// that build a message with fmt.Sprintf must guard on Enabled() so the
+// formatting cost is not paid on the disabled path.
+package explain
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// Kind classifies a remark, following the LLVM remark taxonomy.
+type Kind uint8
+
+const (
+	// Applied: an optimization fired (message vectorized, remap
+	// eliminated, procedure cloned, ...).
+	Applied Kind = iota
+	// Missed: an optimization was considered and blocked; the message
+	// carries the blocking reason.
+	Missed
+	// Note: an analysis fact (reaching decomposition set, overlap
+	// width, strategy selection, ...).
+	Note
+)
+
+func (k Kind) String() string {
+	switch k {
+	case Applied:
+		return "applied"
+	case Missed:
+		return "missed"
+	case Note:
+		return "note"
+	}
+	return "?"
+}
+
+// Remark is one compiler decision with its provenance.
+type Remark struct {
+	// Kind says whether the decision fired, was blocked, or is an
+	// analysis fact.
+	Kind Kind
+	// Pass names the emitting pass: "reach", "partition", "comm",
+	// "livedecomp", "overlap", "core", "run".
+	Pass string
+	// Proc is the procedure the remark is attributed to ("" for
+	// whole-program remarks).
+	Proc string
+	// Line is the source line of the decision (0 when it applies to
+	// the procedure or program as a whole).
+	Line int
+	// Name is the short decision name ("vectorize", "clone",
+	// "runtime-resolution", "remap", ...).
+	Name string
+	// Msg is the why-string.
+	Msg string
+}
+
+func (r Remark) String() string {
+	pos := ""
+	if r.Line > 0 {
+		pos = fmt.Sprintf(":%d", r.Line)
+	}
+	return fmt.Sprintf("%s%s: %s [%s] %s: %s", r.Proc, pos, r.Kind, r.Pass, r.Name, r.Msg)
+}
+
+// Collector accumulates remarks from the passes of one compilation.
+// The zero value is ready to use; a nil *Collector is the disabled
+// fast path.
+type Collector struct {
+	mu      sync.Mutex
+	remarks []Remark
+}
+
+// New returns an enabled collector.
+func New() *Collector { return &Collector{} }
+
+// Enabled reports whether remarks are being collected. Call sites use
+// it to guard message formatting.
+func (c *Collector) Enabled() bool { return c != nil }
+
+// Add records one remark. Safe for nil receivers; the signature is
+// deliberately non-variadic so the disabled path allocates nothing.
+func (c *Collector) Add(r Remark) {
+	if c == nil {
+		return
+	}
+	c.mu.Lock()
+	c.remarks = append(c.remarks, r)
+	c.mu.Unlock()
+}
+
+// Addf records a remark with a formatted message. The format arguments
+// are only evaluated into a string when the collector is enabled, but
+// note the variadic call itself may allocate — hot paths should guard
+// with Enabled() and use Add.
+func (c *Collector) Addf(kind Kind, pass, proc string, line int, name, format string, args ...interface{}) {
+	if c == nil {
+		return
+	}
+	c.Add(Remark{Kind: kind, Pass: pass, Proc: proc, Line: line, Name: name, Msg: fmt.Sprintf(format, args...)})
+}
+
+// Remarks returns a snapshot of everything collected so far, sorted by
+// source position then kind (then pass/name/message for a total,
+// deterministic order).
+func (c *Collector) Remarks() []Remark {
+	if c == nil {
+		return nil
+	}
+	c.mu.Lock()
+	out := make([]Remark, len(c.remarks))
+	copy(out, c.remarks)
+	c.mu.Unlock()
+	Sort(out)
+	return out
+}
+
+// Reset discards all collected remarks (the collector stays enabled).
+func (c *Collector) Reset() {
+	if c == nil {
+		return
+	}
+	c.mu.Lock()
+	c.remarks = c.remarks[:0]
+	c.mu.Unlock()
+}
+
+// Sort orders remarks by position then kind: line first (0 = header
+// remarks sort before any statement), then kind, then pass, name and
+// message to make the order total.
+func Sort(rs []Remark) {
+	sort.SliceStable(rs, func(i, j int) bool {
+		a, b := rs[i], rs[j]
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		if a.Kind != b.Kind {
+			return a.Kind < b.Kind
+		}
+		if a.Pass != b.Pass {
+			return a.Pass < b.Pass
+		}
+		if a.Name != b.Name {
+			return a.Name < b.Name
+		}
+		return a.Msg < b.Msg
+	})
+}
+
+// WriteText renders the collector's remarks with the package function
+// of the same name.
+func (c *Collector) WriteText(w io.Writer) error { return WriteText(w, c.Remarks()) }
+
+// WriteJSON renders the collector's remarks with the package function
+// of the same name.
+func (c *Collector) WriteJSON(w io.Writer) error { return WriteJSON(w, c.Remarks()) }
+
+// WriteAnnotated renders src with the collector's remarks interleaved.
+func (c *Collector) WriteAnnotated(w io.Writer, src string) error {
+	return WriteAnnotated(w, src, c.Remarks())
+}
+
+// WriteText renders the remarks as a human-readable report grouped by
+// procedure. Procedures appear in order of their first remark's source
+// line; whole-program remarks (Proc == "") come first.
+func WriteText(w io.Writer, remarks []Remark) error {
+	rs := make([]Remark, len(remarks))
+	copy(rs, remarks)
+	Sort(rs)
+
+	bw := bufio.NewWriter(w)
+	fmt.Fprintf(bw, "=== optimization report (%d remarks) ===\n", len(rs))
+
+	// group by procedure, ordered by first remark position
+	type group struct {
+		proc  string
+		first int
+		rs    []Remark
+	}
+	var groups []*group
+	byProc := map[string]*group{}
+	for _, r := range rs {
+		g, ok := byProc[r.Proc]
+		if !ok {
+			g = &group{proc: r.Proc, first: r.Line}
+			byProc[r.Proc] = g
+			groups = append(groups, g)
+		}
+		g.rs = append(g.rs, r)
+	}
+	sort.SliceStable(groups, func(i, j int) bool {
+		if (groups[i].proc == "") != (groups[j].proc == "") {
+			return groups[i].proc == ""
+		}
+		return groups[i].first < groups[j].first
+	})
+
+	for _, g := range groups {
+		name := g.proc
+		if name == "" {
+			name = "(program)"
+		}
+		fmt.Fprintf(bw, "\n%s:\n", name)
+		for _, r := range g.rs {
+			pos := "     "
+			if r.Line > 0 {
+				pos = fmt.Sprintf("%4d ", r.Line)
+			}
+			fmt.Fprintf(bw, "  %s%-7s %-10s %-18s %s\n", pos, r.Kind, r.Pass, r.Name, r.Msg)
+		}
+	}
+	return bw.Flush()
+}
+
+// jsonRemark is the stable wire form of a remark.
+type jsonRemark struct {
+	Kind string `json:"kind"`
+	Pass string `json:"pass"`
+	Proc string `json:"proc,omitempty"`
+	Line int    `json:"line,omitempty"`
+	Name string `json:"name"`
+	Msg  string `json:"msg"`
+}
+
+// WriteJSON emits one JSON object per remark, one per line (JSON
+// lines), sorted the same way as WriteText.
+func WriteJSON(w io.Writer, remarks []Remark) error {
+	rs := make([]Remark, len(remarks))
+	copy(rs, remarks)
+	Sort(rs)
+	bw := bufio.NewWriter(w)
+	enc := json.NewEncoder(bw)
+	for _, r := range rs {
+		if err := enc.Encode(jsonRemark{
+			Kind: r.Kind.String(), Pass: r.Pass, Proc: r.Proc,
+			Line: r.Line, Name: r.Name, Msg: r.Msg,
+		}); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// WriteAnnotated interleaves the remarks into the source listing:
+// each remark is printed as a "!<kind> ..." comment line immediately
+// after the source line it is attached to; remarks with no position
+// are listed in a header block.
+func WriteAnnotated(w io.Writer, src string, remarks []Remark) error {
+	rs := make([]Remark, len(remarks))
+	copy(rs, remarks)
+	Sort(rs)
+
+	byLine := map[int][]Remark{}
+	var header []Remark
+	for _, r := range rs {
+		if r.Line <= 0 {
+			header = append(header, r)
+			continue
+		}
+		byLine[r.Line] = append(byLine[r.Line], r)
+	}
+
+	bw := bufio.NewWriter(w)
+	for _, r := range header {
+		proc := r.Proc
+		if proc != "" {
+			proc = proc + ": "
+		}
+		fmt.Fprintf(bw, "!%s [%s] %s%s: %s\n", r.Kind, r.Pass, proc, r.Name, r.Msg)
+	}
+	lines := strings.Split(strings.TrimRight(src, "\n"), "\n")
+	for i, line := range lines {
+		fmt.Fprintf(bw, "%4d  %s\n", i+1, line)
+		for _, r := range byLine[i+1] {
+			fmt.Fprintf(bw, "      !%s [%s] %s: %s\n", r.Kind, r.Pass, r.Name, r.Msg)
+		}
+	}
+	return bw.Flush()
+}

@@ -1,0 +1,124 @@
+package explain
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+func sample() []Remark {
+	return []Remark{
+		{Kind: Missed, Pass: "comm", Proc: "F1", Line: 12, Name: "vectorize", Msg: "carried dependence at level 1"},
+		{Kind: Applied, Pass: "comm", Proc: "F1", Line: 12, Name: "vectorize", Msg: "hoisted above loop i"},
+		{Kind: Note, Pass: "reach", Proc: "", Line: 0, Name: "strategy", Msg: "interprocedural"},
+		{Kind: Applied, Pass: "reach", Proc: "MAIN", Line: 5, Name: "clone", Msg: "F1 -> F1$row"},
+	}
+}
+
+func TestNilCollectorIsSafe(t *testing.T) {
+	var c *Collector
+	if c.Enabled() {
+		t.Error("nil collector reports enabled")
+	}
+	c.Add(Remark{Name: "x"})
+	c.Addf(Note, "p", "q", 1, "n", "%d", 3)
+	c.Reset()
+	if got := c.Remarks(); got != nil {
+		t.Errorf("nil Remarks() = %v", got)
+	}
+}
+
+func TestCollectAndSort(t *testing.T) {
+	c := New()
+	for _, r := range sample() {
+		c.Add(r)
+	}
+	rs := c.Remarks()
+	if len(rs) != 4 {
+		t.Fatalf("got %d remarks", len(rs))
+	}
+	// sorted by line, then kind: header note first, then MAIN:5, then
+	// F1:12 applied before missed
+	wantOrder := []string{"strategy", "clone", "vectorize", "vectorize"}
+	for i, r := range rs {
+		if r.Name != wantOrder[i] {
+			t.Errorf("remark %d = %s, want %s", i, r.Name, wantOrder[i])
+		}
+	}
+	if rs[2].Kind != Applied || rs[3].Kind != Missed {
+		t.Errorf("same-line remarks not ordered by kind: %v then %v", rs[2].Kind, rs[3].Kind)
+	}
+	c.Reset()
+	if len(c.Remarks()) != 0 {
+		t.Error("Reset did not clear")
+	}
+}
+
+func TestWriteTextGroupsByProcedure(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteText(&buf, sample()); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"(program):", "MAIN:", "F1:", "carried dependence"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("text report missing %q:\n%s", want, out)
+		}
+	}
+	// program-level group first, then MAIN (line 5) before F1 (line 12)
+	if p, m, f := strings.Index(out, "(program):"), strings.Index(out, "MAIN:"), strings.Index(out, "F1:"); !(p < m && m < f) {
+		t.Errorf("group order wrong (program@%d MAIN@%d F1@%d):\n%s", p, m, f, out)
+	}
+}
+
+func TestWriteJSONLines(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteJSON(&buf, sample()); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("got %d JSON lines, want 4", len(lines))
+	}
+	for _, line := range lines {
+		var m map[string]interface{}
+		if err := json.Unmarshal([]byte(line), &m); err != nil {
+			t.Fatalf("bad JSON line %q: %v", line, err)
+		}
+		for _, k := range []string{"kind", "pass", "name", "msg"} {
+			if _, ok := m[k]; !ok {
+				t.Errorf("JSON line missing %q: %s", k, line)
+			}
+		}
+	}
+}
+
+func TestWriteAnnotated(t *testing.T) {
+	src := "      PROGRAM P\n      call F1(X)\n      END\n"
+	rs := []Remark{
+		{Kind: Note, Pass: "reach", Name: "strategy", Msg: "interprocedural"},
+		{Kind: Applied, Pass: "comm", Proc: "P", Line: 2, Name: "vectorize", Msg: "message lifted to caller"},
+	}
+	var buf bytes.Buffer
+	if err := WriteAnnotated(&buf, src, rs); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.HasPrefix(out, "!note [reach]") {
+		t.Errorf("header remark not first:\n%s", out)
+	}
+	call := strings.Index(out, "call F1(X)")
+	ann := strings.Index(out, "!applied [comm] vectorize")
+	if call < 0 || ann < 0 || ann < call {
+		t.Errorf("annotation not after its source line:\n%s", out)
+	}
+}
+
+func TestAddAllocatesNothingWhenDisabled(t *testing.T) {
+	var c *Collector
+	r := Remark{Kind: Applied, Pass: "comm", Proc: "F", Line: 3, Name: "vectorize", Msg: "x"}
+	if n := testing.AllocsPerRun(100, func() { c.Add(r) }); n != 0 {
+		t.Errorf("nil Add allocates %v per call", n)
+	}
+}

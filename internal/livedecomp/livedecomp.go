@@ -17,9 +17,12 @@
 package livedecomp
 
 import (
+	"fmt"
+
 	"fortd/internal/acg"
 	"fortd/internal/ast"
 	"fortd/internal/decomp"
+	"fortd/internal/explain"
 	"fortd/internal/rsd"
 )
 
@@ -160,6 +163,8 @@ type event struct {
 	// op, once materialized
 	op   *Op
 	dead bool
+	// why records which optimization rule fired (static strings only).
+	why string
 }
 
 // ArrayInfo supplies per-array metadata the analysis needs.
@@ -187,6 +192,23 @@ func Analyze(
 	summaries map[string]*Summary,
 	killTest KillTest,
 	level Level,
+) (*Placement, *Summary) {
+	return AnalyzeExplain(proc, node, entry, summaries, killTest, level, nil)
+}
+
+// AnalyzeExplain is Analyze with an optimization-remark collector: it
+// additionally reports every remap inserted (with its anchor and
+// whether the array-kill rule made it an in-place descriptor update)
+// and every remap suppressed, naming the Figure 16 ladder rule that
+// fired.
+func AnalyzeExplain(
+	proc *ast.Procedure,
+	node *acg.Node,
+	entry map[string]decomp.Decomp,
+	summaries map[string]*Summary,
+	killTest KillTest,
+	level Level,
+	ex *explain.Collector,
 ) (*Placement, *Summary) {
 	events, sum := buildEvents(proc, node, entry, summaries, killTest)
 	if level >= OptLive {
@@ -216,7 +238,53 @@ func Analyze(
 			place.BeforeStmt[e.stmt] = append(place.BeforeStmt[e.stmt], op)
 		}
 	}
+	explainEvents(ex, proc.Name, events)
 	return place, sum
+}
+
+// explainEvents renders the optimized event list as remarks.
+func explainEvents(ex *explain.Collector, procName string, events []*event) {
+	if !ex.Enabled() {
+		return
+	}
+	for _, e := range events {
+		if e.kind != evRemap {
+			continue
+		}
+		line := 0
+		switch {
+		case e.loop != nil:
+			line = e.loop.Pos().Line
+		case e.stmt != nil:
+			line = e.stmt.Pos().Line
+		}
+		if e.dead {
+			ex.Add(explain.Remark{
+				Kind: explain.Applied, Pass: "livedecomp", Proc: procName, Line: line, Name: "remap-suppressed",
+				Msg: fmt.Sprintf("remap of %s to %s eliminated: %s", e.array, e.decomp.Key(), e.why),
+			})
+			continue
+		}
+		anchor := "before the statement"
+		switch {
+		case e.loop != nil && e.after:
+			anchor = "after loop " + e.loop.Var
+		case e.loop != nil:
+			anchor = "before loop " + e.loop.Var
+		case e.after:
+			anchor = "after the statement"
+		}
+		mode := ""
+		if e.op != nil && e.op.InPlace {
+			mode = "; " + e.why
+		} else if e.why != "" {
+			mode = "; " + e.why
+		}
+		ex.Add(explain.Remark{
+			Kind: explain.Note, Pass: "livedecomp", Proc: procName, Line: line, Name: "remap",
+			Msg: fmt.Sprintf("remap %s to %s inserted %s%s", e.array, e.decomp.Key(), anchor, mode),
+		})
+	}
 }
 
 // buildEvents linearizes proc into uses, remaps and loop markers, and

@@ -5,6 +5,15 @@ import (
 	"fortd/internal/decomp"
 )
 
+// Figure 16 ladder rules, recorded on events for optimization remarks.
+const (
+	WhyDeadDecomp  = "dead decomposition: no use reaches before the next remap (OptLive, Figure 17)"
+	WhyCoalesced   = "the physical decomposition already matches on every incoming path (OptLive coalescing)"
+	WhyHoistAfter  = "loop-invariant restore moved after the loop (OptHoist rule 1, §6.2)"
+	WhyHoistBefore = "loop-invariant remap moved before the loop (OptHoist rule 2, §6.2)"
+	WhyKilled      = "every reachable first use kills the array: descriptor updated in place, no data motion (OptKills, §6.3)"
+)
+
 // succ builds the successor relation over the linearized event list:
 // sequential fallthrough, plus a back edge from each loop end to the
 // event after its loop begin, plus the loop-exit edge.
@@ -41,6 +50,7 @@ func eliminateDead(events []*event) {
 		}
 		if !reachesUse(events, edges, i, r.array) {
 			r.dead = true
+			r.why = WhyDeadDecomp
 		}
 	}
 }
@@ -118,6 +128,7 @@ func coalesce(events []*event, entry map[string]decomp.Decomp, proc *ast.Procedu
 			st := states[i][r.array]
 			if st.known && !st.multi && st.d.Equal(r.decomp) {
 				r.dead = true
+				r.why = WhyCoalesced
 				changed = true
 			}
 		}
@@ -241,6 +252,7 @@ func hoist(events []*event, entry map[string]decomp.Decomp, proc *ast.Procedure)
 				if !usedInLoop && lastEvent(events, sp.from, sp.to, r) {
 					r.loop = sp.loop
 					r.after = true
+					r.why = WhyHoistAfter
 				}
 			}
 			// rule 2: a sole remaining remap matching every use moves
@@ -262,6 +274,7 @@ func hoist(events []*event, entry map[string]decomp.Decomp, proc *ast.Procedure)
 				if allUsesMatch && firstEvent(events, sp.from, sp.to, r) {
 					r.loop = sp.loop
 					r.after = false
+					r.why = WhyHoistBefore
 				}
 			}
 		}
@@ -319,6 +332,7 @@ func applyKills(events []*event) {
 		}
 		if allFirstUsesKill(events, edges, i, r.array) {
 			r.op = &Op{InPlace: true}
+			r.why = WhyKilled
 		}
 	}
 }

@@ -12,10 +12,12 @@ package overlap
 
 import (
 	"fmt"
+	"sort"
 
 	"fortd/internal/acg"
 	"fortd/internal/ast"
 	"fortd/internal/depend"
+	"fortd/internal/explain"
 )
 
 // Offsets records, per array dimension, how far subscripts reach below
@@ -283,4 +285,47 @@ func (a *Analysis) Extents(proc, array string, dim, blockSize int) (lo, hi int) 
 		hi += offs.Hi[dim]
 	}
 	return lo, hi
+}
+
+// Explain emits the overlap decisions for one procedure as remarks:
+// the per-array overlap widths (Gerndt's overlap regions, §5.6) and
+// any fallback to buffers when the actual need exceeded the
+// program-wide estimate.
+func (a *Analysis) Explain(ex *explain.Collector, proc string) {
+	if !ex.Enabled() {
+		return
+	}
+	names := make([]string, 0, len(a.Estimates[proc]))
+	for name := range a.Estimates[proc] {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		offs := a.Estimates[proc][name]
+		if offs == nil || offs.Zero() {
+			continue
+		}
+		msg := fmt.Sprintf("overlap region for %s extends the local section by %s", name, offs)
+		if used := a.actual[proc][name]; used != nil && !used.Zero() {
+			msg += fmt.Sprintf("; %s used by generated communication", used)
+		}
+		ex.Add(explain.Remark{
+			Kind: explain.Note, Pass: "overlap", Proc: proc, Name: "overlap",
+			Msg: msg,
+		})
+	}
+	bufNames := make([]string, 0, len(a.UseBuffer[proc]))
+	for name, b := range a.UseBuffer[proc] {
+		if b {
+			bufNames = append(bufNames, name)
+		}
+	}
+	sort.Strings(bufNames)
+	for _, name := range bufNames {
+		ex.Add(explain.Remark{
+			Kind: explain.Missed, Pass: "overlap", Proc: proc, Name: "overlap",
+			Msg: fmt.Sprintf("actual overlap for %s exceeds the program-wide estimate %s: nonlocal data falls back to buffers",
+				name, a.Estimates[proc][name]),
+		})
+	}
 }

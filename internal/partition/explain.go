@@ -1,0 +1,108 @@
+package partition
+
+import (
+	"fmt"
+	"sort"
+
+	"fortd/internal/explain"
+)
+
+// Explain emits the computation-partitioning decisions of one plan as
+// optimization remarks: per assignment whether the owner-computes
+// constraint reduced a loop's bounds, was delayed to callers, or fell
+// back to an ownership guard (with the demotion reason), and per call
+// site how arriving callee constraints were instantiated.
+func Explain(ex *explain.Collector, procName string, plan *Plan) {
+	if !ex.Enabled() {
+		return
+	}
+	for _, it := range plan.Items {
+		line := 0
+		if it.Stmt != nil {
+			line = it.Stmt.Pos().Line
+		}
+		switch {
+		case it.Red != nil:
+			ex.Add(explain.Remark{
+				Kind: explain.Applied, Pass: "partition", Proc: procName, Line: line, Name: "reduction",
+				Msg: fmt.Sprintf("recognized %s reduction into %s: loop %s partitioned by ownership of %s, global combine after the loop",
+					it.Red.Op, it.Red.Var, it.Loop.Var, it.C.Array),
+			})
+		case it.Loop != nil:
+			ex.Add(explain.Remark{
+				Kind: explain.Applied, Pass: "partition", Proc: procName, Line: line, Name: "reduce-bounds",
+				Msg: fmt.Sprintf("bounds of loop %s reduced to the local index set of %s (owner computes)",
+					it.Loop.Var, it.C.Array),
+			})
+		case it.DelayVar != "":
+			ex.Add(explain.Remark{
+				Kind: explain.Applied, Pass: "partition", Proc: procName, Line: line, Name: "delay",
+				Msg: fmt.Sprintf("ownership constraint on formal %s delayed to callers (delayed instantiation)",
+					it.DelayVar),
+			})
+		case it.Guard:
+			why := it.Why
+			if why == "" {
+				why = "the constraint cannot be absorbed by a local loop"
+			}
+			ex.Add(explain.Remark{
+				Kind: explain.Missed, Pass: "partition", Proc: procName, Line: line, Name: "guard",
+				Msg: fmt.Sprintf("ownership guard around assignment to %s: %s", it.C.Array, why),
+			})
+		case it.Why != "":
+			// a reduction demoted all the way to replicated execution
+			ex.Add(explain.Remark{
+				Kind: explain.Missed, Pass: "partition", Proc: procName, Line: line, Name: "replicate",
+				Msg: "statement executes replicated on every processor: " + it.Why,
+			})
+		}
+	}
+	for _, cc := range plan.CallCons {
+		line := 0
+		if cc.Site != nil && cc.Site.Stmt != nil {
+			line = cc.Site.Stmt.Pos().Line
+		}
+		callee := ""
+		if cc.Site != nil {
+			callee = cc.Site.Callee.Name()
+		}
+		switch {
+		case cc.Loop != nil:
+			ex.Add(explain.Remark{
+				Kind: explain.Applied, Pass: "partition", Proc: procName, Line: line, Name: "reduce-bounds",
+				Msg: fmt.Sprintf("callee %s's delayed constraint on %s instantiated: bounds of loop %s reduced",
+					callee, cc.Formal, cc.Loop.Var),
+			})
+		case cc.DelayVar != "":
+			ex.Add(explain.Remark{
+				Kind: explain.Applied, Pass: "partition", Proc: procName, Line: line, Name: "delay",
+				Msg: fmt.Sprintf("callee %s's constraint on %s re-delayed to this procedure's callers via %s",
+					callee, cc.Formal, cc.DelayVar),
+			})
+		case cc.Guard:
+			why := cc.Why
+			if why == "" {
+				why = "the constraint cannot be absorbed by a caller loop"
+			}
+			ex.Add(explain.Remark{
+				Kind: explain.Missed, Pass: "partition", Proc: procName, Line: line, Name: "guard",
+				Msg: fmt.Sprintf("call to %s guarded by an ownership test on %s: %s", callee, cc.Formal, why),
+			})
+		}
+	}
+	if len(plan.Delayed) > 0 {
+		vars := make([]string, 0, len(plan.Delayed))
+		for v := range plan.Delayed {
+			vars = append(vars, v)
+		}
+		sort.Strings(vars)
+		for _, v := range vars {
+			c := plan.Delayed[v]
+			ex.Add(explain.Remark{
+				Kind: explain.Note, Pass: "partition", Proc: procName, Name: "delayed-summary",
+				Msg: fmt.Sprintf("exports delayed constraint %s ∈ local(%s %s) to its callers",
+					v, c.Array, c.Dist.Key()),
+			})
+		}
+	}
+}

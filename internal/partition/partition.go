@@ -90,7 +90,23 @@ type Item struct {
 	// Red is set for recognized reductions (then Loop carries the
 	// partitioning and Guard/DelayVar stay unset).
 	Red *Reduction
+	// Why records the reason for a guard or demotion (static strings
+	// only, so recording is allocation-free when remarks are disabled).
+	Why string
 }
+
+// Demotion and guard reasons recorded on Item.Why / CallConstraint.Why.
+const (
+	WhyNonAffine     = "non-affine or non-unit-stride subscript in the distributed dimension"
+	WhyConstIndex    = "constant distributed subscript: a single owner executes the statement"
+	WhyUnboundVar    = "the partition variable is bound by neither a local loop nor a formal"
+	WhyLoopConflict  = "conflicting ownership constraints reach the same loop"
+	WhyDelayConflict = "conflicting delayed constraints reach the same formal"
+	WhyMixedLoopWork = "the loop contains work under a different partition, so every iteration is needed"
+	WhyDelayPartial  = "the delayed constraint does not cover all work in the procedure"
+	WhyCommInLoop    = "communication placed inside the loop requires every processor to run all iterations"
+	WhyActualUnnamed = "the actual argument is not a named array"
+)
 
 // CallConstraint is a delayed callee constraint applied at a call site.
 type CallConstraint struct {
@@ -106,6 +122,8 @@ type CallConstraint struct {
 	DelayVar string
 	Guard    bool
 	C        *Constraint
+	// Why records the reason for a guard or demotion (static strings).
+	Why string
 }
 
 // Plan is the complete computation-partitioning decision for one
@@ -228,12 +246,13 @@ func Compute(
 		switch {
 		case item.Loop != nil:
 			if !addLoopConstraint(item.Loop, item.C) {
-				demoteItem(item)
+				demoteItem(item, WhyLoopConflict)
 			}
 		case item.DelayVar != "":
 			if !addDelayed(item.DelayVar, item.C) {
 				item.DelayVar = ""
 				item.Guard = true
+				item.Why = WhyDelayConflict
 			}
 		default:
 			item.Guard = true
@@ -245,32 +264,37 @@ func Compute(
 			if !addLoopConstraint(cc.Loop, cc.C) {
 				cc.Loop = nil
 				cc.Guard = true
+				cc.Why = WhyLoopConflict
 			}
 		case cc.DelayVar != "":
 			if !addDelayed(cc.DelayVar, cc.C) {
 				cc.DelayVar = ""
 				cc.Guard = true
+				cc.Why = WhyDelayConflict
 			}
 		}
 	}
 	// demote items/calls whose loop later became conflicted
 	for _, item := range plan.Items {
 		if item.Loop != nil && conflicted[item.Loop] {
-			demoteItem(item)
+			demoteItem(item, WhyLoopConflict)
 		}
 		if item.DelayVar != "" && delayConflict[item.DelayVar] {
 			item.DelayVar = ""
 			item.Guard = true
+			item.Why = WhyDelayConflict
 		}
 	}
 	for _, cc := range plan.CallCons {
 		if cc.Loop != nil && conflicted[cc.Loop] {
 			cc.Loop = nil
 			cc.Guard = true
+			cc.Why = WhyLoopConflict
 		}
 		if cc.DelayVar != "" && delayConflict[cc.DelayVar] {
 			cc.DelayVar = ""
 			cc.Guard = true
+			cc.Why = WhyDelayConflict
 		}
 	}
 	for loop := range conflicted {
@@ -325,13 +349,14 @@ func (p *Plan) validateReductions() {
 		delete(p.LoopBounds, loop)
 		for _, it := range p.Items {
 			if it.Loop == loop {
-				demoteItem(it)
+				demoteItem(it, WhyMixedLoopWork)
 			}
 		}
 		for _, cc := range p.CallCons {
 			if cc.Loop == loop {
 				cc.Loop = nil
 				cc.Guard = true
+				cc.Why = WhyMixedLoopWork
 			}
 		}
 	}
@@ -362,12 +387,14 @@ func (p *Plan) validateDelays() {
 			if it.DelayVar == v {
 				it.DelayVar = ""
 				it.Guard = true
+				it.Why = WhyDelayPartial
 			}
 		}
 		for _, cc := range p.CallCons {
 			if cc.DelayVar == v {
 				cc.DelayVar = ""
 				cc.Guard = true
+				cc.Why = WhyDelayPartial
 			}
 		}
 	}
@@ -384,20 +411,22 @@ func (p *Plan) DropLoopReduction(loop *ast.Do) {
 	delete(p.LoopBounds, loop)
 	for _, it := range p.Items {
 		if it.Loop == loop {
-			demoteItem(it)
+			demoteItem(it, WhyCommInLoop)
 		}
 	}
 	for _, cc := range p.CallCons {
 		if cc.Loop == loop {
 			cc.Loop = nil
 			cc.Guard = true
+			cc.Why = WhyCommInLoop
 		}
 	}
 }
 
 // demoteItem falls an item back from loop-bounds reduction: reductions
 // revert to replicated execution, array assignments to guards.
-func demoteItem(it *Item) {
+func demoteItem(it *Item, why string) {
+	it.Why = why
 	if it.Red != nil {
 		demoteReduction(it)
 		return
@@ -427,6 +456,7 @@ func analyzeAssign(proc *ast.Procedure, st *ast.Assign, nest []*ast.Do, distOf D
 	if !item.Sub.OK || item.Sub.Coef > 1 || item.Sub.Coef < 0 {
 		// non-unit coefficients fall back to a guard
 		item.Guard = true
+		item.Why = WhyNonAffine
 		item.C = &Constraint{Array: lhs.Name, Dist: dist, Offset: 0}
 		return item
 	}
@@ -435,6 +465,7 @@ func analyzeAssign(proc *ast.Procedure, st *ast.Assign, nest []*ast.Do, distOf D
 	case item.Sub.Var == "":
 		// constant index: single owner executes; explicit guard
 		item.Guard = true
+		item.Why = WhyConstIndex
 	default:
 		if loop := loopFor(nest, item.Sub.Var); loop != nil {
 			item.Loop = loop
@@ -442,6 +473,7 @@ func analyzeAssign(proc *ast.Procedure, st *ast.Assign, nest []*ast.Do, distOf D
 			item.DelayVar = item.Sub.Var
 		} else {
 			item.Guard = true
+			item.Why = WhyUnboundVar
 		}
 	}
 	return item
@@ -461,6 +493,7 @@ func translateCallConstraint(proc *ast.Procedure, site *acg.CallSite, formal str
 	}
 	if actual == "" {
 		cc.Guard = true
+		cc.Why = WhyActualUnnamed
 		return cc
 	}
 	if loop := loopFor(nest, actual); loop != nil {

@@ -25,6 +25,7 @@ import (
 	"fortd/internal/acg"
 	"fortd/internal/ast"
 	"fortd/internal/decomp"
+	"fortd/internal/explain"
 	"fortd/internal/sideeffect"
 )
 
@@ -291,6 +292,8 @@ type Options struct {
 	// CloneLimit bounds the number of clones created program-wide; 0
 	// means no cloning (always run-time resolution on conflicts).
 	CloneLimit int
+	// Explain receives optimization remarks (nil = disabled).
+	Explain *explain.Collector
 }
 
 // DefaultOptions enables cloning with a generous limit.
@@ -300,6 +303,7 @@ func DefaultOptions() Options { return Options{CloneLimit: 64} }
 // behind g. The program is transformed in place when clones are made
 // and the returned Result carries the rebuilt graph.
 func Analyze(g *acg.Graph, opts Options) (*Result, error) {
+	ex := opts.Explain
 	clones := 0
 	cloneNames := map[string]string{}
 	for {
@@ -308,23 +312,92 @@ func Analyze(g *acg.Graph, opts Options) (*Result, error) {
 		if victim == nil {
 			res.ClonedFrom = cloneNames
 			res.finalize(g)
+			res.explainRemarks(g, ex)
 			return res, nil
 		}
 		if clones+len(partitions) > opts.CloneLimit {
 			// growth threshold exceeded: disable cloning, flag
 			// run-time resolution (§5.2 "cloning may be disabled when a
 			// threshold program growth has been exceeded")
+			if ex.Enabled() {
+				ex.Add(explain.Remark{
+					Kind: explain.Missed, Pass: "reach", Proc: victim.Name(), Name: "clone",
+					Msg: fmt.Sprintf("cloning %s into %d variants would exceed the clone limit (%d used of %d) — falling back to run-time resolution",
+						victim.Name(), len(partitions), clones, opts.CloneLimit),
+				})
+			}
 			res.ClonedFrom = cloneNames
 			res.finalize(g)
+			res.explainRemarks(g, ex)
 			return res, nil
 		}
 		if err := applyCloning(g, victim, partitions, cloneNames); err != nil {
 			return nil, err
 		}
+		if ex.Enabled() {
+			names := make([]string, 0, len(partitions))
+			for _, site := range g.Program.Units {
+				if cloneNames[site.Name] != "" && strings.HasPrefix(site.Name, victim.Name()+"$") {
+					names = append(names, site.Name)
+				}
+			}
+			sort.Strings(names)
+			ex.Add(explain.Remark{
+				Kind: explain.Applied, Pass: "reach", Proc: victim.Name(), Name: "clone",
+				Msg: fmt.Sprintf("%d distinct decomposition signatures reach %s: cloned into %s (%d of %d clone budget used)",
+					len(partitions), victim.Name(), strings.Join(names, ", "),
+					clones+len(partitions)-1, opts.CloneLimit),
+			})
+		}
 		clones += len(partitions) - 1
 		if err := g.Rebuild(); err != nil {
 			return nil, err
 		}
+	}
+}
+
+// explainRemarks emits the final solution as remarks: the reaching
+// decomposition set at every call site, and a missed-remark for every
+// procedure left to run-time resolution.
+func (res *Result) explainRemarks(g *acg.Graph, ex *explain.Collector) {
+	if !ex.Enabled() {
+		return
+	}
+	for _, n := range g.TopoOrder() {
+		for _, site := range n.Calls {
+			local := res.Sites[site.Stmt]
+			if len(local) == 0 {
+				continue
+			}
+			vars := make([]string, 0, len(local))
+			for v := range local {
+				vars = append(vars, v)
+			}
+			sort.Strings(vars)
+			parts := make([]string, 0, len(vars))
+			for _, v := range vars {
+				parts = append(parts, v+"="+local[v].String())
+			}
+			ex.Add(explain.Remark{
+				Kind: explain.Note, Pass: "reach", Proc: n.Name(), Line: site.Stmt.Pos().Line, Name: "reaching",
+				Msg: fmt.Sprintf("call %s: %s", site.Stmt.Name, strings.Join(parts, ", ")),
+			})
+		}
+	}
+	for _, n := range g.TopoOrder() {
+		multi := res.RuntimeResolution[n.Name()]
+		if len(multi) == 0 {
+			continue
+		}
+		sets := make([]string, 0, len(multi))
+		for _, v := range multi {
+			sets = append(sets, v+"="+res.Reaching[n.Name()][v].String())
+		}
+		ex.Add(explain.Remark{
+			Kind: explain.Missed, Pass: "reach", Proc: n.Name(), Name: "runtime-resolution",
+			Msg: fmt.Sprintf("%s needs run-time resolution: multiple decompositions still reach %s after cloning",
+				n.Name(), strings.Join(sets, ", ")),
+		})
 	}
 }
 

@@ -1,0 +1,189 @@
+package trace
+
+import (
+	"fmt"
+	"io"
+	"sort"
+)
+
+// ProcProfile breaks one processor's virtual clock into where the time
+// went: useful computation, time spent injecting messages (send
+// startup, remap transfers), and time blocked waiting on receives.
+type ProcProfile struct {
+	PID int
+	// Clock is the processor's final virtual time.
+	Clock float64
+	// Compute is Clock minus Send minus Blocked: time advancing the
+	// clock through arithmetic.
+	Compute float64
+	// Send is virtual time charged for message startup and remap
+	// transfers on this processor.
+	Send float64
+	// Blocked is cumulative time stalled in Recv waiting for data.
+	Blocked float64
+}
+
+// Busy is the non-blocked portion of the clock (compute + send).
+func (p ProcProfile) Busy() float64 { return p.Clock - p.Blocked }
+
+// Profile is the per-processor run profile derived from a traced
+// simulated run: the time breakdown per processor, the load-imbalance
+// ratio, and a critical-path estimate.
+type Profile struct {
+	Procs []ProcProfile
+	// Imbalance is max busy time over mean busy time across
+	// processors: 1.0 is a perfectly balanced run.
+	Imbalance float64
+	// CriticalPath estimates the longest dependence chain through the
+	// run in virtual µs: per-processor execution chains joined by
+	// send→recv edges wherever a receive actually blocked. Parallel
+	// time can exceed it only through imbalance the chain does not see.
+	CriticalPath float64
+}
+
+// ComputeProfile derives a run profile from collected trace events. It
+// needs the per-processor summaries (KindProcSummary) emitted at the
+// end of a run; it returns nil when the events contain none — e.g. a
+// compile-only trace.
+func ComputeProfile(events []Event) *Profile {
+	var sums []Event
+	sendTime := map[int]float64{}
+	for _, ev := range events {
+		switch ev.Kind {
+		case KindProcSummary:
+			sums = append(sums, ev)
+		case KindSend, KindRemap:
+			sendTime[ev.PID] += ev.Dur
+		}
+	}
+	if len(sums) == 0 {
+		return nil
+	}
+	sort.Slice(sums, func(i, j int) bool { return sums[i].PID < sums[j].PID })
+
+	prof := &Profile{}
+	var busySum, busyMax float64
+	for _, ev := range sums {
+		pp := ProcProfile{
+			PID:     ev.PID,
+			Clock:   ev.Dur,
+			Blocked: ev.Wait,
+			Send:    sendTime[ev.PID],
+		}
+		pp.Compute = pp.Clock - pp.Blocked - pp.Send
+		if pp.Compute < 0 {
+			pp.Compute = 0
+		}
+		prof.Procs = append(prof.Procs, pp)
+		busySum += pp.Busy()
+		if pp.Busy() > busyMax {
+			busyMax = pp.Busy()
+		}
+	}
+	if mean := busySum / float64(len(prof.Procs)); mean > 0 {
+		prof.Imbalance = busyMax / mean
+	}
+	prof.CriticalPath = criticalPath(events, sums)
+	return prof
+}
+
+// criticalPath estimates the longest dependence chain: each
+// processor's events form a chain (compute gaps between consecutive
+// events count as work), and a receive that blocked adds an edge from
+// the matching send weighted by the message's in-flight time. A
+// receive that found its data already delivered adds no edge — the
+// sender did not constrain the receiver.
+func criticalPath(events []Event, sums []Event) float64 {
+	var comms []Event
+	for _, ev := range events {
+		switch ev.Kind {
+		case KindSend, KindRecv, KindRemap:
+			comms = append(comms, ev)
+		}
+	}
+	sort.SliceStable(comms, func(i, j int) bool {
+		a, b := comms[i], comms[j]
+		if a.Start != b.Start {
+			return a.Start < b.Start
+		}
+		return a.Start+a.Dur < b.Start+b.Dur
+	})
+	cp := map[int]float64{}      // critical-path length at lastEnd[pid]
+	lastEnd := map[int]float64{} // virtual time of the pid's last event
+	cpSend := map[int64]float64{}
+	endSend := map[int64]float64{}
+	for _, ev := range comms {
+		ready := cp[ev.PID]
+		if gap := ev.Start - lastEnd[ev.PID]; gap > 0 {
+			ready += gap // compute between communication events
+		}
+		end := ev.Start + ev.Dur
+		path := ready + ev.Dur
+		switch ev.Kind {
+		case KindSend:
+			if ev.Seq != 0 {
+				cpSend[ev.Seq] = path
+				endSend[ev.Seq] = end
+			}
+		case KindRecv:
+			// blocked time is not chain work: the receiver's chain
+			// arrives at `ready`, and if it stalled the message's
+			// in-flight time from the sender's chain takes over
+			path = ready
+			if ev.Seq != 0 && ev.Dur > 0 {
+				if via := cpSend[ev.Seq] + (end - endSend[ev.Seq]); via > path {
+					path = via
+				}
+			}
+		}
+		cp[ev.PID] = path
+		lastEnd[ev.PID] = end
+	}
+	var longest float64
+	for _, ev := range sums {
+		path := cp[ev.PID]
+		if tail := ev.Dur - lastEnd[ev.PID]; tail > 0 {
+			path += tail // compute after the last communication
+		}
+		if path > longest {
+			longest = path
+		}
+	}
+	return longest
+}
+
+// WriteText renders the profile as text (the form the trace summary
+// embeds).
+func (p *Profile) WriteText(w io.Writer) error {
+	if p == nil || len(p.Procs) == 0 {
+		return nil
+	}
+	if _, err := fmt.Fprintf(w, "run profile:\n"); err != nil {
+		return err
+	}
+	for _, pp := range p.Procs {
+		pct := func(v float64) float64 {
+			if pp.Clock <= 0 {
+				return 0
+			}
+			return 100 * v / pp.Clock
+		}
+		fmt.Fprintf(w, "  p%-3d compute=%-11s (%5.1f%%)  send=%-10s (%5.1f%%)  blocked=%-10s (%5.1f%%)\n",
+			pp.PID,
+			fmt.Sprintf("%.1fµs", pp.Compute), pct(pp.Compute),
+			fmt.Sprintf("%.1fµs", pp.Send), pct(pp.Send),
+			fmt.Sprintf("%.1fµs", pp.Blocked), pct(pp.Blocked))
+	}
+	var maxClock float64
+	for _, pp := range p.Procs {
+		if pp.Clock > maxClock {
+			maxClock = pp.Clock
+		}
+	}
+	fmt.Fprintf(w, "  load imbalance %.2f (max/mean busy time)\n", p.Imbalance)
+	if maxClock > 0 {
+		fmt.Fprintf(w, "  critical path  %.1fµs (%.1f%% of %.1fµs parallel time)\n",
+			p.CriticalPath, 100*p.CriticalPath/maxClock, maxClock)
+	}
+	return nil
+}

@@ -144,6 +144,10 @@ func WriteText(w io.Writer, events []Event) error {
 			fmt.Fprintf(w, "  p%-3d clock=%-11s busy=%5.1f%%  sent=%-6d recvd=%-6d words=%-8d flops=%-8d wait=%.1fµs\n",
 				ev.PID, fmt.Sprintf("%.1fµs", ev.Dur), busy, ev.Sent, ev.Recvd, int64(ev.Words), ev.Flops, ev.Wait)
 		}
+		fmt.Fprintf(w, "\n")
+		if err := ComputeProfile(events).WriteText(w); err != nil {
+			return err
+		}
 	}
 	return nil
 }

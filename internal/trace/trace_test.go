@@ -191,3 +191,66 @@ func TestTracerSeqMonotone(t *testing.T) {
 		prev = s
 	}
 }
+
+func TestComputeProfile(t *testing.T) {
+	prof := ComputeProfile(sample())
+	if prof == nil {
+		t.Fatal("no profile from sample events")
+	}
+	if len(prof.Procs) != 2 {
+		t.Fatalf("got %d proc profiles, want 2", len(prof.Procs))
+	}
+	p0, p1 := prof.Procs[0], prof.Procs[1]
+	// p0: clock 500, wait 100, one send of 76.4µs
+	if p0.PID != 0 || p0.Blocked != 100 || p0.Send != 76.4 {
+		t.Errorf("p0 profile = %+v", p0)
+	}
+	if want := 500.0 - 100 - 76.4; p0.Compute != want {
+		t.Errorf("p0 compute = %g, want %g", p0.Compute, want)
+	}
+	// p1: clock 480, wait 50, one bcast send of 70.4µs
+	if p1.PID != 1 || p1.Blocked != 50 || p1.Send != 70.4 {
+		t.Errorf("p1 profile = %+v", p1)
+	}
+	// busy: p0=400, p1=430 → imbalance 430/415
+	if want := 430.0 / 415.0; !close(prof.Imbalance, want) {
+		t.Errorf("imbalance = %g, want %g", prof.Imbalance, want)
+	}
+	// p0 never blocks, so its chain spans its whole clock
+	if !close(prof.CriticalPath, 500) {
+		t.Errorf("critical path = %g, want 500", prof.CriticalPath)
+	}
+}
+
+func TestComputeProfileNoSummaries(t *testing.T) {
+	if prof := ComputeProfile([]Event{{Kind: KindSend, Words: 4}}); prof != nil {
+		t.Errorf("profile without summaries = %+v, want nil", prof)
+	}
+}
+
+func TestCriticalPathFollowsSendRecvEdge(t *testing.T) {
+	// p0 computes 100µs then sends (10µs); p1 blocks from t=0 until the
+	// message lands at t=130, then computes 20µs more. The chain runs
+	// through the send→recv edge: 110µs of sender work, 20µs in flight,
+	// 20µs receiver tail — p1's 130µs of blocking is not chain work.
+	evs := []Event{
+		{Kind: KindSend, PID: 0, Start: 100, Dur: 10, Seq: 1, Words: 8},
+		{Kind: KindRecv, PID: 1, Start: 0, Dur: 130, Seq: 1, Words: 8},
+		{Kind: KindProcSummary, PID: 0, Dur: 110, Wait: 0},
+		{Kind: KindProcSummary, PID: 1, Dur: 150, Wait: 130},
+	}
+	prof := ComputeProfile(evs)
+	// sender chain: 100 compute + 10 send = 110; edge adds the 20µs
+	// in-flight time (recv end 130 − send end 110); receiver tail 20.
+	if want := 150.0; !close(prof.CriticalPath, want) {
+		t.Errorf("critical path = %g, want %g", prof.CriticalPath, want)
+	}
+	if !close(prof.Procs[1].Compute, 20) {
+		t.Errorf("p1 compute = %g, want 20", prof.Procs[1].Compute)
+	}
+}
+
+func close(a, b float64) bool {
+	d := a - b
+	return d < 1e-9 && d > -1e-9
+}

@@ -92,9 +92,12 @@ S2      call F1(X)
 `, p, T)
 }
 
-// DgefaSrc generates the §9 case study: LU factorization without
-// pivoting on a column-cyclic matrix, with the BLAS-1 kernels in
-// separate procedures.
+// DgefaSrc generates the §9 case study: LU factorization on a
+// column-cyclic matrix, with the BLAS-1 kernels (idamax, dscal, daxpy)
+// in separate procedures. The idamax pivot scan computes the column
+// maximum but no rows are swapped — the test matrix (DgefaMatrix) is
+// diagonally dominant, so the pivot is always the diagonal and the
+// numeric results match pivot-free elimination.
 func DgefaSrc(n, p int) string {
 	return fmt.Sprintf(`
       PROGRAM MAIN
@@ -106,11 +109,19 @@ func DgefaSrc(n, p int) string {
       SUBROUTINE dgefa(a, n)
       REAL a(%d,%d)
       do k = 1, n-1
+        call idamax(a, n, k)
         t = 1.0 / a(k,k)
         call dscal(a, n, k, t)
         do j = k+1, n
           call daxpy(a, n, k, j)
         enddo
+      enddo
+      END
+      SUBROUTINE idamax(a, n, k)
+      REAL a(%d,%d)
+      s = 0.0
+      do i = k, n
+        s = MAX(s, ABS(a(i,k)))
       enddo
       END
       SUBROUTINE dscal(a, n, k, t)
@@ -125,7 +136,7 @@ func DgefaSrc(n, p int) string {
         a(i,j) = a(i,j) - a(i,k) * a(k,j)
       enddo
       END
-`, p, n, n, n, n, n, n, n, n, n)
+`, p, n, n, n, n, n, n, n, n, n, n, n)
 }
 
 // DgefaMatrix builds the deterministic diagonally dominant test matrix
