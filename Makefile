@@ -1,12 +1,15 @@
 GO ?= go
 
-.PHONY: check test bench golden
+.PHONY: check test race bench golden fuzz
 
-check: ## build + vet + race tests + trace-overhead guard
+check: ## build + vet + race tests + fuzz smoke + trace-overhead guard
 	./ci.sh
 
 test:
 	$(GO) test ./...
+
+race: ## tests under the race detector (the parallel compile lane)
+	$(GO) test -race ./...
 
 bench: ## go benchmarks + the BENCH_<yyyymmdd>.json snapshot
 	$(GO) test -run '^$$' -bench . -benchtime 10x .
@@ -14,3 +17,8 @@ bench: ## go benchmarks + the BENCH_<yyyymmdd>.json snapshot
 
 golden: ## regenerate the trace-summary and optimization-report goldens
 	$(GO) test -run TestGolden -update .
+
+FUZZTIME ?= 30s
+fuzz: ## fuzz the parser and the whole compile pipeline
+	$(GO) test -run '^$$' -fuzz FuzzParse -fuzztime $(FUZZTIME) ./internal/parser
+	$(GO) test -run '^$$' -fuzz FuzzCompile -fuzztime $(FUZZTIME) .

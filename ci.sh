@@ -1,11 +1,15 @@
 #!/bin/sh
-# CI gate: build, vet, race-enabled tests, and the trace-overhead guard
-# (the disabled-tracing fast path must stay cheap; compare the two
-# sub-benchmarks by hand when touching the instrumentation).
+# CI gate: build, vet, race-enabled tests (which exercise the parallel
+# compile scheduler), a short fuzz smoke of the parser and compile
+# pipeline, and the trace-overhead guard (the disabled-tracing fast path
+# must stay cheap; compare the two sub-benchmarks by hand when touching
+# the instrumentation).
 set -eux
 
 test -z "$(gofmt -l .)"
 go build ./...
 go vet ./...
 go test -race ./...
+go test -run '^$' -fuzz FuzzParse -fuzztime 10s ./internal/parser
+go test -run '^$' -fuzz FuzzCompile -fuzztime 10s .
 go test -run '^$' -bench BenchmarkTraceOverhead -benchtime 20x .

@@ -7,9 +7,15 @@
 // give a coarse performance history of both the compiler and the
 // generated code.
 //
+// Each entry also records the code-generation worker count (-jobs) the
+// compiles used and the warm-recompile hit rate of the summary cache
+// (compile twice against one cache; the second compile's hit fraction).
+// Results are sorted by workload name and serialized from a fixed
+// struct, so snapshot key order is stable across runs and Go versions.
+//
 // Usage:
 //
-//	fdbench [-o file.json] [-runs N]
+//	fdbench [-o file.json] [-runs N] [-jobs N]
 package main
 
 import (
@@ -18,12 +24,14 @@ import (
 	"fmt"
 	"log"
 	"os"
+	"sort"
 	"time"
 
 	"fortd"
 )
 
-// result is one workload's snapshot entry.
+// result is one workload's snapshot entry. Field order is the JSON key
+// order; add new fields at the end to keep snapshot diffs readable.
 type result struct {
 	Name string `json:"name"`
 	// WallNs is the best-of-N wall-clock time for one compile plus one
@@ -33,6 +41,11 @@ type result struct {
 	// the figures of merit the paper compares.
 	Words int64 `json:"words"`
 	Msgs  int64 `json:"msgs"`
+	// Jobs is the code-generation worker count the compiles ran with.
+	Jobs int `json:"jobs"`
+	// CacheHitRate is the summary-cache hit fraction of a warm
+	// recompile (1.0 = every procedure reused).
+	CacheHitRate float64 `json:"cache_hit_rate"`
 }
 
 type workload struct {
@@ -73,12 +86,14 @@ func workloads() []workload {
 	}
 }
 
-func measure(w workload, runs int) result {
-	best := result{Name: w.name}
+func measure(w workload, runs, jobs int) result {
+	best := result{Name: w.name, Jobs: jobs}
+	opts := fortd.DefaultOptions()
+	opts.Jobs = jobs
 	for i := 0; i < runs; i++ {
 		init := w.init()
 		start := time.Now()
-		prog, err := fortd.Compile(w.src, fortd.DefaultOptions())
+		prog, err := fortd.Compile(w.src, opts)
 		if err != nil {
 			log.Fatalf("%s: %v", w.name, err)
 		}
@@ -93,12 +108,28 @@ func measure(w workload, runs int) result {
 		best.Words = res.Stats.Words
 		best.Msgs = res.Stats.Messages
 	}
+	// warm-recompile hit rate: compile twice against one cache and
+	// report the second compile's hit fraction
+	cacheOpts := opts
+	cacheOpts.Cache = fortd.NewSummaryCache()
+	if _, err := fortd.Compile(w.src, cacheOpts); err != nil {
+		log.Fatalf("%s: %v", w.name, err)
+	}
+	warm, err := fortd.Compile(w.src, cacheOpts)
+	if err != nil {
+		log.Fatalf("%s: %v", w.name, err)
+	}
+	hits, misses := len(warm.CacheHits()), len(warm.CacheMisses())
+	if hits+misses > 0 {
+		best.CacheHitRate = float64(hits) / float64(hits+misses)
+	}
 	return best
 }
 
 func main() {
 	out := flag.String("o", "", "output file (default BENCH_<yyyymmdd>.json)")
 	runs := flag.Int("runs", 3, "measurement repetitions per workload (best is kept)")
+	jobs := flag.Int("jobs", 1, "concurrent code-generation workers per compile")
 	flag.Parse()
 
 	path := *out
@@ -107,11 +138,12 @@ func main() {
 	}
 	var results []result
 	for _, w := range workloads() {
-		r := measure(w, *runs)
-		fmt.Printf("%-10s wall=%-12s words=%-8d msgs=%d\n",
-			r.Name, time.Duration(r.WallNs), r.Words, r.Msgs)
+		r := measure(w, *runs, *jobs)
+		fmt.Printf("%-10s wall=%-12s words=%-8d msgs=%-6d cache-hit-rate=%.2f\n",
+			r.Name, time.Duration(r.WallNs), r.Words, r.Msgs, r.CacheHitRate)
 		results = append(results, r)
 	}
+	sort.Slice(results, func(i, j int) bool { return results[i].Name < results[j].Name })
 	data, err := json.MarshalIndent(results, "", "  ")
 	if err != nil {
 		log.Fatal(err)

@@ -4,7 +4,7 @@
 //
 // Usage:
 //
-//	fdc [-p N] [-strategy interproc|runtime|immediate] [-remap none|live|hoist|kills]
+//	fdc [-p N] [-jobs N] [-strategy interproc|runtime|immediate] [-remap none|live|hoist|kills]
 //	    [-explain] [-explain-json out.jsonl] file.f
 //
 // -explain prints the optimization report (every pass's applied/missed
@@ -22,6 +22,7 @@ import (
 
 func main() {
 	p := flag.Int("p", 0, "processor count (0: use the program's n$proc)")
+	jobs := flag.Int("jobs", 1, "concurrent code-generation workers (output is identical for any value)")
 	strategy := flag.String("strategy", "interproc", "interproc | runtime | immediate")
 	remap := flag.String("remap", "kills", "none | live | hoist | kills")
 	report := flag.Bool("report", true, "print the compilation report")
@@ -47,6 +48,7 @@ func main() {
 
 	opts := fortd.DefaultOptions()
 	opts.P = *p
+	opts.Jobs = *jobs
 	opts.Explain = ex
 	switch *strategy {
 	case "interproc":

@@ -5,7 +5,7 @@
 //
 // Usage:
 //
-//	fdrun [-p N] [-strategy interproc|runtime|immediate] [-zero] [-print-arrays]
+//	fdrun [-p N] [-jobs N] [-strategy interproc|runtime|immediate] [-zero] [-print-arrays]
 //	      [-trace out.json] [-trace-text] [-explain] [-explain-json out.jsonl] file.f
 //
 // -trace writes Chrome trace_event JSON covering the compile phases and
@@ -29,6 +29,7 @@ import (
 
 func main() {
 	p := flag.Int("p", 0, "processor count (0: use the program's n$proc)")
+	jobs := flag.Int("jobs", 1, "concurrent code-generation workers (output is identical for any value)")
 	strategy := flag.String("strategy", "interproc", "interproc | runtime | immediate")
 	zero := flag.Bool("zero", false, "zero-initialize arrays instead of a ramp")
 	printArrays := flag.Bool("print-arrays", false, "print final array contents")
@@ -61,6 +62,7 @@ func main() {
 
 	opts := fortd.DefaultOptions()
 	opts.P = *p
+	opts.Jobs = *jobs
 	opts.Trace = tr
 	opts.Explain = ex
 	switch *strategy {

@@ -44,6 +44,7 @@ import (
 	"fortd/internal/machine"
 	"fortd/internal/parser"
 	"fortd/internal/spmd"
+	"fortd/internal/summarycache"
 	"fortd/internal/trace"
 )
 
@@ -139,6 +140,18 @@ type Options struct {
 	// Explain, when non-nil, collects optimization remarks from every
 	// compiler pass.
 	Explain *Explain
+	// Jobs is the number of concurrent workers for the per-procedure
+	// code-generation phase, scheduled in topological waves over the
+	// call graph (0 or 1: sequential). Output is byte-identical
+	// regardless of Jobs.
+	Jobs int
+	// Cache, when non-nil, memoizes per-procedure compilation results
+	// across Compile calls, keyed by a content hash of each procedure's
+	// source and the interprocedural inputs it consumed. Re-compiling a
+	// program after editing one procedure re-analyzes only that
+	// procedure and the callers whose consumed summaries changed (the
+	// paper's §8 recompilation analysis, run as a cache).
+	Cache *SummaryCache
 }
 
 // DefaultOptions enables the full interprocedural pipeline.
@@ -166,8 +179,22 @@ func (o Options) Validate() error {
 	if o.CloneLimit < 0 {
 		return fmt.Errorf("fortd: Options.CloneLimit = %d, must be >= 0 (0 disables cloning)", o.CloneLimit)
 	}
+	if o.Jobs < 0 {
+		return fmt.Errorf("fortd: Options.Jobs = %d, must be >= 0 (0 or 1 compiles sequentially)", o.Jobs)
+	}
 	return nil
 }
+
+// SummaryCache is a concurrency-safe, content-hashed cache of
+// per-procedure compilation results, shared across Compile calls via
+// Options.Cache. See Options.Cache for the invalidation contract.
+type SummaryCache = summarycache.Cache
+
+// CacheStats reports a summary cache's hit/miss counters and size.
+type CacheStats = summarycache.Stats
+
+// NewSummaryCache returns an empty summary cache.
+func NewSummaryCache() *SummaryCache { return summarycache.New() }
 
 // Report summarizes what code generation did: messages and ownership
 // guards inserted, loop bounds reduced to local iterations, dynamic
@@ -192,6 +219,7 @@ func Compile(src string, opts Options) (*Program, error) {
 		P: opts.P, Strategy: opts.Strategy,
 		RemapOpt: opts.RemapOpt, CloneLimit: opts.CloneLimit,
 		Trace: opts.Trace, Explain: opts.Explain,
+		Jobs: opts.Jobs, Cache: opts.Cache,
 	})
 	if err != nil {
 		return nil, err
@@ -213,6 +241,14 @@ func (p *Program) Report() Report { return Report(p.c.Report) }
 
 // Clones maps generated procedure clones to their originals.
 func (p *Program) Clones() map[string]string { return p.c.Reach.ClonedFrom }
+
+// CacheHits returns the sorted procedures served from Options.Cache
+// during this compilation (nil when no cache was attached).
+func (p *Program) CacheHits() []string { return p.c.CacheHits }
+
+// CacheMisses returns the sorted procedures compiled fresh (and stored
+// into Options.Cache) during this compilation (nil without a cache).
+func (p *Program) CacheMisses() []string { return p.c.CacheMisses }
 
 // OverlapExtent reports the overlap region estimated for (procedure,
 // array) in the given dimension with the given local block size,

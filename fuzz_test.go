@@ -1,0 +1,63 @@
+package fortd
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// FuzzCompile asserts the whole compile pipeline — parse, ACG
+// construction, interprocedural analyses, code generation — never
+// panics: arbitrary input must either compile or return an error. Each
+// input is compiled twice, sequentially and through the parallel
+// scheduler with a summary cache attached, so the fuzzer also exercises
+// the worker pool and the cache load/store paths.
+func FuzzCompile(f *testing.F) {
+	paths, err := filepath.Glob(filepath.Join("testdata", "*.f"))
+	if err != nil {
+		f.Fatal(err)
+	}
+	for _, path := range paths {
+		src, err := os.ReadFile(path)
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(string(src))
+	}
+	for _, src := range []string{
+		Fig1Src(100, 4),
+		Fig4Src(100, 4),
+		Fig15Src(25, 4),
+		DgefaSrc(16, 4),
+		Jacobi1DSrc(64, 4, 4),
+		Jacobi2DSrc(16, 2, 4),
+		ADISrc(16, 2, 4, true),
+	} {
+		f.Add(src)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		opts := DefaultOptions()
+		seq, seqErr := Compile(src, opts)
+
+		opts.Jobs = 4
+		opts.Cache = NewSummaryCache()
+		par, parErr := Compile(src, opts)
+		if (seqErr == nil) != (parErr == nil) {
+			t.Fatalf("sequential error %v vs parallel error %v", seqErr, parErr)
+		}
+		if seqErr == nil && seq.Listing() != par.Listing() {
+			t.Fatal("sequential and parallel listings differ")
+		}
+		// warm recompile through the same cache must be error-free and
+		// byte-identical when the cold compile succeeded
+		if parErr == nil {
+			warm, warmErr := Compile(src, opts)
+			if warmErr != nil {
+				t.Fatalf("warm recompile failed: %v", warmErr)
+			}
+			if warm.Listing() != par.Listing() {
+				t.Fatal("warm recompile listing differs")
+			}
+		}
+	})
+}

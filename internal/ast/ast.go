@@ -469,3 +469,16 @@ func (p *Program) AddProc(u *Procedure) {
 	p.Units = append(p.Units, u)
 	p.procs[u.Name] = u
 }
+
+// ReplaceProc swaps the unit of the same name for u, keeping the name
+// index consistent (used by the summary cache to splice cached units
+// into a fresh compilation). It is a no-op if no unit has u's name.
+func (p *Program) ReplaceProc(u *Procedure) {
+	for i, old := range p.Units {
+		if old.Name == u.Name {
+			p.Units[i] = u
+			p.procs[u.Name] = u
+			return
+		}
+	}
+}

@@ -1,0 +1,225 @@
+package core
+
+// Summary-cache integration: content-hashed keys for per-procedure
+// phase-3 artifacts. A procedure's key covers its own (post-cloning)
+// source text and statement positions, the compilation options that
+// influence code generation, and every interprocedural input its
+// compilation consumes — propagated constants, reaching decompositions,
+// run-time-resolution flags, and one summary hash per distinct callee.
+// The callee summary hash covers the callee's caller-visible interface
+// (delayed iteration sets, delayed communication, decomposition
+// summary), its regular-section side-effect summary and its overlap
+// estimates: exactly the information internal/recompile's §8 analysis
+// compares, so cache invalidation reproduces its recompilation tests.
+// Editing one procedure therefore re-analyzes only the cone of callers
+// whose consumed summaries actually changed.
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+
+	"fortd/internal/acg"
+	"fortd/internal/ast"
+	"fortd/internal/comm"
+	"fortd/internal/partition"
+	"fortd/internal/reach"
+	"fortd/internal/summarycache"
+)
+
+// procKey builds the content-hash cache key for one procedure. All
+// callee summary hashes are published before the task starts (the
+// scheduler's dependency edges), so this never blocks.
+func (pc *passCtx) procKey(n *acg.Node) string {
+	name := n.Name()
+	h := summarycache.NewHasher()
+
+	var b strings.Builder
+	ast.PrintProcedure(&b, n.Proc)
+	h.Add("src", b.String())
+	// printed source carries no positions; fingerprint statement lines
+	// separately so cached remark positions always match the input
+	var lines []string
+	ast.WalkStmts(n.Proc.Body, func(s ast.Stmt) bool {
+		lines = append(lines, strconv.Itoa(s.Pos().Line))
+		return true
+	})
+	h.Add("pos", strings.Join(lines, ","))
+
+	h.Add("p", strconv.Itoa(pc.p),
+		"strategy", strconv.Itoa(int(pc.opts.Strategy)),
+		"remap", strconv.Itoa(int(pc.opts.RemapOpt)),
+		"clonelimit", strconv.Itoa(pc.opts.CloneLimit),
+		"explain", strconv.FormatBool(pc.exOn))
+
+	h.Add("env", renderEnv(pc.consts[name]))
+	h.Add("reach", renderReaching(pc.c.Reach.Reaching[name]))
+	rt := append([]string(nil), pc.c.Reach.RuntimeResolution[name]...)
+	sort.Strings(rt)
+	h.Add("rtres", strings.Join(rt, ","))
+
+	for _, callee := range calleeNames(n) {
+		h.Add("callee", callee, pc.table.shashOf(callee))
+	}
+	return h.Sum()
+}
+
+// summaryHash fingerprints everything a caller consumes from a
+// completed procedure: its interface summaries plus the fresh global
+// analyses (regular sections, overlap estimates) derived from it.
+func (pc *passCtx) summaryHash(out *procOut) string {
+	h := summarycache.NewHasher()
+	h.Add("iface", out.iface)
+	h.Add("part", renderPartDelayed(out.part))
+	h.Add("comm", renderDelayedComm(out.commD))
+	if out.dsum != nil {
+		parts := decompSummaryString(out.dsum)
+		sort.Strings(parts)
+		h.Add("dsum", strings.Join(parts, "\n"))
+	}
+	h.Add("sections", renderSectionSummary(pc.sections[out.name]))
+	h.Add("overlap", renderOverlapEstimates(pc, out.name))
+	h.Add("runtime", strconv.FormatBool(out.runtime))
+	return h.Sum()
+}
+
+// loadEntry fills a task output from a cache entry. The entry's unit is
+// cloned at commit time; the summary structures are shared read-only,
+// exactly as a fresh callee's summaries are shared with its callers.
+func (pc *passCtx) loadEntry(e *summarycache.Entry, out *procOut) {
+	out.hit = true
+	res := e.Result
+	out.res = &res
+	out.unit = e.Unit
+	out.part = e.PartDelayed
+	out.commD = e.CommDelayed
+	out.dsum = e.DecompSum
+	out.iface = e.Interface
+	out.inputs = e.InputsUsed
+	out.mainDists = e.MainDists
+	out.actuals = e.Overlaps
+	out.remarks = e.Remarks
+	out.runtime = e.Runtime
+	out.shash = pc.summaryHash(out)
+}
+
+// storeEntries records every freshly compiled procedure of a successful
+// compilation, cloning the final transformed unit so later mutations
+// cannot leak into the cache.
+func (pc *passCtx) storeEntries(outs []*procOut) {
+	prog := pc.c.Program
+	for _, out := range outs {
+		if out == nil || out.hit || out.key == "" || out.err != nil {
+			continue
+		}
+		u := prog.Proc(out.name)
+		if u == nil || out.res == nil {
+			continue
+		}
+		res := *out.res
+		res.Body = nil
+		pc.cache.Put(&summarycache.Entry{
+			Key:         out.key,
+			Proc:        out.name,
+			Unit:        ast.CloneProcedure(u, u.Name),
+			Result:      res,
+			PartDelayed: out.part,
+			CommDelayed: out.commD,
+			DecompSum:   out.dsum,
+			Interface:   out.iface,
+			InputsUsed:  out.inputs,
+			MainDists:   out.mainDists,
+			Overlaps:    out.actuals,
+			Remarks:     out.remarks,
+			Runtime:     out.runtime,
+		})
+	}
+}
+
+func renderEnv(env ast.MapEnv) string {
+	keys := make([]string, 0, len(env))
+	for k := range env {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var parts []string
+	for _, k := range keys {
+		parts = append(parts, fmt.Sprintf("%s=%d", k, env[k]))
+	}
+	return strings.Join(parts, ";")
+}
+
+func renderReaching(reaching map[string]reach.DSet) string {
+	keys := make([]string, 0, len(reaching))
+	for k := range reaching {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var parts []string
+	for _, k := range keys {
+		parts = append(parts, k+"="+reaching[k].Key())
+	}
+	return strings.Join(parts, ";")
+}
+
+func renderPartDelayed(m map[string]*partition.Constraint) string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var parts []string
+	for _, k := range keys {
+		c := m[k]
+		// Constraint.Key omits the bound array sizes; include them so a
+		// resized callee array invalidates callers
+		parts = append(parts, fmt.Sprintf("%s:%s/%v", k, c.Key(), c.Dist.Sizes))
+	}
+	return strings.Join(parts, ";")
+}
+
+func renderDelayedComm(ds []*comm.Delayed) string {
+	parts := make([]string, 0, len(ds))
+	for _, d := range ds {
+		// every field, unlike Delayed.String, so any change to a delayed
+		// communication invalidates the callers that instantiate it
+		parts = append(parts, fmt.Sprintf("%s|%d|%d|%s|%d|%s|%d|%s",
+			d.Array, int(d.Kind), d.Shift, d.PointVar, d.PointOff, d.DistKey, d.DistDim, d.Section))
+	}
+	sort.Strings(parts)
+	return strings.Join(parts, ";")
+}
+
+func renderSectionSummary(ss *comm.SectionSummary) string {
+	if ss == nil {
+		return ""
+	}
+	var parts []string
+	for arr, secs := range ss.Writes {
+		for _, s := range secs {
+			parts = append(parts, "W "+arr+" "+s.String())
+		}
+	}
+	for arr, secs := range ss.Reads {
+		for _, s := range secs {
+			parts = append(parts, "R "+arr+" "+s.String())
+		}
+	}
+	sort.Strings(parts)
+	return strings.Join(parts, ";")
+}
+
+func renderOverlapEstimates(pc *passCtx, name string) string {
+	est := pc.c.Overlaps.Estimates[name]
+	keys := make([]string, 0, len(est))
+	for k := range est {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var parts []string
+	for _, k := range keys {
+		parts = append(parts, k+est[k].String())
+	}
+	return strings.Join(parts, ";")
+}

@@ -15,13 +15,13 @@ import (
 	"fortd/internal/codegen"
 	"fortd/internal/comm"
 	"fortd/internal/decomp"
-	"fortd/internal/depend"
 	"fortd/internal/explain"
 	"fortd/internal/livedecomp"
 	"fortd/internal/overlap"
 	"fortd/internal/parser"
 	"fortd/internal/partition"
 	"fortd/internal/reach"
+	"fortd/internal/summarycache"
 	"fortd/internal/symconst"
 	"fortd/internal/trace"
 )
@@ -45,6 +45,15 @@ type Options struct {
 	// Explain, when non-nil, collects optimization remarks from every
 	// pass (nil = disabled, allocation-free).
 	Explain *explain.Collector
+	// Jobs is the number of workers the per-procedure code-generation
+	// phase schedules over the ACG's topological waves (<= 1:
+	// sequential). Outputs are byte-identical regardless of Jobs.
+	Jobs int
+	// Cache, when non-nil, is the content-hashed summary cache: each
+	// procedure's phase-3 artifacts are stored under a hash of its
+	// source and consumed interprocedural inputs, so recompilations
+	// re-analyze only the invalidated cone of the ACG.
+	Cache *summarycache.Cache
 }
 
 // DefaultOptions enables everything the paper's compiler does.
@@ -125,6 +134,10 @@ type Compilation struct {
 	// InputsUsed holds, per procedure, a canonical rendering of all
 	// interprocedural information consumed when compiling it.
 	InputsUsed map[string]string
+	// CacheHits and CacheMisses list, sorted, the procedures served
+	// from / freshly compiled into Options.Cache (nil without a cache).
+	CacheHits   []string
+	CacheMisses []string
 }
 
 // Compile parses and compiles Fortran D source text.
@@ -208,172 +221,53 @@ func CompileProgram(prog *ast.Program, opts Options) (*Compilation, error) {
 	}
 
 	// Phase 3: interprocedural code generation, one pass per procedure
-	// in reverse topological order (callees first).
-	partDelayed := map[string]map[string]*partition.Constraint{}
-	commDelayed := map[string][]*comm.Delayed{}
-	decompSums := map[string]*livedecomp.Summary{}
+	// in reverse topological order (callees first), scheduled over a
+	// worker pool when opts.Jobs > 1. Tasks write only their own
+	// procOut; everything below commits those outputs sequentially in
+	// reverse-topological order, so reports, remarks and generated
+	// programs are byte-identical regardless of the worker count.
+	jobs := opts.Jobs
+	if jobs < 1 {
+		jobs = 1
+	}
+	pcx := &passCtx{
+		c: c, opts: opts, p: p, exOn: ex.Enabled(),
+		sections: sections, consts: consts, killTest: killTest,
+		table: newSummaryTable(), cache: opts.Cache,
+	}
+	outs := compileAll(pcx, g.ReverseTopoOrder(), jobs)
+
 	newBodies := map[string][]ast.Stmt{}
-
-	for _, n := range g.ReverseTopoOrder() {
-		proc := n.Proc
-		endProc := tr.Phase("codegen " + proc.Name)
-		// the procedure's PARAMETER constants plus interprocedurally
-		// propagated constant formals
-		env := consts.Env(proc.Name)
-		dists, atStmt, entry := c.procDists(proc, env)
-		distOf := func(array string, at ast.Stmt) (*decomp.Dist, bool) {
-			if at != nil {
-				if m, ok := atStmt[at]; ok {
-					if d, ok := m[array]; ok {
-						return d, true
-					}
-				}
-			}
-			d, ok := dists[array]
-			return d, ok
-		}
-		if proc.IsMain {
-			for arr, d := range dists {
-				c.MainDists[arr] = d
-			}
-		}
-
-		runtimeProc := opts.Strategy == codegen.StrategyRuntime ||
-			len(reachRes.RuntimeResolution[proc.Name]) > 0
-		if runtimeProc {
-			if ex.Enabled() {
-				reason := "the run-time resolution baseline strategy is selected"
-				if vars := reachRes.RuntimeResolution[proc.Name]; len(vars) > 0 {
-					reason = fmt.Sprintf("multiple decompositions reach %v and cloning did not separate them", vars)
-				}
-				ex.Add(explain.Remark{
-					Kind: explain.Note, Pass: "core", Proc: proc.Name, Name: "runtime-resolution",
-					Msg: fmt.Sprintf("%s compiled with run-time resolution (per-element ownership tests, Figure 3): %s",
-						proc.Name, reason),
-				})
-			}
-			entryDists := map[string]*decomp.Dist{}
-			for arr, d := range entry {
-				if dist := mkDistFor(proc, arr, d, env, c.P); dist != nil {
-					entryDists[arr] = dist
-				}
-			}
-			res, err := codegen.GenerateRuntime(proc, distOf, entryDists, p)
-			if err != nil {
-				return nil, fmt.Errorf("%s: %v", proc.Name, err)
-			}
-			c.record(proc.Name, res)
-			newBodies[proc.Name] = res.Body
-			partDelayed[proc.Name] = map[string]*partition.Constraint{}
-			commDelayed[proc.Name] = nil
-			decompSums[proc.Name] = &livedecomp.Summary{
-				Use: map[string]bool{}, Kill: map[string]bool{},
-				Before: map[string]decomp.Decomp{}, After: map[string]decomp.Decomp{},
-				Final: map[string]decomp.Decomp{},
-			}
-			c.Interfaces[proc.Name] = "runtime-resolution"
-			reachView := map[string]decompSetView{}
-			for v, set := range c.Reach.Reaching[proc.Name] {
-				reachView[v] = set
-			}
-			c.InputsUsed[proc.Name] = inputsString(n, reachView, c.Interfaces)
-			endProc()
+	hitUnits := map[string]*ast.Procedure{}
+	for _, out := range outs {
+		if out == nil {
+			// never scheduled because an earlier task failed
 			continue
 		}
-
-		immediate := opts.Strategy == codegen.StrategyImmediate
-		delayedConsOf := func(name string) map[string]*partition.Constraint {
-			if immediate {
-				return nil
+		ex.AddAll(out.remarks)
+		if out.err != nil {
+			return nil, out.err
+		}
+		c.record(out.name, out.res)
+		c.Interfaces[out.name] = out.iface
+		c.InputsUsed[out.name] = out.inputs
+		for arr, d := range out.mainDists {
+			c.MainDists[arr] = d
+		}
+		if out.hit {
+			hitUnits[out.name] = out.unit
+			// replay the overlaps the cached pass recorded, so the
+			// program-wide actual/buffer bookkeeping matches a fresh run
+			for _, oa := range out.actuals {
+				c.Overlaps.RecordActual(out.name, oa.Array, oa.Dim, oa.Lo, oa.Hi)
 			}
-			return partDelayed[name]
-		}
-		delayedCommOf := func(name string) []*comm.Delayed {
-			if immediate {
-				return nil
-			}
-			return commDelayed[name]
-		}
-
-		deps := depend.Analyze(proc, env)
-		plan := partition.Compute(proc, n, distOf, delayedConsOf, env)
-		if immediate {
-			forceLocalPlan(plan)
-		}
-		commRes := comm.Analyze(proc, n, plan, deps, distOf, delayedCommOf, sections, env)
-		if immediate {
-			for _, acc := range commRes.Accesses {
-				acc.Delay = false
-			}
-			commRes.Delayed = nil
-		}
-		// communication placed inside a loop requires every processor
-		// to execute all its iterations: drop those reductions
-		for _, acc := range commRes.Accesses {
-			if acc.AtLoop != nil && !acc.Delay {
-				plan.DropLoopReduction(acc.AtLoop)
+			c.CacheHits = append(c.CacheHits, out.name)
+		} else {
+			newBodies[out.name] = out.body
+			if pcx.cache.Enabled() {
+				c.CacheMisses = append(c.CacheMisses, out.name)
 			}
 		}
-		for _, cc := range commRes.CallComms {
-			if cc.AtLoop != nil && !cc.Delay {
-				plan.DropLoopReduction(cc.AtLoop)
-			}
-		}
-
-		// §6.4: Fortran D disallows dynamic data decomposition for
-		// aliased variables — reject calls that pass the same array to
-		// two formals when the callee remaps either of them
-		if err := checkAliasRestriction(n, decompSums); err != nil {
-			if ex.Enabled() {
-				ex.Add(explain.Remark{
-					Kind: explain.Missed, Pass: "core", Proc: proc.Name, Name: "alias-restriction",
-					Msg: err.Error(),
-				})
-			}
-			return nil, err
-		}
-
-		remapLevel := opts.RemapOpt
-		remaps, decompSum := livedecomp.AnalyzeExplain(proc, n, entry, decompSums, killTest, remapLevel, ex)
-		partition.Explain(ex, proc.Name, plan)
-		comm.Explain(ex, proc.Name, commRes)
-
-		// overlap bookkeeping: shifts extend the block boundary
-		for _, acc := range commRes.Accesses {
-			if acc.Kind != comm.KShift || acc.Delay {
-				continue
-			}
-			lo, hi := 0, 0
-			if acc.Shift > 0 {
-				hi = acc.Shift
-			} else {
-				lo = -acc.Shift
-			}
-			c.Overlaps.RecordActual(proc.Name, acc.Array, acc.DistDim, lo, hi)
-		}
-
-		gen, err := codegen.Generate(&codegen.Input{
-			Proc: proc, Plan: plan, Comm: commRes, Remaps: remaps,
-			Overlap: c.Overlaps, DistOf: distOf, Env: env, P: p,
-		})
-		if err != nil {
-			return nil, fmt.Errorf("%s: %v", proc.Name, err)
-		}
-		c.record(proc.Name, gen)
-		newBodies[proc.Name] = gen.Body
-		c.Overlaps.Explain(ex, proc.Name)
-
-		partDelayed[proc.Name] = plan.Delayed
-		commDelayed[proc.Name] = commRes.Delayed
-		decompSums[proc.Name] = decompSum
-
-		c.Interfaces[proc.Name] = interfaceString(plan.Delayed, commRes.Delayed, decompSum)
-		reachView := map[string]decompSetView{}
-		for v, set := range c.Reach.Reaching[proc.Name] {
-			reachView[v] = set
-		}
-		c.InputsUsed[proc.Name] = inputsString(n, reachView, c.Interfaces)
-		endProc()
 	}
 
 	// swap in the generated bodies
@@ -382,11 +276,25 @@ func CompileProgram(prog *ast.Program, opts Options) (*Compilation, error) {
 			u.Body = body
 		}
 	}
+	for name, hu := range hitUnits {
+		cu := ast.CloneProcedure(hu, hu.Name)
+		prog.ReplaceProc(cu)
+		if res := c.Report.PerProc[name]; res != nil {
+			res.Body = cu.Body
+		}
+	}
 	tr.Counter("messages-inserted", int64(c.Report.Messages))
 	tr.Counter("guards-inserted", int64(c.Report.Guards))
 	tr.Counter("loops-reduced", int64(c.Report.LoopsReduced))
 	tr.Counter("remaps-inserted", int64(c.Report.Remaps))
 	tr.Counter("procedures-cloned", int64(c.Report.Cloned))
+	if pcx.cache.Enabled() {
+		sort.Strings(c.CacheHits)
+		sort.Strings(c.CacheMisses)
+		tr.Counter(counterCacheHits, int64(len(c.CacheHits)))
+		tr.Counter(counterCacheMisses, int64(len(c.CacheMisses)))
+		pcx.storeEntries(outs)
+	}
 	return c, nil
 }
 
@@ -401,8 +309,8 @@ func (c *Compilation) record(name string, res *codegen.Result) {
 // procDists derives each array's distribution at its first use in proc
 // and at every statement (so dynamic redistribution within a procedure
 // resolves per program point), plus the entry decompositions for
-// livedecomp.
-func (c *Compilation) procDists(proc *ast.Procedure, env ast.Env) (map[string]*decomp.Dist, map[ast.Stmt]map[string]*decomp.Dist, map[string]decomp.Decomp) {
+// livedecomp. Remarks go to ex, the calling task's collector.
+func (c *Compilation) procDists(proc *ast.Procedure, env ast.Env, ex *explain.Collector) (map[string]*decomp.Dist, map[ast.Stmt]map[string]*decomp.Dist, map[string]decomp.Decomp) {
 	reaching := c.Reach.Reaching[proc.Name]
 	st := reach.NewState(proc, reaching)
 	firstUse := map[string]decomp.Decomp{}
@@ -470,7 +378,7 @@ func (c *Compilation) procDists(proc *ast.Procedure, env ast.Env) (map[string]*d
 		if dist := mkDist(name, d); dist != nil {
 			dists[name] = dist
 		} else if !d.IsReplicated() {
-			if ex := c.Options.Explain; ex.Enabled() {
+			if ex.Enabled() {
 				ex.Add(explain.Remark{
 					Kind: explain.Missed, Pass: "core", Proc: proc.Name, Name: "distribute",
 					Msg: fmt.Sprintf("no distribution descriptor built for %s %s: dimension bounds are not compile-time constants or the decomposition does not fit — the array stays replicated",

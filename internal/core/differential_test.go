@@ -11,6 +11,7 @@ import (
 	"fortd/internal/codegen"
 	"fortd/internal/machine"
 	"fortd/internal/spmd"
+	"fortd/internal/summarycache"
 )
 
 // This file implements differential testing: randomly generated
@@ -147,44 +148,99 @@ func (g *progGen) generate() string {
 	return src.String()
 }
 
+// TestDifferentialRandomPrograms is a table-driven property test: every
+// lane draws random programs (array sizes, processor counts, statement
+// mixes) from a fixed seed, compiles them with its strategy and worker
+// count, and checks the SPMD run against the sequential reference. The
+// parallel lanes additionally assert the determinism property — the
+// listing compiled with Jobs=N must equal the Jobs=1 listing — and the
+// cached lane recompiles through a summary cache and asserts the warm
+// program is all hits yet still byte-identical and correct.
 func TestDifferentialRandomPrograms(t *testing.T) {
-	rng := rand.New(rand.NewSource(20260705))
-	const trials = 40
-	for trial := 0; trial < trials; trial++ {
-		g := &progGen{
-			rng: rng,
-			n:   rng.Intn(40) + 24,
-			p:   []int{2, 3, 4}[rng.Intn(3)],
-		}
-		src := g.generate()
+	cases := []struct {
+		name     string
+		strategy codegen.Strategy
+		// maxJobs > 1 draws a random worker count in [2, maxJobs] per
+		// trial and checks listings against the sequential compile
+		maxJobs int
+		cached  bool
+		seed    int64
+		trials  int
+	}{
+		{name: "interproc", strategy: codegen.StrategyInterproc, seed: 20260705, trials: 40},
+		{name: "immediate", strategy: codegen.StrategyImmediate, seed: 20260705, trials: 40},
+		{name: "runtime", strategy: codegen.StrategyRuntime, seed: 20260705, trials: 40},
+		{name: "interproc-parallel", strategy: codegen.StrategyInterproc, maxJobs: 8, seed: 20260806, trials: 15},
+		{name: "interproc-parallel-cached", strategy: codegen.StrategyInterproc, maxJobs: 8, cached: true, seed: 20260807, trials: 15},
+	}
+	for _, tc := range cases {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			rng := rand.New(rand.NewSource(tc.seed))
+			for trial := 0; trial < tc.trials; trial++ {
+				g := &progGen{
+					rng: rng,
+					n:   rng.Intn(40) + 24,
+					p:   []int{2, 3, 4}[rng.Intn(3)],
+				}
+				src := g.generate()
 
-		for _, strategy := range []codegen.Strategy{
-			codegen.StrategyInterproc, codegen.StrategyImmediate, codegen.StrategyRuntime,
-		} {
-			opts := DefaultOptions()
-			opts.Strategy = strategy
-			c, err := Compile(src, opts)
-			if err != nil {
-				t.Fatalf("trial %d (%v): compile: %v\n%s", trial, strategy, err, src)
-			}
-			par, err := spmd.Run(c.Program, machine.DefaultConfig(c.P), spmd.Options{Dists: c.MainDists})
-			if err != nil {
-				t.Fatalf("trial %d (%v): run: %v\n%s", trial, strategy, err, src)
-			}
-			seq, err := spmd.RunSequential(c.Source, spmd.Options{})
-			if err != nil {
-				t.Fatalf("trial %d: reference: %v", trial, err)
-			}
-			for name, want := range seq.Arrays {
-				got := par.Arrays[name]
-				for i := range want {
-					if math.Abs(got[i]-want[i]) > 1e-9*(1+math.Abs(want[i])) {
-						t.Fatalf("trial %d (%v): %s[%d] = %v, want %v\nprogram:\n%s\ngenerated:\n%s",
-							trial, strategy, name, i, got[i], want[i], src, listingOf(c))
+				opts := DefaultOptions()
+				opts.Strategy = tc.strategy
+				if tc.maxJobs > 1 {
+					opts.Jobs = rng.Intn(tc.maxJobs-1) + 2
+				}
+				if tc.cached {
+					opts.Cache = summarycache.New()
+				}
+				c, err := Compile(src, opts)
+				if err != nil {
+					t.Fatalf("trial %d: compile: %v\n%s", trial, err, src)
+				}
+				if tc.maxJobs > 1 {
+					seqOpts := opts
+					seqOpts.Jobs = 1
+					seqOpts.Cache = nil
+					sc, err := Compile(src, seqOpts)
+					if err != nil {
+						t.Fatalf("trial %d: sequential compile: %v\n%s", trial, err, src)
+					}
+					if got, want := listingOf(c), listingOf(sc); got != want {
+						t.Fatalf("trial %d: jobs=%d listing differs from sequential\n%s", trial, opts.Jobs, src)
+					}
+				}
+				if tc.cached {
+					warm, err := Compile(src, opts)
+					if err != nil {
+						t.Fatalf("trial %d: warm recompile: %v\n%s", trial, err, src)
+					}
+					if len(warm.CacheMisses) != 0 {
+						t.Fatalf("trial %d: warm recompile misses %v\n%s", trial, warm.CacheMisses, src)
+					}
+					if got, want := listingOf(warm), listingOf(c); got != want {
+						t.Fatalf("trial %d: warm listing differs from cold\n%s", trial, src)
+					}
+					c = warm // run the cache-built program against the reference
+				}
+				par, err := spmd.Run(c.Program, machine.DefaultConfig(c.P), spmd.Options{Dists: c.MainDists})
+				if err != nil {
+					t.Fatalf("trial %d: run: %v\n%s", trial, err, src)
+				}
+				seq, err := spmd.RunSequential(c.Source, spmd.Options{})
+				if err != nil {
+					t.Fatalf("trial %d: reference: %v", trial, err)
+				}
+				for name, want := range seq.Arrays {
+					got := par.Arrays[name]
+					for i := range want {
+						if math.Abs(got[i]-want[i]) > 1e-9*(1+math.Abs(want[i])) {
+							t.Fatalf("trial %d: %s[%d] = %v, want %v\nprogram:\n%s\ngenerated:\n%s",
+								trial, name, i, got[i], want[i], src, listingOf(c))
+						}
 					}
 				}
 			}
-		}
+		})
 	}
 }
 

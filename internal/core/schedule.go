@@ -1,0 +1,464 @@
+package core
+
+// Phase 3 (interprocedural code generation) runs as a DAG schedule over
+// the ACG: each procedure is one task whose dependencies are its
+// distinct callees, so the reverse-topological waves of the paper's
+// single-pass compilation become parallel waves — procedures with no
+// unresolved callee summaries compile concurrently on a worker pool,
+// publishing their caller-visible summaries through a locked summary
+// table instead of shared mutable maps. With Jobs <= 1 the schedule
+// degenerates to the sequential reverse-topological walk, and both
+// modes commit results in reverse-topological order, so reports,
+// remarks and generated programs are byte-identical regardless of the
+// worker count.
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"fortd/internal/acg"
+	"fortd/internal/ast"
+	"fortd/internal/codegen"
+	"fortd/internal/comm"
+	"fortd/internal/decomp"
+	"fortd/internal/depend"
+	"fortd/internal/explain"
+	"fortd/internal/livedecomp"
+	"fortd/internal/partition"
+	"fortd/internal/summarycache"
+	"fortd/internal/symconst"
+)
+
+// procOut carries everything one procedure's phase-3 task produced.
+// Tasks only write their own procOut; all shared state is committed
+// sequentially afterwards.
+type procOut struct {
+	name string
+	idx  int
+	err  error
+
+	key string // cache key ("" when caching is disabled)
+	hit bool
+
+	res       *codegen.Result
+	body      []ast.Stmt
+	unit      *ast.Procedure // cache-hit replacement unit (pre-clone)
+	part      map[string]*partition.Constraint
+	commD     []*comm.Delayed
+	dsum      *livedecomp.Summary
+	iface     string
+	inputs    string
+	shash     string // summary hash callers fold into their cache keys
+	mainDists map[string]*decomp.Dist
+	actuals   []summarycache.OverlapActual
+	remarks   []explain.Remark
+	runtime   bool
+}
+
+// summaryTable publishes completed procedures' caller-visible summaries
+// to concurrently running caller tasks. Dependencies guarantee a callee
+// row exists before any caller reads it; the lock only orders the map
+// accesses themselves.
+type summaryTable struct {
+	mu    sync.RWMutex
+	part  map[string]map[string]*partition.Constraint
+	comm  map[string][]*comm.Delayed
+	dsum  map[string]*livedecomp.Summary
+	iface map[string]string
+	shash map[string]string
+}
+
+func newSummaryTable() *summaryTable {
+	return &summaryTable{
+		part:  map[string]map[string]*partition.Constraint{},
+		comm:  map[string][]*comm.Delayed{},
+		dsum:  map[string]*livedecomp.Summary{},
+		iface: map[string]string{},
+		shash: map[string]string{},
+	}
+}
+
+func (t *summaryTable) publish(out *procOut) {
+	t.mu.Lock()
+	t.part[out.name] = out.part
+	t.comm[out.name] = out.commD
+	t.dsum[out.name] = out.dsum
+	t.iface[out.name] = out.iface
+	t.shash[out.name] = out.shash
+	t.mu.Unlock()
+}
+
+func (t *summaryTable) partOf(name string) map[string]*partition.Constraint {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return t.part[name]
+}
+
+func (t *summaryTable) commOf(name string) []*comm.Delayed {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return t.comm[name]
+}
+
+// dsumSnapshot returns the decomposition summaries of n's direct
+// callees, the only entries its passes look up.
+func (t *summaryTable) dsumSnapshot(n *acg.Node) map[string]*livedecomp.Summary {
+	out := map[string]*livedecomp.Summary{}
+	t.mu.RLock()
+	for _, site := range n.Calls {
+		name := site.Callee.Name()
+		if _, ok := out[name]; !ok {
+			out[name] = t.dsum[name]
+		}
+	}
+	t.mu.RUnlock()
+	return out
+}
+
+// ifaceSnapshot returns the interface strings of n's direct callees.
+func (t *summaryTable) ifaceSnapshot(n *acg.Node) map[string]string {
+	out := map[string]string{}
+	t.mu.RLock()
+	for _, site := range n.Calls {
+		name := site.Callee.Name()
+		if _, ok := out[name]; !ok {
+			out[name] = t.iface[name]
+		}
+	}
+	t.mu.RUnlock()
+	return out
+}
+
+func (t *summaryTable) shashOf(name string) string {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return t.shash[name]
+}
+
+// passCtx carries the whole-program analyses phase 3 reads. Everything
+// here is either immutable during phase 3 or internally synchronized.
+type passCtx struct {
+	c        *Compilation
+	opts     Options
+	p        int
+	exOn     bool
+	sections map[string]*comm.SectionSummary
+	consts   symconst.Result
+	killTest func(site *acg.CallSite, arr string) bool
+	table    *summaryTable
+	cache    *summarycache.Cache
+}
+
+// calleeNames returns n's distinct callees, sorted.
+func calleeNames(n *acg.Node) []string {
+	seen := map[string]bool{}
+	var out []string
+	for _, site := range n.Calls {
+		name := site.Callee.Name()
+		if !seen[name] {
+			seen[name] = true
+			out = append(out, name)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// compileOne runs one procedure's phase-3 task: a cache probe followed,
+// on a miss, by the full analysis and code-generation pass.
+func (pc *passCtx) compileOne(n *acg.Node, idx int) *procOut {
+	out := &procOut{name: n.Name(), idx: idx}
+	if pc.cache.Enabled() {
+		out.key = pc.procKey(n)
+		if e := pc.cache.Get(out.key); e != nil {
+			pc.loadEntry(e, out)
+			return out
+		}
+	}
+	pc.fresh(n, out)
+	if out.err == nil {
+		out.shash = pc.summaryHash(out)
+	}
+	return out
+}
+
+// fresh compiles one procedure from scratch — the body of the paper's
+// single-pass reverse-topological loop, with every shared-state write
+// redirected into out. Remarks go to a task-local collector merged at
+// commit time, so their final order is independent of task scheduling.
+func (pc *passCtx) fresh(n *acg.Node, out *procOut) {
+	proc := n.Proc
+	c := pc.c
+	tr := pc.opts.Trace
+	var tex *explain.Collector
+	if pc.exOn {
+		tex = explain.New()
+	}
+	defer func() { out.remarks = tex.Remarks() }()
+	endProc := tr.Phase("codegen " + proc.Name)
+	defer endProc()
+
+	// the procedure's PARAMETER constants plus interprocedurally
+	// propagated constant formals
+	env := pc.consts.Env(proc.Name)
+	dists, atStmt, entry := c.procDists(proc, env, tex)
+	distOf := func(array string, at ast.Stmt) (*decomp.Dist, bool) {
+		if at != nil {
+			if m, ok := atStmt[at]; ok {
+				if d, ok := m[array]; ok {
+					return d, true
+				}
+			}
+		}
+		d, ok := dists[array]
+		return d, ok
+	}
+	if proc.IsMain {
+		out.mainDists = dists
+	}
+
+	runtimeProc := pc.opts.Strategy == codegen.StrategyRuntime ||
+		len(c.Reach.RuntimeResolution[proc.Name]) > 0
+	if runtimeProc {
+		if tex.Enabled() {
+			reason := "the run-time resolution baseline strategy is selected"
+			if vars := c.Reach.RuntimeResolution[proc.Name]; len(vars) > 0 {
+				reason = fmt.Sprintf("multiple decompositions reach %v and cloning did not separate them", vars)
+			}
+			tex.Add(explain.Remark{
+				Kind: explain.Note, Pass: "core", Proc: proc.Name, Name: "runtime-resolution",
+				Msg: fmt.Sprintf("%s compiled with run-time resolution (per-element ownership tests, Figure 3): %s",
+					proc.Name, reason),
+			})
+		}
+		entryDists := map[string]*decomp.Dist{}
+		for arr, d := range entry {
+			if dist := mkDistFor(proc, arr, d, env, pc.p); dist != nil {
+				entryDists[arr] = dist
+			}
+		}
+		res, err := codegen.GenerateRuntime(proc, distOf, entryDists, pc.p)
+		if err != nil {
+			out.err = fmt.Errorf("%s: %v", proc.Name, err)
+			return
+		}
+		out.res = res
+		out.body = res.Body
+		out.part = map[string]*partition.Constraint{}
+		out.commD = nil
+		out.dsum = &livedecomp.Summary{
+			Use: map[string]bool{}, Kill: map[string]bool{},
+			Before: map[string]decomp.Decomp{}, After: map[string]decomp.Decomp{},
+			Final: map[string]decomp.Decomp{},
+		}
+		out.iface = "runtime-resolution"
+		out.inputs = pc.inputsFor(n)
+		out.runtime = true
+		return
+	}
+
+	immediate := pc.opts.Strategy == codegen.StrategyImmediate
+	delayedConsOf := func(name string) map[string]*partition.Constraint {
+		if immediate {
+			return nil
+		}
+		return pc.table.partOf(name)
+	}
+	delayedCommOf := func(name string) []*comm.Delayed {
+		if immediate {
+			return nil
+		}
+		return pc.table.commOf(name)
+	}
+
+	deps := depend.Analyze(proc, env)
+	plan := partition.Compute(proc, n, distOf, delayedConsOf, env)
+	if immediate {
+		forceLocalPlan(plan)
+	}
+	commRes := comm.Analyze(proc, n, plan, deps, distOf, delayedCommOf, pc.sections, env)
+	if immediate {
+		for _, acc := range commRes.Accesses {
+			acc.Delay = false
+		}
+		commRes.Delayed = nil
+	}
+	// communication placed inside a loop requires every processor
+	// to execute all its iterations: drop those reductions
+	for _, acc := range commRes.Accesses {
+		if acc.AtLoop != nil && !acc.Delay {
+			plan.DropLoopReduction(acc.AtLoop)
+		}
+	}
+	for _, cc := range commRes.CallComms {
+		if cc.AtLoop != nil && !cc.Delay {
+			plan.DropLoopReduction(cc.AtLoop)
+		}
+	}
+
+	// §6.4: Fortran D disallows dynamic data decomposition for
+	// aliased variables — reject calls that pass the same array to
+	// two formals when the callee remaps either of them
+	sums := pc.table.dsumSnapshot(n)
+	if err := checkAliasRestriction(n, sums); err != nil {
+		if tex.Enabled() {
+			tex.Add(explain.Remark{
+				Kind: explain.Missed, Pass: "core", Proc: proc.Name, Name: "alias-restriction",
+				Msg: err.Error(),
+			})
+		}
+		out.err = err
+		return
+	}
+
+	remaps, decompSum := livedecomp.AnalyzeExplain(proc, n, entry, sums, pc.killTest, pc.opts.RemapOpt, tex)
+	partition.Explain(tex, proc.Name, plan)
+	comm.Explain(tex, proc.Name, commRes)
+
+	// overlap bookkeeping: shifts extend the block boundary
+	for _, acc := range commRes.Accesses {
+		if acc.Kind != comm.KShift || acc.Delay {
+			continue
+		}
+		lo, hi := 0, 0
+		if acc.Shift > 0 {
+			hi = acc.Shift
+		} else {
+			lo = -acc.Shift
+		}
+		c.Overlaps.RecordActual(proc.Name, acc.Array, acc.DistDim, lo, hi)
+		out.actuals = append(out.actuals, summarycache.OverlapActual{
+			Array: acc.Array, Dim: acc.DistDim, Lo: lo, Hi: hi,
+		})
+	}
+
+	gen, err := codegen.Generate(&codegen.Input{
+		Proc: proc, Plan: plan, Comm: commRes, Remaps: remaps,
+		Overlap: c.Overlaps, DistOf: distOf, Env: env, P: pc.p,
+	})
+	if err != nil {
+		out.err = fmt.Errorf("%s: %v", proc.Name, err)
+		return
+	}
+	out.res = gen
+	out.body = gen.Body
+	c.Overlaps.Explain(tex, proc.Name)
+
+	out.part = plan.Delayed
+	out.commD = commRes.Delayed
+	out.dsum = decompSum
+	out.iface = interfaceString(plan.Delayed, commRes.Delayed, decompSum)
+	out.inputs = pc.inputsFor(n)
+}
+
+// inputsFor renders the interprocedural information consumed when
+// compiling n — reaching decompositions plus callee interfaces.
+func (pc *passCtx) inputsFor(n *acg.Node) string {
+	reachView := map[string]decompSetView{}
+	for v, set := range pc.c.Reach.Reaching[n.Name()] {
+		reachView[v] = set
+	}
+	return inputsString(n, reachView, pc.table.ifaceSnapshot(n))
+}
+
+// compileAll schedules every procedure of order (reverse topological:
+// callees first) across jobs workers and returns the per-procedure
+// outputs, indexed like order. On failure, outputs downstream of the
+// failed task may be nil.
+func compileAll(pc *passCtx, order []*acg.Node, jobs int) []*procOut {
+	n := len(order)
+	outs := make([]*procOut, n)
+	if jobs > n {
+		jobs = n
+	}
+	if jobs <= 1 || n == 0 {
+		for i, nd := range order {
+			out := pc.compileOne(nd, i)
+			outs[i] = out
+			if out.err != nil {
+				return outs
+			}
+			pc.table.publish(out)
+		}
+		return outs
+	}
+
+	// dependency counts over distinct callees; callees always precede
+	// callers in reverse topological order
+	idxOf := make(map[string]int, n)
+	for i, nd := range order {
+		idxOf[nd.Name()] = i
+	}
+	deg := make([]int, n)
+	dependents := make([][]int, n)
+	for i, nd := range order {
+		for _, callee := range calleeNames(nd) {
+			j := idxOf[callee]
+			deg[i]++
+			dependents[j] = append(dependents[j], i)
+		}
+	}
+
+	ready := make(chan int, n)
+	var (
+		mu          sync.Mutex
+		unscheduled = n
+		inflight    int
+		failed      bool
+	)
+	mu.Lock()
+	for i := range order {
+		if deg[i] == 0 {
+			unscheduled--
+			inflight++
+			ready <- i
+		}
+	}
+	if inflight == 0 {
+		close(ready)
+	}
+	mu.Unlock()
+
+	var wg sync.WaitGroup
+	for w := 0; w < jobs; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range ready {
+				out := pc.compileOne(order[i], i)
+				if out.err == nil {
+					pc.table.publish(out)
+				}
+				mu.Lock()
+				outs[i] = out
+				inflight--
+				if out.err != nil {
+					failed = true
+				}
+				if !failed {
+					for _, d := range dependents[i] {
+						deg[d]--
+						if deg[d] == 0 {
+							unscheduled--
+							inflight++
+							ready <- d
+						}
+					}
+				}
+				if inflight == 0 && (unscheduled == 0 || failed) {
+					close(ready)
+				}
+				mu.Unlock()
+			}
+		}()
+	}
+	wg.Wait()
+	return outs
+}
+
+// Emitted counter names for the summary cache.
+const (
+	counterCacheHits   = "summary-cache-hits"
+	counterCacheMisses = "summary-cache-misses"
+)

@@ -124,6 +124,18 @@ func (c *Collector) Addf(kind Kind, pass, proc string, line int, name, format st
 	c.Add(Remark{Kind: kind, Pass: pass, Proc: proc, Line: line, Name: name, Msg: fmt.Sprintf(format, args...)})
 }
 
+// AddAll records a batch of remarks under one lock acquisition — the
+// deterministic-merge path used when per-worker collectors from the
+// parallel compile pipeline are folded back into the main collector.
+func (c *Collector) AddAll(rs []Remark) {
+	if c == nil || len(rs) == 0 {
+		return
+	}
+	c.mu.Lock()
+	c.remarks = append(c.remarks, rs...)
+	c.mu.Unlock()
+}
+
 // Remarks returns a snapshot of everything collected so far, sorted by
 // source position then kind (then pass/name/message for a total,
 // deterministic order).
@@ -167,7 +179,13 @@ func Sort(rs []Remark) {
 		if a.Name != b.Name {
 			return a.Name < b.Name
 		}
-		return a.Msg < b.Msg
+		if a.Msg != b.Msg {
+			return a.Msg < b.Msg
+		}
+		// Proc last, so the order is total: the parallel pipeline merges
+		// per-worker collectors, and only a total order guarantees
+		// byte-identical reports regardless of merge order.
+		return a.Proc < b.Proc
 	})
 }
 

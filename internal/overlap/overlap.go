@@ -108,9 +108,13 @@ func ComputeEstimates(g *acg.Graph) *Analysis {
 		actual:    map[string]map[string]*Offsets{},
 		UseBuffer: map[string]map[string]bool{},
 	}
-	// local phase
+	// local phase; the actual/UseBuffer rows are pre-created here so
+	// that concurrent per-procedure code generation only ever writes a
+	// row no other procedure touches
 	for _, n := range g.TopoOrder() {
 		a.Estimates[n.Name()] = localOffsets(n.Proc)
+		a.actual[n.Name()] = map[string]*Offsets{}
+		a.UseBuffer[n.Name()] = map[string]bool{}
 	}
 	// bottom-up merge: callee formals → caller actuals
 	for _, n := range g.ReverseTopoOrder() {

@@ -30,6 +30,15 @@ func Parse(src string) (*ast.Program, error) {
 	if len(units) == 0 {
 		return nil, fmt.Errorf("parser: empty program")
 	}
+	// program-unit names must be unique: every later pass indexes
+	// procedures by name, so a collision would silently merge units
+	seen := map[string]bool{}
+	for _, u := range units {
+		if seen[u.Name] {
+			return nil, fmt.Errorf("parser: duplicate program unit name %s", u.Name)
+		}
+		seen[u.Name] = true
+	}
 	return ast.NewProgram(units), nil
 }
 

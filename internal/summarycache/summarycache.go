@@ -1,0 +1,202 @@
+// Package summarycache is the persistent per-procedure summary cache
+// that makes recompilation incremental (§4/§8): the unit of reuse in an
+// interprocedural compilation system is the per-procedure summary, and
+// the ACG dictates which summaries depend on which. Each procedure's
+// phase-3 artifacts — its generated unit, code-generation counters,
+// delayed partition constraints, delayed communication, decomposition
+// summary, interface/inputs fingerprints, overlap actuals and
+// optimization remarks — are stored under a content hash of the
+// procedure's own source combined with the hashes of everything its
+// compilation consumed (reaching decompositions, propagated constants
+// and the caller-visible summaries of its callees). A re-run after
+// editing one procedure therefore re-analyzes only the invalidated
+// cone of the ACG: exactly the set internal/recompile's §8 analysis
+// would flag, made executable as a cache-invalidation predicate.
+//
+// The cache lives for the process and may be shared across any number
+// of compilations (it is safe for concurrent use by the parallel
+// compile pipeline's workers). A nil *Cache disables caching; every
+// method is nil-safe.
+package summarycache
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"sync"
+
+	"fortd/internal/ast"
+	"fortd/internal/codegen"
+	"fortd/internal/comm"
+	"fortd/internal/decomp"
+	"fortd/internal/explain"
+	"fortd/internal/livedecomp"
+	"fortd/internal/partition"
+)
+
+// OverlapActual is one overlap extension recorded during a procedure's
+// code generation, replayed into the overlap analysis on a cache hit so
+// warm and cold compilations expose identical overlap state.
+type OverlapActual struct {
+	Array       string
+	Dim, Lo, Hi int
+}
+
+// Entry holds every artifact of one procedure's phase-3 compilation.
+// Entries are immutable once stored: the pipeline clones Unit before
+// splicing it into a program, and treats the summary structures as
+// read-only (exactly as it treats a fresh callee's summaries).
+type Entry struct {
+	// Key is the content hash the entry is stored under.
+	Key string
+	// Proc is the compiled procedure's name (clones under clone names).
+	Proc string
+	// Unit is the fully transformed program unit (generated body and
+	// symbols). Clone it before use.
+	Unit *ast.Procedure
+	// Result carries the code-generation counters (Body is nil; the
+	// generated statements live in Unit).
+	Result codegen.Result
+	// PartDelayed, CommDelayed and DecompSum are the caller-visible
+	// summaries published to the summary table on a hit.
+	PartDelayed map[string]*partition.Constraint
+	CommDelayed []*comm.Delayed
+	DecompSum   *livedecomp.Summary
+	// Interface and InputsUsed are the §8 recompilation fingerprintable
+	// renderings recorded on the compilation.
+	Interface  string
+	InputsUsed string
+	// MainDists holds the main program's initial distributions (main
+	// program entries only).
+	MainDists map[string]*decomp.Dist
+	// Overlaps lists the overlap actuals recorded during codegen.
+	Overlaps []OverlapActual
+	// Remarks are the optimization remarks the procedure's passes
+	// emitted, replayed verbatim on a hit so a warm compile's report is
+	// byte-identical to a cold one.
+	Remarks []explain.Remark
+	// Runtime marks a procedure compiled with run-time resolution.
+	Runtime bool
+}
+
+// Stats is a point-in-time view of the cache's cumulative counters.
+type Stats struct {
+	Hits, Misses int64
+	Entries      int
+}
+
+// HitRate returns Hits/(Hits+Misses), or 0 before any lookup.
+func (s Stats) HitRate() float64 {
+	if s.Hits+s.Misses == 0 {
+		return 0
+	}
+	return float64(s.Hits) / float64(s.Hits+s.Misses)
+}
+
+// Cache is a content-addressed store of procedure compilation entries.
+// The zero value is ready to use; a nil *Cache disables caching.
+type Cache struct {
+	mu      sync.Mutex
+	entries map[string]*Entry
+	hits    int64
+	misses  int64
+}
+
+// New returns an empty enabled cache.
+func New() *Cache { return &Cache{} }
+
+// Enabled reports whether lookups can hit.
+func (c *Cache) Enabled() bool { return c != nil }
+
+// Get returns the entry stored under key, counting a hit or miss.
+func (c *Cache) Get(key string) *Entry {
+	if c == nil {
+		return nil
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	e := c.entries[key]
+	if e == nil {
+		c.misses++
+		return nil
+	}
+	c.hits++
+	return e
+}
+
+// Put stores an entry under e.Key, overwriting any previous entry.
+func (c *Cache) Put(e *Entry) {
+	if c == nil || e == nil || e.Key == "" {
+		return
+	}
+	c.mu.Lock()
+	if c.entries == nil {
+		c.entries = map[string]*Entry{}
+	}
+	c.entries[e.Key] = e
+	c.mu.Unlock()
+}
+
+// Len returns the number of stored entries.
+func (c *Cache) Len() int {
+	if c == nil {
+		return 0
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.entries)
+}
+
+// Stats returns the cumulative hit/miss counters.
+func (c *Cache) Stats() Stats {
+	if c == nil {
+		return Stats{}
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return Stats{Hits: c.hits, Misses: c.misses, Entries: len(c.entries)}
+}
+
+// Reset drops all entries and counters (the cache stays enabled).
+func (c *Cache) Reset() {
+	if c == nil {
+		return
+	}
+	c.mu.Lock()
+	c.entries = nil
+	c.hits, c.misses = 0, 0
+	c.mu.Unlock()
+}
+
+// Hasher accumulates canonical key material. Parts are length-prefix
+// separated so distinct part lists can never collide by concatenation.
+type Hasher struct {
+	h [32]byte
+	b []byte
+}
+
+// NewHasher returns an empty hasher.
+func NewHasher() *Hasher { return &Hasher{} }
+
+// Add appends parts to the key material.
+func (h *Hasher) Add(parts ...string) {
+	for _, p := range parts {
+		var n [4]byte
+		ln := len(p)
+		n[0], n[1], n[2], n[3] = byte(ln>>24), byte(ln>>16), byte(ln>>8), byte(ln)
+		h.b = append(h.b, n[:]...)
+		h.b = append(h.b, p...)
+	}
+}
+
+// Sum returns the hex digest of everything added so far.
+func (h *Hasher) Sum() string {
+	sum := sha256.Sum256(h.b)
+	return hex.EncodeToString(sum[:])
+}
+
+// Hash is shorthand for hashing a fixed part list.
+func Hash(parts ...string) string {
+	h := NewHasher()
+	h.Add(parts...)
+	return h.Sum()
+}

@@ -1,0 +1,285 @@
+package fortd
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"path/filepath"
+	"runtime"
+	"strings"
+	"testing"
+	"time"
+
+	"fortd/internal/recompile"
+)
+
+// explainBytes renders an Explain report to a string.
+func explainBytes(t *testing.T, ex *Explain) string {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := ex.WriteText(&buf); err != nil {
+		t.Fatal(err)
+	}
+	return buf.String()
+}
+
+// compileWith compiles src and returns the program plus its explain
+// report text.
+func compileWith(t *testing.T, src string, opts Options) (*Program, string) {
+	t.Helper()
+	ex := NewExplain()
+	opts.Explain = ex
+	prog, err := Compile(src, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return prog, explainBytes(t, ex)
+}
+
+// TestParallelCompileDeterministic asserts the tentpole determinism
+// contract: for every workload, compiling with Jobs=N on the worker
+// pool produces byte-identical listings, reports and optimization
+// remarks to the sequential compile — scheduling must never leak into
+// the output.
+func TestParallelCompileDeterministic(t *testing.T) {
+	workloads := []struct {
+		name string
+		src  string
+	}{
+		{"jacobi", Jacobi2DSrc(16, 3, 4)},
+		{"dgefa", DgefaSrc(32, 4)},
+		{"dyndist", Fig15Src(25, 4)},
+		{"synthetic", SyntheticProcsSrc(9, 3, 64, 4)},
+	}
+	for _, w := range workloads {
+		w := w
+		t.Run(w.name, func(t *testing.T) {
+			seq, seqReport := compileWith(t, w.src, DefaultOptions())
+			for _, jobs := range []int{2, 8} {
+				opts := DefaultOptions()
+				opts.Jobs = jobs
+				par, parReport := compileWith(t, w.src, opts)
+				if got, want := par.Listing(), seq.Listing(); got != want {
+					t.Errorf("jobs=%d listing differs from sequential", jobs)
+				}
+				if got, want := par.Report().String(), seq.Report().String(); got != want {
+					t.Errorf("jobs=%d report %q != sequential %q", jobs, got, want)
+				}
+				if parReport != seqReport {
+					t.Errorf("jobs=%d explain report differs from sequential:\n--- jobs=%d ---\n%s--- sequential ---\n%s",
+						jobs, jobs, parReport, seqReport)
+				}
+			}
+		})
+	}
+}
+
+// editDaxpyBody is DgefaSrc(32, 4) with one statement inside daxpy
+// edited (an extra scale factor). The edit changes daxpy's source but
+// not the summary it exposes to callers, so the invalidation cone is
+// exactly {daxpy}.
+func editDaxpyBody() string {
+	src := DgefaSrc(32, 4)
+	edited := strings.Replace(src,
+		"a(i,j) = a(i,j) - a(i,k) * a(k,j)",
+		"a(i,j) = a(i,j) - 2.0 * a(i,k) * a(k,j)", 1)
+	if edited == src {
+		panic("edit did not apply")
+	}
+	return edited
+}
+
+// TestSummaryCacheWarmRecompile locks the §8 recompilation behavior,
+// run as a cache: a warm recompile of the identical program re-analyzes
+// nothing and reproduces the cold outputs byte for byte, and a
+// recompile after editing one procedure's body re-analyzes only that
+// procedure's invalidation cone.
+func TestSummaryCacheWarmRecompile(t *testing.T) {
+	src := DgefaSrc(32, 4)
+	cache := NewSummaryCache()
+	opts := DefaultOptions()
+	opts.Cache = cache
+
+	cold, coldReport := compileWith(t, src, opts)
+	if len(cold.CacheHits()) != 0 {
+		t.Fatalf("cold compile hit %v", cold.CacheHits())
+	}
+	wantMisses := []string{"MAIN", "daxpy", "dgefa", "dscal", "idamax"}
+	if got := fmt.Sprint(cold.CacheMisses()); got != fmt.Sprint(wantMisses) {
+		t.Fatalf("cold misses %v, want %v", cold.CacheMisses(), wantMisses)
+	}
+
+	warm, warmReport := compileWith(t, src, opts)
+	if len(warm.CacheMisses()) != 0 {
+		t.Fatalf("warm compile re-analyzed %v", warm.CacheMisses())
+	}
+	if got := fmt.Sprint(warm.CacheHits()); got != fmt.Sprint(wantMisses) {
+		t.Fatalf("warm hits %v, want %v", warm.CacheHits(), wantMisses)
+	}
+	if warm.Listing() != cold.Listing() {
+		t.Error("warm listing differs from cold")
+	}
+	if warmReport != coldReport {
+		t.Errorf("warm explain report differs from cold:\n--- warm ---\n%s--- cold ---\n%s", warmReport, coldReport)
+	}
+	if warm.Report().String() != cold.Report().String() {
+		t.Errorf("warm report %q != cold %q", warm.Report().String(), cold.Report().String())
+	}
+
+	// body-only edit: daxpy's key changes, but its caller-visible
+	// summary does not, so nothing else is invalidated
+	edited, _ := compileWith(t, editDaxpyBody(), opts)
+	if got := fmt.Sprint(edited.CacheMisses()); got != fmt.Sprint([]string{"daxpy"}) {
+		t.Errorf("edited compile re-analyzed %v, want [daxpy]", edited.CacheMisses())
+	}
+	if got := fmt.Sprint(edited.CacheHits()); got != fmt.Sprint([]string{"MAIN", "dgefa", "dscal", "idamax"}) {
+		t.Errorf("edited compile hits %v", edited.CacheHits())
+	}
+	// the cache-assembled program must equal an uncached compile of the
+	// edited source
+	fresh, _ := compileWith(t, editDaxpyBody(), DefaultOptions())
+	if edited.Listing() != fresh.Listing() {
+		t.Error("cache-assembled listing differs from a fresh compile of the edited source")
+	}
+
+	stats := cache.Stats()
+	if stats.Hits == 0 || stats.Misses == 0 || stats.Entries == 0 {
+		t.Errorf("implausible cache stats %+v", stats)
+	}
+}
+
+// TestGoldenRecompilationDecisions locks the §8 recompilation decisions
+// for the dgefa case study as a golden file: for each edit scenario it
+// records the summary-cache invalidation cone and the recompilation
+// plan of the interface-comparison analysis (internal/recompile), which
+// must agree on which unedited procedures are reusable.
+func TestGoldenRecompilationDecisions(t *testing.T) {
+	base := DgefaSrc(32, 4)
+	scenarios := []struct {
+		name string
+		src  string
+	}{
+		{"unchanged", base},
+		{"daxpy-body-edit", editDaxpyBody()},
+		{"dscal-interface-edit", strings.Replace(base,
+			"a(i,k) = a(i,k) * t",
+			"a(i,k) = a(i,k-1) * t", 1)},
+	}
+
+	snap := func(src string) (*Program, *recompile.Database, []string, []string) {
+		cache := NewSummaryCache()
+		opts := DefaultOptions()
+		opts.Cache = cache
+		if _, err := Compile(base, opts); err != nil { // prime with the base program
+			t.Fatal(err)
+		}
+		prog, err := Compile(src, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return prog, recompile.Snapshot(prog.c), prog.CacheHits(), prog.CacheMisses()
+	}
+
+	_, baseDB, _, _ := snap(base)
+
+	var buf bytes.Buffer
+	for _, sc := range scenarios {
+		_, db, hits, misses := snap(sc.src)
+		fmt.Fprintf(&buf, "scenario %s\n", sc.name)
+		fmt.Fprintf(&buf, "  cache reanalyzed: %v\n", misses)
+		fmt.Fprintf(&buf, "  cache reused:     %v\n", hits)
+		fmt.Fprintf(&buf, "  recompile plan:   %v\n", recompile.Plan(baseDB, db))
+		fmt.Fprintf(&buf, "  unchanged:        %v\n", recompile.Unchanged(baseDB, db))
+	}
+
+	path := filepath.Join("testdata", "golden", "dgefa_recompile.golden")
+	if *update {
+		if err := os.WriteFile(path, buf.Bytes(), 0644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("%v (run `go test -run TestGolden -update` to create)", err)
+	}
+	if got := buf.String(); got != string(want) {
+		t.Errorf("recompilation decisions differ from %s:\n--- got ---\n%s--- want ---\n%s", path, got, want)
+	}
+}
+
+// BenchmarkCompileParallel compares sequential against pooled phase-3
+// code generation on a wide synthetic program (16 independent
+// procedures): jobs=1 is the paper's reverse-topological walk, jobs=N
+// schedules the same waves over N workers. On a multi-core machine the
+// jobs=N lane should run the 16 leaf procedures concurrently; both
+// lanes produce byte-identical output (TestParallelCompileDeterministic).
+func BenchmarkCompileParallel(b *testing.B) {
+	src := SyntheticProcsSrc(16, 16, 256, 4)
+	for _, jobs := range []int{1, runtime.GOMAXPROCS(0)} {
+		b.Run(fmt.Sprintf("jobs=%d", jobs), func(b *testing.B) {
+			opts := DefaultOptions()
+			opts.Jobs = jobs
+			for i := 0; i < b.N; i++ {
+				if _, err := Compile(src, opts); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkCompileWarmCache measures what the summary cache saves on a
+// recompile with nothing edited (every procedure hits).
+func BenchmarkCompileWarmCache(b *testing.B) {
+	src := SyntheticProcsSrc(16, 16, 256, 4)
+	opts := DefaultOptions()
+	opts.Cache = NewSummaryCache()
+	if _, err := Compile(src, opts); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Compile(src, opts); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// TestParallelCompileSpeedup measures the wall-clock benefit of the
+// phase-3 worker pool on a wide synthetic program. It is a smoke guard,
+// not a benchmark — BenchmarkCompileParallel gives real numbers.
+func TestParallelCompileSpeedup(t *testing.T) {
+	if testing.Short() {
+		t.Skip("timing test")
+	}
+	if runtime.GOMAXPROCS(0) < 4 {
+		t.Skip("needs >= 4 CPUs")
+	}
+	src := SyntheticProcsSrc(16, 16, 256, 4)
+	compileOnce := func(jobs int) time.Duration {
+		opts := DefaultOptions()
+		opts.Jobs = jobs
+		start := time.Now()
+		if _, err := Compile(src, opts); err != nil {
+			t.Fatal(err)
+		}
+		return time.Since(start)
+	}
+	best := func(jobs int) time.Duration {
+		b := compileOnce(jobs) // warm-up + first sample
+		for i := 0; i < 4; i++ {
+			if d := compileOnce(jobs); d < b {
+				b = d
+			}
+		}
+		return b
+	}
+	seq := best(1)
+	par := best(runtime.GOMAXPROCS(0))
+	speedup := float64(seq) / float64(par)
+	t.Logf("sequential %v, parallel %v, speedup %.2fx", seq, par, speedup)
+	if speedup < 1.2 {
+		t.Errorf("parallel compile speedup %.2fx < 1.2x (seq %v, par %v)", speedup, seq, par)
+	}
+}

@@ -3,6 +3,7 @@ package fortd
 import (
 	"fmt"
 	"math"
+	"strings"
 )
 
 // This file provides the paper's workloads as parameterized Fortran D
@@ -267,6 +268,41 @@ func ADISrc(n, steps, p int, dynamic bool) string {
 %s      enddo
       END
 `, p, n, n, steps, n, n, remap, n, n, restore)
+}
+
+// SyntheticProcsSrc generates a compile-time benchmark workload: nsubs
+// independent stencil subroutines, each owning a BLOCK-distributed
+// array of n elements and containing loops sweep loops, all called in
+// sequence from the main program. The subroutines do not call each
+// other, so the phase-3 scheduler can compile all of them concurrently;
+// raising loops raises the per-procedure analysis cost.
+func SyntheticProcsSrc(nsubs, loops, n, p int) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "      PROGRAM MAIN\n      PARAMETER (n$proc = %d)\n", p)
+	for i := 1; i <= nsubs; i++ {
+		fmt.Fprintf(&b, "      REAL a%d(%d)\n", i, n)
+	}
+	for i := 1; i <= nsubs; i++ {
+		fmt.Fprintf(&b, "      DISTRIBUTE a%d(BLOCK)\n", i)
+	}
+	for i := 1; i <= nsubs; i++ {
+		fmt.Fprintf(&b, "      call s%d(a%d)\n", i, i)
+	}
+	b.WriteString("      END\n")
+	for i := 1; i <= nsubs; i++ {
+		fmt.Fprintf(&b, "      SUBROUTINE s%d(x)\n      REAL x(%d)\n", i, n)
+		for l := 0; l < loops; l++ {
+			// alternate shift directions so successive loops carry
+			// different communication patterns
+			sh := 1 + l%3
+			fmt.Fprintf(&b, `      do i = %d, %d
+        x(i) = 0.5 * x(i-%d) + 0.25 * x(i+%d) + %d.0
+      enddo
+`, sh+1, n-sh, sh, sh, i+l)
+		}
+		b.WriteString("      END\n")
+	}
+	return b.String()
 }
 
 // Ramp returns [1, 2, ..., n] as float64 — a convenient array seed.
