@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check test race bench golden fuzz
+.PHONY: check test race bench golden fuzz report
 
 check: ## build + vet + race tests + fuzz smoke + trace-overhead guard
 	./ci.sh
@@ -15,8 +15,11 @@ bench: ## go benchmarks + the BENCH_<yyyymmdd>.json snapshot
 	$(GO) test -run '^$$' -bench . -benchtime 10x .
 	$(GO) run ./cmd/fdbench
 
-golden: ## regenerate the trace-summary and optimization-report goldens
+golden: ## regenerate the trace-summary, analysis and optimization-report goldens
 	$(GO) test -run TestGolden -update .
+
+report: ## render the dgefa HTML performance report to report.html
+	$(GO) run ./cmd/fdreport -o report.html testdata/dgefa.f
 
 FUZZTIME ?= 30s
 fuzz: ## fuzz the parser and the whole compile pipeline

@@ -13,3 +13,21 @@ go test -race ./...
 go test -run '^$' -fuzz FuzzParse -fuzztime 10s ./internal/parser
 go test -run '^$' -fuzz FuzzCompile -fuzztime 10s .
 go test -run '^$' -bench BenchmarkTraceOverhead -benchtime 20x .
+
+# report smoke: the self-contained HTML report must render and be
+# non-trivial for the dgefa case study
+go run ./cmd/fdreport -sweep 1,2,4 -o /tmp/ci_report.html testdata/dgefa.f
+test -s /tmp/ci_report.html
+grep -q 'id="heatmap"' /tmp/ci_report.html
+grep -q '</html>' /tmp/ci_report.html
+rm -f /tmp/ci_report.html
+
+# benchmark regression soft gate: compare a fresh run against the most
+# recent committed snapshot. Wall time is machine-dependent, so a
+# regression here warns instead of failing the gate.
+LATEST_BENCH=$(ls BENCH_*.json 2>/dev/null | sort | tail -1 || true)
+if [ -n "$LATEST_BENCH" ]; then
+	go run ./cmd/fdbench -runs 1 -o /tmp/ci_bench.json -against "$LATEST_BENCH" ||
+		echo "WARNING: benchmark regression vs $LATEST_BENCH (soft gate, not failing CI)"
+	rm -f /tmp/ci_bench.json
+fi

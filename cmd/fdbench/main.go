@@ -13,40 +13,36 @@
 // Results are sorted by workload name and serialized from a fixed
 // struct, so snapshot key order is stable across runs and Go versions.
 //
+// -against compares the fresh results to an old snapshot, printing the
+// per-workload deltas of wall time, communication volume and cache hit
+// rate, and exits non-zero when any metric is worse than the old value
+// by more than -threshold (relative; wall time is noisy across
+// machines, so ci.sh treats that exit as a warning, not a failure).
+// -report additionally renders each workload's traced run into one
+// self-contained HTML performance report, with the comparison table
+// appended when -against was given.
+//
 // Usage:
 //
 //	fdbench [-o file.json] [-runs N] [-jobs N]
+//	        [-against BENCH_old.json] [-threshold 0.10] [-report out.html]
 package main
 
 import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"log"
 	"os"
 	"sort"
 	"time"
 
 	"fortd"
+	"fortd/internal/benchcmp"
+	"fortd/internal/report"
+	"fortd/internal/trace/analyze"
 )
-
-// result is one workload's snapshot entry. Field order is the JSON key
-// order; add new fields at the end to keep snapshot diffs readable.
-type result struct {
-	Name string `json:"name"`
-	// WallNs is the best-of-N wall-clock time for one compile plus one
-	// simulated run, in nanoseconds.
-	WallNs int64 `json:"wall_ns"`
-	// Words and Msgs are the simulated run's communication totals —
-	// the figures of merit the paper compares.
-	Words int64 `json:"words"`
-	Msgs  int64 `json:"msgs"`
-	// Jobs is the code-generation worker count the compiles ran with.
-	Jobs int `json:"jobs"`
-	// CacheHitRate is the summary-cache hit fraction of a warm
-	// recompile (1.0 = every procedure reused).
-	CacheHitRate float64 `json:"cache_hit_rate"`
-}
 
 type workload struct {
 	name string
@@ -86,8 +82,8 @@ func workloads() []workload {
 	}
 }
 
-func measure(w workload, runs, jobs int) result {
-	best := result{Name: w.name, Jobs: jobs}
+func measure(w workload, runs, jobs int) benchcmp.Result {
+	best := benchcmp.Result{Name: w.name, Jobs: jobs}
 	opts := fortd.DefaultOptions()
 	opts.Jobs = jobs
 	for i := 0; i < runs; i++ {
@@ -126,17 +122,61 @@ func measure(w workload, runs, jobs int) result {
 	return best
 }
 
+// compareAgainst loads the old snapshot, prints the delta table to w,
+// and returns the comparison. It is the testable core of -against.
+func compareAgainst(w io.Writer, oldPath string, results []benchcmp.Result, threshold float64) (*benchcmp.Comparison, error) {
+	old, err := benchcmp.Load(oldPath)
+	if err != nil {
+		return nil, err
+	}
+	fmt.Fprintf(w, "comparing against %s (threshold %.0f%%)\n", oldPath, 100*threshold)
+	c := benchcmp.Compare(old, results, threshold)
+	if err := c.WriteText(w); err != nil {
+		return nil, err
+	}
+	return c, nil
+}
+
+// writeReport renders each workload's traced run plus the optional
+// comparison table into one self-contained HTML file.
+func writeReport(path string, cmp *benchcmp.Comparison, jobs int) error {
+	var secs []*analyze.Section
+	for _, w := range workloads() {
+		opts := fortd.DefaultOptions()
+		opts.Jobs = jobs
+		sec, err := report.BuildSection(w.name, w.src, w.init(), opts, nil)
+		if err != nil {
+			return err
+		}
+		secs = append(secs, sec)
+	}
+	if cmp != nil {
+		header, rows := cmp.Table()
+		note := "positive delta = value grew; REGRESSED = worse beyond the threshold"
+		secs = append(secs, &analyze.Section{
+			Name: "benchmark comparison",
+			Tables: []analyze.Table{
+				{Title: "old vs new snapshot", Header: header, Rows: rows, Note: note},
+			},
+		})
+	}
+	return report.WriteFile(path, "fdbench", "standard workloads: jacobi, dgefa, dyndist", secs...)
+}
+
 func main() {
 	out := flag.String("o", "", "output file (default BENCH_<yyyymmdd>.json)")
 	runs := flag.Int("runs", 3, "measurement repetitions per workload (best is kept)")
 	jobs := flag.Int("jobs", 1, "concurrent code-generation workers per compile")
+	against := flag.String("against", "", "old snapshot to compare against; exit non-zero on regression")
+	threshold := flag.Float64("threshold", 0.10, "relative regression threshold for -against (0.10 = 10%)")
+	reportOut := flag.String("report", "", "write the self-contained HTML performance report to this file")
 	flag.Parse()
 
 	path := *out
 	if path == "" {
 		path = fmt.Sprintf("BENCH_%s.json", time.Now().Format("20060102"))
 	}
-	var results []result
+	var results []benchcmp.Result
 	for _, w := range workloads() {
 		r := measure(w, *runs, *jobs)
 		fmt.Printf("%-10s wall=%-12s words=%-8d msgs=%-6d cache-hit-rate=%.2f\n",
@@ -152,4 +192,21 @@ func main() {
 		log.Fatal(err)
 	}
 	fmt.Printf("wrote %s\n", path)
+
+	var cmp *benchcmp.Comparison
+	if *against != "" {
+		cmp, err = compareAgainst(os.Stdout, *against, results, *threshold)
+		if err != nil {
+			log.Fatal(err)
+		}
+	}
+	if *reportOut != "" {
+		if err := writeReport(*reportOut, cmp, *jobs); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("report: wrote %s\n", *reportOut)
+	}
+	if cmp != nil && len(cmp.Regressions()) > 0 {
+		os.Exit(1)
+	}
 }

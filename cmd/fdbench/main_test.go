@@ -1,0 +1,76 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"fortd/internal/benchcmp"
+)
+
+func writeSnapshot(t *testing.T, rs []benchcmp.Result) string {
+	t.Helper()
+	data, err := json.MarshalIndent(rs, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "BENCH_old.json")
+	if err := os.WriteFile(path, append(data, '\n'), 0644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func fresh() []benchcmp.Result {
+	return []benchcmp.Result{
+		{Name: "dgefa", WallNs: 10_000_000, Words: 5000, Msgs: 400, Jobs: 1, CacheHitRate: 1.0},
+		{Name: "jacobi", WallNs: 5_000_000, Words: 2000, Msgs: 100, Jobs: 1, CacheHitRate: 1.0},
+	}
+}
+
+// TestAgainstDetectsInjectedRegression: an old snapshot whose dgefa
+// time is 20% better than the fresh result must produce a non-empty
+// regression set at the default 10% threshold — the condition main
+// turns into a non-zero exit.
+func TestAgainstDetectsInjectedRegression(t *testing.T) {
+	old := fresh()
+	old[0].WallNs = int64(float64(old[0].WallNs) / 1.25)
+	path := writeSnapshot(t, old)
+	var buf bytes.Buffer
+	cmp, err := compareAgainst(&buf, path, fresh(), 0.10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	regs := cmp.Regressions()
+	if len(regs) != 1 || regs[0].Workload != "dgefa" || regs[0].Metric != "wall_ns" {
+		t.Fatalf("regressions = %+v, want exactly dgefa/wall_ns", regs)
+	}
+	if !strings.Contains(buf.String(), "REGRESSED") {
+		t.Errorf("output does not mark the regression:\n%s", buf.String())
+	}
+}
+
+// TestAgainstIdenticalSnapshotPasses: comparing against an identical
+// snapshot finds nothing, so main exits zero.
+func TestAgainstIdenticalSnapshotPasses(t *testing.T) {
+	path := writeSnapshot(t, fresh())
+	var buf bytes.Buffer
+	cmp, err := compareAgainst(&buf, path, fresh(), 0.10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if regs := cmp.Regressions(); len(regs) != 0 {
+		t.Errorf("identical snapshots regressed: %+v", regs)
+	}
+}
+
+// TestAgainstMissingFile: a bad -against path is an error, not a panic.
+func TestAgainstMissingFile(t *testing.T) {
+	var buf bytes.Buffer
+	if _, err := compareAgainst(&buf, filepath.Join(t.TempDir(), "nope.json"), fresh(), 0.10); err == nil {
+		t.Error("compareAgainst(missing file) = nil error")
+	}
+}

@@ -5,11 +5,13 @@
 // Usage:
 //
 //	fdc [-p N] [-jobs N] [-strategy interproc|runtime|immediate] [-remap none|live|hoist|kills]
-//	    [-explain] [-explain-json out.jsonl] file.f
+//	    [-explain] [-explain-json out.jsonl] [-trace out.json] [-trace-text] file.f
 //
 // -explain prints the optimization report (every pass's applied/missed
 // decisions with their reasons) to stderr; -explain-json writes the
-// same remarks as JSON lines to a file.
+// same remarks as JSON lines to a file. -trace writes Chrome
+// trace_event JSON of the compile phases (where does compile time go);
+// -trace-text prints the same phases as a text summary to stderr.
 package main
 
 import (
@@ -28,6 +30,8 @@ func main() {
 	report := flag.Bool("report", true, "print the compilation report")
 	explainText := flag.Bool("explain", false, "print the optimization report to stderr")
 	explainJSON := flag.String("explain-json", "", "write optimization remarks as JSON lines to this file")
+	traceOut := flag.String("trace", "", "write Chrome trace_event JSON of the compile phases to this file")
+	traceText := flag.Bool("trace-text", false, "print a compile-phase trace summary to stderr")
 	flag.Parse()
 
 	if flag.NArg() != 1 {
@@ -45,11 +49,16 @@ func main() {
 	if *explainText || *explainJSON != "" {
 		ex = fortd.NewExplain()
 	}
+	var tr *fortd.Trace
+	if *traceOut != "" || *traceText {
+		tr = fortd.NewTrace()
+	}
 
 	opts := fortd.DefaultOptions()
 	opts.P = *p
 	opts.Jobs = *jobs
 	opts.Explain = ex
+	opts.Trace = tr
 	switch *strategy {
 	case "interproc":
 		opts.Strategy = fortd.Interprocedural
@@ -102,6 +111,23 @@ func main() {
 	if *explainJSON != "" {
 		if err := writeJSONFile(*explainJSON, ex); err != nil {
 			fmt.Fprintln(os.Stderr, "fdc: explain:", err)
+			os.Exit(1)
+		}
+	}
+	if *traceText {
+		tr.WriteText(os.Stderr)
+	}
+	if *traceOut != "" {
+		f, err := os.Create(*traceOut)
+		if err == nil {
+			if err = tr.WriteChrome(f); err == nil {
+				err = f.Close()
+			} else {
+				f.Close()
+			}
+		}
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "fdc: trace:", err)
 			os.Exit(1)
 		}
 	}

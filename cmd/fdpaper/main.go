@@ -28,6 +28,7 @@ import (
 	"fortd"
 	"fortd/internal/core"
 	"fortd/internal/recompile"
+	"fortd/internal/trace/analyze"
 )
 
 // tracer is shared by every compile and run of the selected
@@ -296,6 +297,19 @@ func dgefa() {
 		}
 		fmt.Println()
 	}
+
+	header("§9 dgefa case study: speedup and efficiency (n=96, interprocedural)")
+	in := map[string][]float64{"a": fortd.DgefaMatrix(n)}
+	sweep, err := analyze.RunSweep([]int{1, 2, 4, 8, 16}, func(p int) (analyze.Point, error) {
+		opts := fortd.DefaultOptions()
+		opts.P = p
+		res := run(compile(fortd.DgefaSrc(n, p), opts), in)
+		return analyze.Point{Time: res.Stats.Time, Msgs: res.Stats.Messages, Words: res.Stats.Words}, nil
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	sweep.WriteText(os.Stdout)
 }
 
 // jacobi reports stencil scaling.

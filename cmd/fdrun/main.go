@@ -6,14 +6,19 @@
 // Usage:
 //
 //	fdrun [-p N] [-jobs N] [-strategy interproc|runtime|immediate] [-zero] [-print-arrays]
-//	      [-trace out.json] [-trace-text] [-explain] [-explain-json out.jsonl] file.f
+//	      [-trace out.json] [-trace-text] [-trace-json out.jsonl]
+//	      [-explain] [-explain-json out.jsonl] [-report out.html] [-sweep "1,2,4,8"] file.f
 //
 // -trace writes Chrome trace_event JSON covering the compile phases and
 // every message of the run (load in chrome://tracing or Perfetto);
 // -trace-text prints the human-readable summary — including the
-// per-processor run profile — to stderr. -explain prints the compiler's
+// per-processor run profile — to stderr; -trace-json writes the raw
+// event stream as sorted JSON lines. -explain prints the compiler's
 // optimization report to stderr; -explain-json writes the remarks as
-// JSON lines to a file.
+// JSON lines to a file. -report renders the full self-contained HTML
+// performance report (communication heatmap, hotspots, timeline,
+// remarks, and a -sweep processor-scaling curve); it implies tracing
+// and remark collection.
 package main
 
 import (
@@ -23,8 +28,7 @@ import (
 	"sort"
 
 	"fortd"
-	"fortd/internal/ast"
-	"fortd/internal/parser"
+	"fortd/internal/report"
 )
 
 func main() {
@@ -36,8 +40,11 @@ func main() {
 	check := flag.Bool("check", true, "compare against the sequential reference")
 	traceOut := flag.String("trace", "", "write Chrome trace_event JSON to this file")
 	traceText := flag.Bool("trace-text", false, "print a trace summary to stderr")
+	traceJSON := flag.String("trace-json", "", "write the sorted trace event stream as JSON lines to this file")
 	explainText := flag.Bool("explain", false, "print the optimization report to stderr")
 	explainJSON := flag.String("explain-json", "", "write optimization remarks as JSON lines to this file")
+	reportOut := flag.String("report", "", "write the self-contained HTML performance report to this file")
+	sweepFlag := flag.String("sweep", "1,2,4,8", "processor counts for the report's scaling sweep (empty: skip)")
 	flag.Parse()
 
 	if flag.NArg() != 1 {
@@ -52,7 +59,7 @@ func main() {
 	src := string(srcBytes)
 
 	var tr *fortd.Trace
-	if *traceOut != "" || *traceText {
+	if *traceOut != "" || *traceText || *traceJSON != "" {
 		tr = fortd.NewTrace()
 	}
 	var ex *fortd.Explain
@@ -81,29 +88,7 @@ func main() {
 
 	init := map[string][]float64{}
 	if !*zero {
-		// seed every main-program array with a ramp
-		parsed, err := parser.Parse(src)
-		if err == nil && parsed.Main() != nil {
-			for _, sym := range parsed.Main().Symbols.Symbols() {
-				if sym.Kind != ast.SymArray {
-					continue
-				}
-				size := 1
-				okAll := true
-				for _, d := range sym.Dims {
-					lo, okLo := ast.EvalInt(d.Lo, nil)
-					hi, okHi := ast.EvalInt(d.Hi, nil)
-					if !okLo || !okHi {
-						okAll = false
-						break
-					}
-					size *= hi - lo + 1
-				}
-				if okAll {
-					init[sym.Name] = fortd.Ramp(size)
-				}
-			}
-		}
+		init = fortd.RampInit(src)
 	}
 
 	res, err := fortd.NewRunner(fortd.WithInit(init), fortd.WithTrace(tr)).Run(prog)
@@ -134,6 +119,21 @@ func main() {
 	if *traceText {
 		tr.WriteText(os.Stderr)
 	}
+	if *traceJSON != "" {
+		f, err := os.Create(*traceJSON)
+		if err == nil {
+			if err = tr.WriteJSONL(f); err == nil {
+				err = f.Close()
+			} else {
+				f.Close()
+			}
+		}
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "fdrun: trace-json:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("trace: wrote %s\n", *traceJSON)
+	}
 	if *explainText {
 		ex.WriteText(os.Stderr)
 	}
@@ -150,6 +150,27 @@ func main() {
 			fmt.Fprintln(os.Stderr, "fdrun: explain:", err)
 			os.Exit(1)
 		}
+	}
+
+	if *reportOut != "" {
+		// The report runs its own traced compile+execution (plus the
+		// sweep), so it works whether or not -trace was given.
+		sweep, err := report.ParseSweep(*sweepFlag)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "fdrun:", err)
+			os.Exit(2)
+		}
+		sec, err := report.BuildSection(flag.Arg(0), src, init, opts, sweep)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "fdrun: report:", err)
+			os.Exit(1)
+		}
+		subtitle := fmt.Sprintf("strategy=%s", *strategy)
+		if err := report.WriteFile(*reportOut, flag.Arg(0), subtitle, sec); err != nil {
+			fmt.Fprintln(os.Stderr, "fdrun: report:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("report: wrote %s\n", *reportOut)
 	}
 
 	if *check {

@@ -1,0 +1,191 @@
+// Package benchcmp loads and compares fdbench snapshot files
+// (BENCH_<yyyymmdd>.json): per-workload deltas of wall-clock time,
+// communication volume and cache hit rate between an old and a new
+// snapshot, with a relative threshold that classifies each delta as a
+// regression or not. cmd/fdbench uses it for `-against`, and ci.sh
+// runs that comparison as a soft gate against the committed snapshot.
+package benchcmp
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+)
+
+// Result is one workload's snapshot entry — the serialized form
+// cmd/fdbench writes. Field order is the JSON key order; add new
+// fields at the end to keep snapshot diffs readable.
+type Result struct {
+	Name string `json:"name"`
+	// WallNs is the best-of-N wall-clock time for one compile plus one
+	// simulated run, in nanoseconds.
+	WallNs int64 `json:"wall_ns"`
+	// Words and Msgs are the simulated run's communication totals —
+	// the figures of merit the paper compares.
+	Words int64 `json:"words"`
+	Msgs  int64 `json:"msgs"`
+	// Jobs is the code-generation worker count the compiles ran with.
+	Jobs int `json:"jobs"`
+	// CacheHitRate is the summary-cache hit fraction of a warm
+	// recompile (1.0 = every procedure reused).
+	CacheHitRate float64 `json:"cache_hit_rate"`
+}
+
+// Load reads a snapshot file.
+func Load(path string) ([]Result, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var rs []Result
+	if err := json.Unmarshal(data, &rs); err != nil {
+		return nil, fmt.Errorf("benchcmp: %s: %w", path, err)
+	}
+	return rs, nil
+}
+
+// Delta is one (workload, metric) comparison. Pct is the relative
+// change in the direction where positive means worse (so +0.25 on
+// wall_ns means 25% slower; +0.25 on cache_hit_rate means the hit rate
+// dropped by 25% of its old value).
+type Delta struct {
+	Workload string
+	Metric   string
+	Old, New float64
+	Pct      float64
+	// Regressed is Pct > the comparison's threshold.
+	Regressed bool
+}
+
+// Comparison is the full old-vs-new delta set.
+type Comparison struct {
+	Threshold float64
+	Deltas    []Delta
+	// MissingOld lists workloads present only in the new snapshot (no
+	// baseline — informational, never a regression).
+	MissingOld []string
+}
+
+// metric describes how to read and judge one Result field.
+type metric struct {
+	name string
+	get  func(Result) float64
+	// lowerBetter: a higher new value is worse. Otherwise higher is
+	// better (cache hit rate).
+	lowerBetter bool
+}
+
+var metrics = []metric{
+	{"wall_ns", func(r Result) float64 { return float64(r.WallNs) }, true},
+	{"words", func(r Result) float64 { return float64(r.Words) }, true},
+	{"msgs", func(r Result) float64 { return float64(r.Msgs) }, true},
+	{"cache_hit_rate", func(r Result) float64 { return r.CacheHitRate }, false},
+}
+
+// Compare computes per-workload deltas between two snapshots. A metric
+// regresses when it is worse than the old value by more than threshold
+// (relative, e.g. 0.1 = 10%). Workloads missing from the old snapshot
+// are reported in MissingOld; workloads missing from the new one are
+// ignored (a removed workload is a repo decision, not a regression).
+func Compare(old, new []Result, threshold float64) *Comparison {
+	c := &Comparison{Threshold: threshold}
+	byName := map[string]Result{}
+	for _, r := range old {
+		byName[r.Name] = r
+	}
+	sorted := append([]Result(nil), new...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i].Name < sorted[j].Name })
+	for _, nr := range sorted {
+		or, ok := byName[nr.Name]
+		if !ok {
+			c.MissingOld = append(c.MissingOld, nr.Name)
+			continue
+		}
+		for _, m := range metrics {
+			ov, nv := m.get(or), m.get(nr)
+			d := Delta{Workload: nr.Name, Metric: m.name, Old: ov, New: nv}
+			if ov != 0 {
+				if m.lowerBetter {
+					d.Pct = (nv - ov) / ov
+				} else {
+					d.Pct = (ov - nv) / ov
+				}
+			} else if nv != 0 && m.lowerBetter {
+				d.Pct = 1 // appeared from zero: treat as fully worse
+			}
+			d.Regressed = d.Pct > threshold
+			c.Deltas = append(c.Deltas, d)
+		}
+	}
+	return c
+}
+
+// Regressions returns the deltas beyond the threshold.
+func (c *Comparison) Regressions() []Delta {
+	var out []Delta
+	for _, d := range c.Deltas {
+		if d.Regressed {
+			out = append(out, d)
+		}
+	}
+	return out
+}
+
+// WriteText renders the comparison table; regressed rows are marked.
+func (c *Comparison) WriteText(w io.Writer) error {
+	if _, err := fmt.Fprintf(w, "%-10s %-15s %14s %14s %8s\n",
+		"workload", "metric", "old", "new", "delta"); err != nil {
+		return err
+	}
+	for _, d := range c.Deltas {
+		mark := ""
+		if d.Regressed {
+			mark = "  REGRESSED"
+		}
+		fmt.Fprintf(w, "%-10s %-15s %14s %14s %+7.1f%%%s\n",
+			d.Workload, d.Metric, fmtVal(d.Metric, d.Old), fmtVal(d.Metric, d.New),
+			100*rawPct(d), mark)
+	}
+	for _, name := range c.MissingOld {
+		fmt.Fprintf(w, "%-10s (no baseline in old snapshot)\n", name)
+	}
+	if regs := c.Regressions(); len(regs) > 0 {
+		fmt.Fprintf(w, "%d metric(s) regressed beyond %.0f%%\n", len(regs), 100*c.Threshold)
+	}
+	return nil
+}
+
+// Table renders the comparison as (header, rows) for the HTML report.
+func (c *Comparison) Table() ([]string, [][]string) {
+	header := []string{"workload", "metric", "old", "new", "delta", ""}
+	var rows [][]string
+	for _, d := range c.Deltas {
+		mark := ""
+		if d.Regressed {
+			mark = "REGRESSED"
+		}
+		rows = append(rows, []string{
+			d.Workload, d.Metric, fmtVal(d.Metric, d.Old), fmtVal(d.Metric, d.New),
+			fmt.Sprintf("%+.1f%%", 100*rawPct(d)), mark,
+		})
+	}
+	return header, rows
+}
+
+// rawPct converts the worse-positive Pct back to the plain new-vs-old
+// relative change for display.
+func rawPct(d Delta) float64 {
+	if d.Old == 0 {
+		return 0
+	}
+	return (d.New - d.Old) / d.Old
+}
+
+func fmtVal(metric string, v float64) string {
+	if metric == "cache_hit_rate" {
+		return fmt.Sprintf("%.2f", v)
+	}
+	return fmt.Sprintf("%.0f", v)
+}

@@ -1,0 +1,130 @@
+package benchcmp
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func snapshot() []Result {
+	return []Result{
+		{Name: "dgefa", WallNs: 10_000_000, Words: 5000, Msgs: 400, Jobs: 1, CacheHitRate: 1.0},
+		{Name: "jacobi", WallNs: 5_000_000, Words: 2000, Msgs: 100, Jobs: 1, CacheHitRate: 1.0},
+	}
+}
+
+// TestIdenticalSnapshotsPass: comparing a snapshot against itself
+// finds no regressions.
+func TestIdenticalSnapshotsPass(t *testing.T) {
+	c := Compare(snapshot(), snapshot(), 0.10)
+	if regs := c.Regressions(); len(regs) != 0 {
+		t.Errorf("identical snapshots regressed: %+v", regs)
+	}
+	if len(c.Deltas) != 8 {
+		t.Errorf("deltas = %d, want 8 (2 workloads x 4 metrics)", len(c.Deltas))
+	}
+}
+
+// TestInjectedTimeRegression: an old snapshot with 20% better time
+// must trip the 10% gate (the acceptance criterion's synthetic case).
+func TestInjectedTimeRegression(t *testing.T) {
+	old := snapshot()
+	cur := snapshot()
+	old[0].WallNs = int64(float64(cur[0].WallNs) / 1.25) // old is 20% faster
+	c := Compare(old, cur, 0.10)
+	regs := c.Regressions()
+	if len(regs) != 1 {
+		t.Fatalf("regressions = %+v, want exactly the dgefa wall_ns delta", regs)
+	}
+	if regs[0].Workload != "dgefa" || regs[0].Metric != "wall_ns" {
+		t.Errorf("regressed %s/%s, want dgefa/wall_ns", regs[0].Workload, regs[0].Metric)
+	}
+	var buf bytes.Buffer
+	if err := c.WriteText(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "REGRESSED") {
+		t.Errorf("table does not mark the regression:\n%s", buf.String())
+	}
+}
+
+// TestWithinThresholdPasses: a change smaller than the threshold is a
+// delta but not a regression.
+func TestWithinThresholdPasses(t *testing.T) {
+	old := snapshot()
+	cur := snapshot()
+	cur[1].Words = old[1].Words + old[1].Words/20 // +5%
+	if regs := Compare(old, cur, 0.10).Regressions(); len(regs) != 0 {
+		t.Errorf("5%% drift regressed at 10%% threshold: %+v", regs)
+	}
+}
+
+// TestImprovementNeverRegresses: getting faster, lighter or
+// better-cached is never flagged.
+func TestImprovementNeverRegresses(t *testing.T) {
+	old := snapshot()
+	cur := snapshot()
+	cur[0].WallNs /= 2
+	cur[0].Words /= 2
+	cur[0].CacheHitRate = 1.0
+	if regs := Compare(old, cur, 0.10).Regressions(); len(regs) != 0 {
+		t.Errorf("improvement regressed: %+v", regs)
+	}
+}
+
+// TestCacheHitRateDirection: the hit rate is higher-better, so a drop
+// regresses and a rise does not.
+func TestCacheHitRateDirection(t *testing.T) {
+	old := snapshot()
+	cur := snapshot()
+	cur[0].CacheHitRate = 0.5 // halved
+	regs := Compare(old, cur, 0.10).Regressions()
+	if len(regs) != 1 || regs[0].Metric != "cache_hit_rate" {
+		t.Errorf("regressions = %+v, want one cache_hit_rate delta", regs)
+	}
+}
+
+// TestMissingWorkloads: new workloads have no baseline and are
+// reported, not flagged; removed workloads are ignored.
+func TestMissingWorkloads(t *testing.T) {
+	old := snapshot()[:1] // dgefa only
+	cur := snapshot()     // dgefa + jacobi
+	c := Compare(old, cur, 0.10)
+	if len(c.MissingOld) != 1 || c.MissingOld[0] != "jacobi" {
+		t.Errorf("MissingOld = %v", c.MissingOld)
+	}
+	if regs := c.Regressions(); len(regs) != 0 {
+		t.Errorf("missing baseline regressed: %+v", regs)
+	}
+	// reversed: removed workload is simply dropped
+	c = Compare(snapshot(), snapshot()[:1], 0.10)
+	if len(c.Deltas) != 4 {
+		t.Errorf("deltas = %d, want 4", len(c.Deltas))
+	}
+}
+
+// TestLoadRoundTrip writes a snapshot the way fdbench does and loads
+// it back.
+func TestLoadRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "BENCH_test.json")
+	data, err := json.MarshalIndent(snapshot(), "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, append(data, '\n'), 0644); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 || got[0] != snapshot()[0] {
+		t.Errorf("round trip = %+v", got)
+	}
+	if _, err := Load(filepath.Join(t.TempDir(), "missing.json")); err == nil {
+		t.Error("Load(missing) = nil error")
+	}
+}

@@ -33,12 +33,24 @@ func DefaultConfig(p int) Config {
 // Stats aggregates execution statistics.
 type Stats struct {
 	Messages  int64   // point-to-point messages delivered
+	Received  int64   // point-to-point messages consumed by a Recv
 	Words     int64   // data words transferred
 	Flops     int64   // arithmetic operations executed
 	Remaps    int64   // physical array remappings
 	Time      float64 // parallel execution time = max processor clock
 	PerProc   []ProcStats
 	Broadcast int64 // messages that were part of broadcast/gather ops
+	// Traffic is the per-pair accounting: Traffic[src][dst] accumulates
+	// every message src sent to dst. Remap traffic, which has no single
+	// destination, is charged to the diagonal Traffic[p][p], so row sums
+	// match each processor's Sent/Words totals.
+	Traffic [][]PairStats
+}
+
+// PairStats is one src→dst link's totals.
+type PairStats struct {
+	Msgs  int64
+	Words int64
 }
 
 // ProcStats is one processor's view.
@@ -48,6 +60,11 @@ type ProcStats struct {
 	Received int64
 	Words    int64
 	Flops    int64
+	// RemapMsgs is the subset of Sent charged by CountRemap: collective
+	// partner messages that no Recv consumes. Sent - RemapMsgs is the
+	// processor's point-to-point message count, which conservation
+	// checks against the machine-wide Received total.
+	RemapMsgs int64
 	// Wait is the cumulative virtual time the processor spent blocked in
 	// Recv for messages that had not yet arrived (idle time).
 	Wait float64
@@ -94,7 +111,7 @@ func New(cfg Config) *Machine {
 	}
 	m.procs = make([]*Proc, cfg.P)
 	for p := 0; p < cfg.P; p++ {
-		m.procs[p] = &Proc{m: m, id: p}
+		m.procs[p] = &Proc{m: m, id: p, pairs: make([]PairStats, cfg.P)}
 	}
 	return m
 }
@@ -131,12 +148,14 @@ func (m *Machine) Wait() { m.wg.Wait() }
 func (m *Machine) Stats() Stats {
 	var s Stats
 	s.PerProc = make([]ProcStats, m.cfg.P)
+	s.Traffic = make([][]PairStats, m.cfg.P)
 	for i, p := range m.procs {
 		s.PerProc[i] = p.stats
 		if p.stats.Clock > s.Time {
 			s.Time = p.stats.Clock
 		}
 		s.Messages += p.stats.Sent
+		s.Received += p.stats.Received
 		s.Words += p.stats.Words
 		s.Flops += p.stats.Flops
 		// a physical remap is a collective operation: every processor
@@ -145,6 +164,7 @@ func (m *Machine) Stats() Stats {
 			s.Remaps = p.remaps
 		}
 		s.Broadcast += p.bcast
+		s.Traffic[i] = append([]PairStats(nil), p.pairs...)
 	}
 	return s
 }
@@ -156,6 +176,10 @@ type Proc struct {
 	stats  ProcStats
 	remaps int64
 	bcast  int64
+	// pairs[dst] accumulates this processor's traffic per destination
+	// (remap traffic lands on pairs[id]). Written only by this
+	// processor's goroutine; snapshotted by Stats after Wait.
+	pairs []PairStats
 	// trace attribution context, set by the interpreter before each
 	// communication statement: the owning procedure, source line and
 	// operation kind. Read only by this processor's goroutine.
@@ -209,6 +233,8 @@ func (p *Proc) Send(to int, data []float64) {
 	p.stats.Clock += p.m.cfg.Latency
 	p.stats.Sent++
 	p.stats.Words += int64(len(data))
+	p.pairs[to].Msgs++
+	p.pairs[to].Words += int64(len(data))
 	var seq int64
 	if p.m.tr != nil {
 		seq = p.m.tr.NextSeq()
@@ -298,7 +324,10 @@ func (p *Proc) CountRemap(words, partners int) {
 	}
 	start := p.stats.Clock
 	p.stats.Sent += int64(partners)
+	p.stats.RemapMsgs += int64(partners)
 	p.stats.Words += int64(words)
+	p.pairs[p.id].Msgs += int64(partners)
+	p.pairs[p.id].Words += int64(words)
 	p.stats.Clock += float64(partners)*p.m.cfg.Latency + float64(words)*p.m.cfg.PerWord
 	if p.m.tr != nil {
 		p.m.tr.Emit(trace.Event{

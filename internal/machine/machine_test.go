@@ -196,6 +196,63 @@ func TestCountRemap(t *testing.T) {
 	}
 }
 
+// TestPairAccounting: Stats.Traffic rows reconcile with each
+// processor's totals, remap traffic lands on the diagonal, and every
+// non-remap message sent is received (conservation).
+func TestPairAccounting(t *testing.T) {
+	m := New(Config{P: 3, Latency: 10, PerWord: 1, FlopCost: 1})
+	m.Go(0, func(p *Proc) {
+		p.Send(1, []float64{1, 2})
+		p.Send(2, []float64{3})
+		p.CountRemap(40, 2)
+	})
+	m.Go(1, func(p *Proc) {
+		p.Recv(0)
+		p.Send(2, []float64{4, 5, 6})
+		p.CountRemap(40, 2)
+	})
+	m.Go(2, func(p *Proc) {
+		p.Recv(0)
+		p.Recv(1)
+		p.CountRemap(40, 2)
+	})
+	m.Wait()
+	s := m.Stats()
+	if got := s.Traffic[0][1]; got.Msgs != 1 || got.Words != 2 {
+		t.Errorf("Traffic[0][1] = %+v", got)
+	}
+	if got := s.Traffic[1][2]; got.Msgs != 1 || got.Words != 3 {
+		t.Errorf("Traffic[1][2] = %+v", got)
+	}
+	if got := s.Traffic[0][0]; got.Msgs != 2 || got.Words != 40 {
+		t.Errorf("remap not on diagonal: Traffic[0][0] = %+v", got)
+	}
+	// row sums reconcile with the per-processor totals
+	for src := range s.Traffic {
+		var msgs, words int64
+		for _, pair := range s.Traffic[src] {
+			msgs += pair.Msgs
+			words += pair.Words
+		}
+		if msgs != s.PerProc[src].Sent || words != s.PerProc[src].Words {
+			t.Errorf("p%d traffic row (msgs=%d words=%d) != proc totals (%d, %d)",
+				src, msgs, words, s.PerProc[src].Sent, s.PerProc[src].Words)
+		}
+	}
+	// conservation: every non-remap send was consumed by a Recv
+	var sent, remap int64
+	for _, ps := range s.PerProc {
+		sent += ps.Sent
+		remap += ps.RemapMsgs
+	}
+	if sent-remap != s.Received {
+		t.Errorf("sent-remap = %d, received = %d", sent-remap, s.Received)
+	}
+	if s.Received != 3 {
+		t.Errorf("Received = %d, want 3", s.Received)
+	}
+}
+
 // TestBroadcastTreeAllRoots: the binomial-tree broadcast delivers from
 // any root at any machine size.
 func TestBroadcastTreeAllRoots(t *testing.T) {

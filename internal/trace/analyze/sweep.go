@@ -1,0 +1,81 @@
+package analyze
+
+import (
+	"fmt"
+	"io"
+	"sort"
+)
+
+// Point is one processor count's measurement in a scaling sweep.
+type Point struct {
+	P     int
+	Time  float64 // parallel time, µs
+	Msgs  int64
+	Words int64
+}
+
+// Sweep is a processor-scaling experiment: the same workload measured
+// across P ∈ {1, 2, 4, ...}, with speedup and efficiency computed
+// against the smallest measured P (the paper's §9 presentation).
+type Sweep struct {
+	Points []Point
+}
+
+// RunSweep measures the workload at each processor count by calling
+// run, which compiles and executes it for that P and returns the
+// resulting point. Points come back sorted by P.
+func RunSweep(ps []int, run func(p int) (Point, error)) (*Sweep, error) {
+	s := &Sweep{}
+	for _, p := range ps {
+		pt, err := run(p)
+		if err != nil {
+			return nil, fmt.Errorf("sweep P=%d: %w", p, err)
+		}
+		pt.P = p
+		s.Points = append(s.Points, pt)
+	}
+	sort.Slice(s.Points, func(i, j int) bool { return s.Points[i].P < s.Points[j].P })
+	return s, nil
+}
+
+// Baseline is the smallest-P point, the denominator of every speedup.
+func (s *Sweep) Baseline() Point {
+	if s == nil || len(s.Points) == 0 {
+		return Point{}
+	}
+	return s.Points[0]
+}
+
+// Speedup is T(baseline)·baseline.P / T(p), normalized so that a
+// P=1 baseline gives the conventional T(1)/T(p).
+func (s *Sweep) Speedup(pt Point) float64 {
+	base := s.Baseline()
+	if pt.Time <= 0 || base.Time <= 0 {
+		return 0
+	}
+	return base.Time * float64(base.P) / pt.Time
+}
+
+// Efficiency is Speedup/P in [0, 1] for well-behaved scaling.
+func (s *Sweep) Efficiency(pt Point) float64 {
+	if pt.P == 0 {
+		return 0
+	}
+	return s.Speedup(pt) / float64(pt.P)
+}
+
+// WriteText renders the sweep as the speedup/efficiency table.
+func (s *Sweep) WriteText(w io.Writer) error {
+	if s == nil || len(s.Points) == 0 {
+		return nil
+	}
+	if _, err := fmt.Fprintf(w, "%4s %12s %9s %11s %10s %12s\n",
+		"P", "time(µs)", "speedup", "efficiency", "msgs", "words"); err != nil {
+		return err
+	}
+	for _, pt := range s.Points {
+		fmt.Fprintf(w, "%4d %12.0f %8.2fx %10.1f%% %10d %12d\n",
+			pt.P, pt.Time, s.Speedup(pt), 100*s.Efficiency(pt), pt.Msgs, pt.Words)
+	}
+	return nil
+}

@@ -47,6 +47,7 @@ func (t *Tracer) WriteChrome(w io.Writer) error { return WriteChrome(w, t.Events
 // to the matching receive slice. Slices on each thread are emitted in
 // nondecreasing timestamp order, as the format requires.
 func WriteChrome(w io.Writer, events []Event) error {
+	events = sorted(events)
 	var out []chromeEvent
 	meta := func(pid, tid int, ph string, args map[string]interface{}) {
 		name := "process_name"

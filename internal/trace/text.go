@@ -36,6 +36,7 @@ func (t *Tracer) WriteText(w io.Writer) error { return WriteText(w, t.Events()) 
 // events are omitted, so a run-only trace contains no compiler lines
 // and its output is fully deterministic (virtual time only).
 func WriteText(w io.Writer, events []Event) error {
+	events = sorted(events)
 	var phases, counters, sums []Event
 	sites := map[[3]interface{}]*site{}
 	var msgs, words, remaps, attributed int64
@@ -76,8 +77,8 @@ func WriteText(w io.Writer, events []Event) error {
 	}
 
 	if len(phases) > 0 {
-		// phases are reported in completion order, which New's
-		// single-pass pipeline makes the natural reading order
+		// phases are reported in start order, which New's single-pass
+		// pipeline makes the natural reading order
 		fmt.Fprintf(w, "\ncompile phases:\n")
 		for _, ev := range phases {
 			fmt.Fprintf(w, "  %-28s %10.1fµs\n", ev.Name, ev.Dur)

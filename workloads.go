@@ -4,6 +4,9 @@ import (
 	"fmt"
 	"math"
 	"strings"
+
+	"fortd/internal/ast"
+	"fortd/internal/parser"
 )
 
 // This file provides the paper's workloads as parameterized Fortran D
@@ -312,4 +315,37 @@ func Ramp(n int) []float64 {
 		out[i] = float64(i + 1)
 	}
 	return out
+}
+
+// RampInit seeds every constant-sized array of src's main program with
+// a Ramp — the default initialization fdrun and fdreport use for
+// arbitrary input files. Arrays whose dimensions are not compile-time
+// constants (and programs that fail to parse) are simply skipped; the
+// compiler proper reports those errors.
+func RampInit(src string) map[string][]float64 {
+	init := map[string][]float64{}
+	parsed, err := parser.Parse(src)
+	if err != nil || parsed.Main() == nil {
+		return init
+	}
+	for _, sym := range parsed.Main().Symbols.Symbols() {
+		if sym.Kind != ast.SymArray {
+			continue
+		}
+		size := 1
+		okAll := true
+		for _, d := range sym.Dims {
+			lo, okLo := ast.EvalInt(d.Lo, nil)
+			hi, okHi := ast.EvalInt(d.Hi, nil)
+			if !okLo || !okHi {
+				okAll = false
+				break
+			}
+			size *= hi - lo + 1
+		}
+		if okAll {
+			init[sym.Name] = Ramp(size)
+		}
+	}
+	return init
 }
