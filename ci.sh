@@ -9,10 +9,24 @@ set -eux
 test -z "$(gofmt -l .)"
 go build ./...
 go vet ./...
-go test -race ./...
+# -timeout is the last-resort hang guard; the machine's own deadlock
+# watchdog and deadline should fire long before it
+go test -race -timeout 5m ./...
 go test -run '^$' -fuzz FuzzParse -fuzztime 10s ./internal/parser
 go test -run '^$' -fuzz FuzzCompile -fuzztime 10s .
 go test -run '^$' -bench BenchmarkTraceOverhead -benchtime 20x .
+
+# deadlock smoke: a deliberately mismatched SPMD program must terminate
+# within the deadline with a non-zero exit and the structured deadlock
+# report — never hang
+if go run ./cmd/fdrun -spmd -deadline 10s testdata/deadlock.f >/tmp/ci_deadlock.out 2>&1; then
+	echo "FAIL: mismatched SPMD program exited zero"
+	cat /tmp/ci_deadlock.out
+	exit 1
+fi
+grep -q "deadlock" /tmp/ci_deadlock.out
+grep -q "MISMATCH" /tmp/ci_deadlock.out
+rm -f /tmp/ci_deadlock.out
 
 # report smoke: the self-contained HTML report must render and be
 # non-trivial for the dgefa case study

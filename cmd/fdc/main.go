@@ -5,22 +5,52 @@
 // Usage:
 //
 //	fdc [-p N] [-jobs N] [-strategy interproc|runtime|immediate] [-remap none|live|hoist|kills]
-//	    [-explain] [-explain-json out.jsonl] [-trace out.json] [-trace-text] file.f
+//	    [-explain] [-explain-json out.jsonl] [-trace out.json] [-trace-text]
+//	    [-deadline 30s] file.f
 //
 // -explain prints the optimization report (every pass's applied/missed
 // decisions with their reasons) to stderr; -explain-json writes the
 // same remarks as JSON lines to a file. -trace writes Chrome
 // trace_event JSON of the compile phases (where does compile time go);
 // -trace-text prints the same phases as a text summary to stderr.
+// -deadline bounds the compilation's wall-clock time, so a pathological
+// input fails loudly instead of hanging the build.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"time"
 
 	"fortd"
 )
+
+// compileResult carries a bounded compilation's outcome.
+type compileResult struct {
+	prog *fortd.Program
+	err  error
+}
+
+// compileWithDeadline runs Compile, failing after d (0: unbounded).
+// The compilation goroutine is not cancelled on timeout — the process
+// exits immediately after, which is the only sound way to stop it.
+func compileWithDeadline(src string, opts fortd.Options, d time.Duration) (*fortd.Program, error) {
+	if d <= 0 {
+		return fortd.Compile(src, opts)
+	}
+	ch := make(chan compileResult, 1)
+	go func() {
+		prog, err := fortd.Compile(src, opts)
+		ch <- compileResult{prog, err}
+	}()
+	select {
+	case r := <-ch:
+		return r.prog, r.err
+	case <-time.After(d):
+		return nil, fmt.Errorf("compilation exceeded deadline %v", d)
+	}
+}
 
 func main() {
 	p := flag.Int("p", 0, "processor count (0: use the program's n$proc)")
@@ -32,6 +62,7 @@ func main() {
 	explainJSON := flag.String("explain-json", "", "write optimization remarks as JSON lines to this file")
 	traceOut := flag.String("trace", "", "write Chrome trace_event JSON of the compile phases to this file")
 	traceText := flag.Bool("trace-text", false, "print a compile-phase trace summary to stderr")
+	deadline := flag.Duration("deadline", 0, "wall-clock deadline for the compilation (0: none)")
 	flag.Parse()
 
 	if flag.NArg() != 1 {
@@ -84,7 +115,7 @@ func main() {
 		os.Exit(2)
 	}
 
-	prog, err := fortd.Compile(string(src), opts)
+	prog, err := compileWithDeadline(string(src), opts, *deadline)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "fdc:", err)
 		os.Exit(1)

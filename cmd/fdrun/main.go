@@ -7,7 +7,10 @@
 //
 //	fdrun [-p N] [-jobs N] [-strategy interproc|runtime|immediate] [-zero] [-print-arrays]
 //	      [-trace out.json] [-trace-text] [-trace-json out.jsonl]
-//	      [-explain] [-explain-json out.jsonl] [-report out.html] [-sweep "1,2,4,8"] file.f
+//	      [-explain] [-explain-json out.jsonl] [-report out.html] [-sweep "1,2,4,8"]
+//	      [-spmd] [-deadline 30s]
+//	      [-fault-seed N] [-fault-delay P] [-fault-delay-max US] [-fault-dup P]
+//	      [-fault-straggler "pid:skew,..."] file.f
 //
 // -trace writes Chrome trace_event JSON covering the compile phases and
 // every message of the run (load in chrome://tracing or Perfetto);
@@ -19,6 +22,15 @@
 // performance report (communication heatmap, hotspots, timeline,
 // remarks, and a -sweep processor-scaling curve); it implies tracing
 // and remark collection.
+//
+// -spmd runs the input as a hand-written SPMD node program directly on
+// the simulated machine, skipping compilation and the sequential
+// check. -deadline bounds the run's wall-clock time: a run that would
+// hang (mismatched sends/receives, a true deadlock) instead exits
+// non-zero with the watchdog's per-processor deadlock report. The
+// -fault-* flags build a seeded, deterministic fault-injection plan
+// (delivery delays, duplicated messages, straggler processors); the
+// same seed reproduces the same faults and the same trace exports.
 package main
 
 import (
@@ -26,10 +38,36 @@ import (
 	"fmt"
 	"os"
 	"sort"
+	"strconv"
+	"strings"
 
 	"fortd"
 	"fortd/internal/report"
 )
+
+// parseStragglers parses "pid:skew,pid:skew" into a straggler map.
+func parseStragglers(s string) (map[int]float64, error) {
+	if s == "" {
+		return nil, nil
+	}
+	out := map[int]float64{}
+	for _, part := range strings.Split(s, ",") {
+		pidStr, skewStr, ok := strings.Cut(strings.TrimSpace(part), ":")
+		if !ok {
+			return nil, fmt.Errorf("bad straggler %q, want pid:skew", part)
+		}
+		pid, err := strconv.Atoi(pidStr)
+		if err != nil {
+			return nil, fmt.Errorf("bad straggler pid %q: %v", pidStr, err)
+		}
+		skew, err := strconv.ParseFloat(skewStr, 64)
+		if err != nil {
+			return nil, fmt.Errorf("bad straggler skew %q: %v", skewStr, err)
+		}
+		out[pid] = skew
+	}
+	return out, nil
+}
 
 func main() {
 	p := flag.Int("p", 0, "processor count (0: use the program's n$proc)")
@@ -45,6 +83,13 @@ func main() {
 	explainJSON := flag.String("explain-json", "", "write optimization remarks as JSON lines to this file")
 	reportOut := flag.String("report", "", "write the self-contained HTML performance report to this file")
 	sweepFlag := flag.String("sweep", "1,2,4,8", "processor counts for the report's scaling sweep (empty: skip)")
+	spmdMode := flag.Bool("spmd", false, "run the input as a hand-written SPMD node program (no compilation, no reference check)")
+	deadline := flag.Duration("deadline", 0, "wall-clock deadline for the simulated run (0: none)")
+	faultSeed := flag.Int64("fault-seed", 0, "seed for the deterministic fault-injection plan")
+	faultDelay := flag.Float64("fault-delay", 0, "per-message probability of an injected delivery delay")
+	faultDelayMax := flag.Float64("fault-delay-max", 200, "maximum injected delay in virtual µs")
+	faultDup := flag.Float64("fault-dup", 0, "per-message probability of a duplicated delivery")
+	faultStraggler := flag.String("fault-straggler", "", "straggler processors as pid:skew,... (skew multiplies flop cost)")
 	flag.Parse()
 
 	if flag.NArg() != 1 {
@@ -67,23 +112,42 @@ func main() {
 		ex = fortd.NewExplain()
 	}
 
-	opts := fortd.DefaultOptions()
-	opts.P = *p
-	opts.Jobs = *jobs
-	opts.Trace = tr
-	opts.Explain = ex
-	switch *strategy {
-	case "interproc":
-		opts.Strategy = fortd.Interprocedural
-	case "runtime":
-		opts.Strategy = fortd.RuntimeResolution
-	case "immediate":
-		opts.Strategy = fortd.Immediate
-	}
-	prog, err := fortd.Compile(src, opts)
+	stragglers, err := parseStragglers(*faultStraggler)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "fdrun:", err)
-		os.Exit(1)
+		os.Exit(2)
+	}
+	var faults *fortd.FaultPlan
+	if *faultDelay > 0 || *faultDup > 0 || len(stragglers) > 0 {
+		faults = &fortd.FaultPlan{
+			Seed:       *faultSeed,
+			DelayProb:  *faultDelay,
+			DelayMax:   *faultDelayMax,
+			DupProb:    *faultDup,
+			Stragglers: stragglers,
+		}
+	}
+
+	var prog *fortd.Program
+	opts := fortd.DefaultOptions()
+	if !*spmdMode {
+		opts.P = *p
+		opts.Jobs = *jobs
+		opts.Trace = tr
+		opts.Explain = ex
+		switch *strategy {
+		case "interproc":
+			opts.Strategy = fortd.Interprocedural
+		case "runtime":
+			opts.Strategy = fortd.RuntimeResolution
+		case "immediate":
+			opts.Strategy = fortd.Immediate
+		}
+		prog, err = fortd.Compile(src, opts)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "fdrun:", err)
+			os.Exit(1)
+		}
 	}
 
 	init := map[string][]float64{}
@@ -91,12 +155,26 @@ func main() {
 		init = fortd.RampInit(src)
 	}
 
-	res, err := fortd.NewRunner(fortd.WithInit(init), fortd.WithTrace(tr)).Run(prog)
+	runner := fortd.NewRunner(
+		fortd.WithInit(init), fortd.WithTrace(tr),
+		fortd.WithDeadline(*deadline), fortd.WithFaults(faults),
+	)
+	var res *fortd.Result
+	if *spmdMode {
+		res, err = runner.RunSPMD(src, *p)
+	} else {
+		res, err = runner.Run(prog)
+	}
 	if err != nil {
+		// a *DeadlockError renders the full per-processor report
 		fmt.Fprintln(os.Stderr, "fdrun:", err)
 		os.Exit(1)
 	}
-	fmt.Printf("P=%d strategy=%s\n", prog.P(), *strategy)
+	if *spmdMode {
+		fmt.Printf("spmd run\n")
+	} else {
+		fmt.Printf("P=%d strategy=%s\n", prog.P(), *strategy)
+	}
 	fmt.Printf("stats: %s\n", res.Stats)
 
 	if *traceOut != "" {
@@ -152,7 +230,7 @@ func main() {
 		}
 	}
 
-	if *reportOut != "" {
+	if *reportOut != "" && !*spmdMode {
 		// The report runs its own traced compile+execution (plus the
 		// sweep), so it works whether or not -trace was given.
 		sweep, err := report.ParseSweep(*sweepFlag)
@@ -173,7 +251,7 @@ func main() {
 		fmt.Printf("report: wrote %s\n", *reportOut)
 	}
 
-	if *check {
+	if *check && !*spmdMode {
 		ref, err := prog.RunReference(fortd.RunOptions{Init: init})
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "fdrun: reference:", err)

@@ -34,6 +34,7 @@ package fortd
 
 import (
 	"fmt"
+	"time"
 
 	"fortd/internal/ast"
 	"fortd/internal/codegen"
@@ -121,6 +122,27 @@ func (s Stats) String() string { return machine.Stats(s).String() }
 
 // DefaultMachine returns an iPSC/860-like cost model with p processors.
 func DefaultMachine(p int) MachineConfig { return machine.DefaultConfig(p) }
+
+// FaultPlan describes seeded, deterministic fault injection for a
+// simulated run: per-message delivery delays, straggler processors,
+// and bounded message duplication. The same seed reproduces the same
+// faults. Attach with WithFaults or RunOptions.Faults.
+type FaultPlan = machine.FaultPlan
+
+// AbortError reports a processor unblocked by a machine-wide
+// cooperative abort: when any processor fails, every peer blocked in a
+// communication primitive returns one of these instead of hanging.
+// Unwrap returns the originating cause.
+type AbortError = machine.AbortError
+
+// DeadlockError is the watchdog's structured report: every live
+// processor blocked on a link with no progress (or the run exceeding
+// its wall-clock deadline), with per-processor attribution.
+type DeadlockError = machine.DeadlockError
+
+// CongestionError reports a send into a full link buffer with no
+// receiver draining it, naming the congested (src, dst) pair.
+type CongestionError = machine.CongestionError
 
 // Options configures compilation.
 type Options struct {
@@ -276,6 +298,8 @@ type Runner struct {
 	initScalars map[string]float64
 	trace       *Trace
 	explain     *Explain
+	deadline    time.Duration
+	faults      *FaultPlan
 }
 
 // RunOption configures a Runner.
@@ -312,6 +336,20 @@ func WithExplain(ex *Explain) RunOption {
 	return func(r *Runner) { r.explain = ex }
 }
 
+// WithDeadline bounds a run's wall-clock time: when it expires the
+// machine aborts and the run returns a *DeadlockError (Deadline: true)
+// reporting where every processor was blocked. 0 means no deadline
+// (the deadlock watchdog still catches true deadlocks).
+func WithDeadline(d time.Duration) RunOption {
+	return func(r *Runner) { r.deadline = d }
+}
+
+// WithFaults attaches a seeded fault-injection plan to runs executed
+// through this Runner. nil disables injection.
+func WithFaults(fp *FaultPlan) RunOption {
+	return func(r *Runner) { r.faults = fp }
+}
+
 // NewRunner builds a Runner from functional options.
 func NewRunner(opts ...RunOption) *Runner {
 	r := &Runner{}
@@ -329,7 +367,7 @@ func (r *Runner) Run(p *Program) (*Result, error) {
 	}
 	rr, err := spmd.Run(p.c.Program, cfg, spmd.Options{
 		Dists: p.c.MainDists, Init: r.init, InitScalars: r.initScalars,
-		Trace: r.trace,
+		Trace: r.trace, Faults: r.faults, Deadline: r.deadline,
 	})
 	if err != nil {
 		return nil, err
@@ -342,6 +380,7 @@ func (r *Runner) Run(p *Program) (*Result, error) {
 func (r *Runner) RunReference(p *Program) (*Result, error) {
 	rr, err := spmd.RunSequential(p.c.Source, spmd.Options{
 		Init: r.init, InitScalars: r.initScalars, Trace: r.trace,
+		Deadline: r.deadline,
 	})
 	if err != nil {
 		return nil, err
@@ -356,6 +395,7 @@ func (r *Runner) RunReference(p *Program) (*Result, error) {
 // semantics and result assembly; they generate no code. A DISTRIBUTE
 // whose descriptor cannot be built (non-constant dimension bounds,
 // rank mismatch, bad machine size) is a compile-time error.
+// nproc <= 0 reads the main program's n$proc PARAMETER (default 4).
 func (r *Runner) RunSPMD(src string, nproc int) (*Result, error) {
 	prog, err := parser.Parse(src)
 	if err != nil {
@@ -364,6 +404,12 @@ func (r *Runner) RunSPMD(src string, nproc int) (*Result, error) {
 	main := prog.Main()
 	if main == nil {
 		return nil, fmt.Errorf("fortd: SPMD text has no main program")
+	}
+	if nproc <= 0 {
+		nproc = 4
+		if s := main.Symbols.Lookup("n$proc"); s != nil && s.Kind == ast.SymConstant {
+			nproc = s.ConstValue
+		}
 	}
 	dists := map[string]*decomp.Dist{}
 	env := ast.MapEnv{}
@@ -422,7 +468,7 @@ func (r *Runner) RunSPMD(src string, nproc int) (*Result, error) {
 	}
 	rr, err := spmd.Run(prog, cfg, spmd.Options{
 		Dists: dists, Init: r.init, InitScalars: r.initScalars,
-		Trace: r.trace,
+		Trace: r.trace, Faults: r.faults, Deadline: r.deadline,
 	})
 	if err != nil {
 		return nil, err
@@ -441,6 +487,10 @@ type RunOptions struct {
 	Machine MachineConfig
 	// Trace, when non-nil, records every message of the run.
 	Trace *Trace
+	// Deadline bounds the run's wall-clock time (0: no deadline).
+	Deadline time.Duration
+	// Faults, when non-nil, injects seeded deterministic faults.
+	Faults *FaultPlan
 }
 
 func (o RunOptions) runner() *Runner {
@@ -449,6 +499,8 @@ func (o RunOptions) runner() *Runner {
 		WithInit(o.Init),
 		WithInitScalars(o.InitScalars),
 		WithTrace(o.Trace),
+		WithDeadline(o.Deadline),
+		WithFaults(o.Faults),
 	)
 }
 

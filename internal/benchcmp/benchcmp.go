@@ -106,14 +106,20 @@ func Compare(old, new []Result, threshold float64) *Comparison {
 		for _, m := range metrics {
 			ov, nv := m.get(or), m.get(nr)
 			d := Delta{Workload: nr.Name, Metric: m.name, Old: ov, New: nv}
-			if ov != 0 {
+			switch {
+			case ov != 0:
 				if m.lowerBetter {
 					d.Pct = (nv - ov) / ov
 				} else {
 					d.Pct = (ov - nv) / ov
 				}
-			} else if nv != 0 && m.lowerBetter {
-				d.Pct = 1 // appeared from zero: treat as fully worse
+			case nv == 0:
+				// zero to zero: no change, and never a division by zero
+			case m.lowerBetter:
+				d.Pct = 1 // cost appeared from zero: treat as fully worse
+			default:
+				d.Pct = -1 // benefit appeared from zero (e.g. a cold
+				// baseline's cache_hit_rate of 0): fully better
 			}
 			d.Regressed = d.Pct > threshold
 			c.Deltas = append(c.Deltas, d)
@@ -175,10 +181,14 @@ func (c *Comparison) Table() ([]string, [][]string) {
 }
 
 // rawPct converts the worse-positive Pct back to the plain new-vs-old
-// relative change for display.
+// relative change for display. A metric appearing from a zero baseline
+// has no finite relative change; it is shown as +100% rather than ±Inf.
 func rawPct(d Delta) float64 {
 	if d.Old == 0 {
-		return 0
+		if d.New == 0 {
+			return 0
+		}
+		return 1
 	}
 	return (d.New - d.Old) / d.Old
 }

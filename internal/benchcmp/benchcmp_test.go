@@ -87,6 +87,50 @@ func TestCacheHitRateDirection(t *testing.T) {
 	}
 }
 
+// TestZeroBaseline: a zero old metric must never produce an Inf/NaN
+// delta. A baseline cache_hit_rate of 0 (cold run) rising to 1.0 is an
+// improvement, not a regression; a cost metric appearing from zero is
+// fully worse; zero-to-zero is no change.
+func TestZeroBaseline(t *testing.T) {
+	old := snapshot()
+	cur := snapshot()
+	old[0].CacheHitRate = 0 // cold baseline
+	old[1].Words, cur[1].Words = 0, 2000
+	old[1].Msgs, cur[1].Msgs = 0, 0
+	c := Compare(old, cur, 0.10)
+	for _, d := range c.Deltas {
+		if d.Pct != d.Pct || d.Pct > 1e308 || d.Pct < -1e308 {
+			t.Errorf("%s/%s: Pct = %v, want finite", d.Workload, d.Metric, d.Pct)
+		}
+	}
+	find := func(workload, metric string) Delta {
+		for _, d := range c.Deltas {
+			if d.Workload == workload && d.Metric == metric {
+				return d
+			}
+		}
+		t.Fatalf("no delta for %s/%s", workload, metric)
+		return Delta{}
+	}
+	if d := find("dgefa", "cache_hit_rate"); d.Pct != -1 || d.Regressed {
+		t.Errorf("hit rate 0 -> 1.0: Pct = %v regressed = %v, want -1, false", d.Pct, d.Regressed)
+	}
+	if d := find("jacobi", "words"); d.Pct != 1 || !d.Regressed {
+		t.Errorf("words 0 -> 2000: Pct = %v regressed = %v, want 1, true", d.Pct, d.Regressed)
+	}
+	if d := find("jacobi", "msgs"); d.Pct != 0 || d.Regressed {
+		t.Errorf("msgs 0 -> 0: Pct = %v regressed = %v, want 0, false", d.Pct, d.Regressed)
+	}
+	var buf bytes.Buffer
+	if err := c.WriteText(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if strings.Contains(out, "Inf") || strings.Contains(out, "NaN") {
+		t.Errorf("table renders Inf/NaN:\n%s", out)
+	}
+}
+
 // TestMissingWorkloads: new workloads have no baseline and are
 // reported, not flagged; removed workloads are ignored.
 func TestMissingWorkloads(t *testing.T) {

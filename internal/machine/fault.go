@@ -1,0 +1,173 @@
+// Deterministic, seeded fault injection for the simulated machine.
+//
+// A FaultPlan turns robustness scenarios — a flaky interconnect that
+// delays or duplicates messages, a straggling processor — into
+// reproducible test inputs: every random draw comes from a per-sender
+// stream derived from the plan's seed, so two runs of the same
+// deterministic node program with the same plan inject exactly the
+// same faults regardless of goroutine scheduling, and their trace
+// exports are byte-identical. Injected faults perturb virtual time
+// only (delays stretch delivery, stragglers stretch computation,
+// duplicates stall the receiver that discards them); they never change
+// program results, so a faulted run still matches its sequential
+// reference.
+package machine
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"fortd/internal/trace"
+)
+
+// FaultPlan describes seeded, deterministic fault injection. The zero
+// value injects nothing. Attach with Machine.SetFaultPlan (after
+// SetTracer, before Go).
+type FaultPlan struct {
+	// Seed selects the per-sender random streams; the same seed
+	// reproduces the same faults on the same node program.
+	Seed int64
+	// DelayProb is the per-message probability of an injected delivery
+	// delay, drawn uniformly from (0, DelayMax] virtual µs.
+	DelayProb float64
+	DelayMax  float64
+	// Stragglers maps a processor id to a flop-cost multiplier (> 1
+	// slows it down), modeling a slow node skewing the load balance.
+	Stragglers map[int]float64
+	// DupProb is the per-message probability the link delivers a
+	// duplicate copy; the receiver detects and discards duplicates,
+	// paying the delivery stall but never observing duplicate data.
+	// Duplication is bounded to MaxDups per sending processor
+	// (0: DefaultMaxDups).
+	DupProb float64
+	MaxDups int
+}
+
+// DefaultMaxDups bounds per-sender duplicates when MaxDups is 0.
+const DefaultMaxDups = 64
+
+// Validate reports the first invalid field.
+func (fp *FaultPlan) Validate() error {
+	if fp == nil {
+		return nil
+	}
+	if fp.DelayProb < 0 || fp.DelayProb > 1 {
+		return fmt.Errorf("machine: FaultPlan.DelayProb = %v, must be in [0, 1]", fp.DelayProb)
+	}
+	if fp.DelayMax < 0 {
+		return fmt.Errorf("machine: FaultPlan.DelayMax = %v, must be >= 0", fp.DelayMax)
+	}
+	if fp.DelayProb > 0 && fp.DelayMax == 0 {
+		return fmt.Errorf("machine: FaultPlan.DelayProb = %v with DelayMax = 0 injects nothing", fp.DelayProb)
+	}
+	if fp.DupProb < 0 || fp.DupProb > 1 {
+		return fmt.Errorf("machine: FaultPlan.DupProb = %v, must be in [0, 1]", fp.DupProb)
+	}
+	if fp.MaxDups < 0 {
+		return fmt.Errorf("machine: FaultPlan.MaxDups = %v, must be >= 0", fp.MaxDups)
+	}
+	for pid, skew := range fp.Stragglers {
+		if skew <= 0 {
+			return fmt.Errorf("machine: FaultPlan.Stragglers[%d] = %v, must be > 0", pid, skew)
+		}
+	}
+	return nil
+}
+
+// maxDups resolves the duplicate bound.
+func (fp *FaultPlan) maxDups() int {
+	if fp.MaxDups > 0 {
+		return fp.MaxDups
+	}
+	return DefaultMaxDups
+}
+
+// SetFaultPlan attaches a fault-injection plan. Call after SetTracer
+// (straggler skews are announced as trace events) and before Go. A nil
+// plan is a no-op.
+func (m *Machine) SetFaultPlan(fp *FaultPlan) {
+	if fp == nil {
+		return
+	}
+	m.fault = fp
+	for pid, p := range m.procs {
+		// one independent stream per sending processor, consumed in that
+		// processor's program order — deterministic under any scheduling
+		p.frng = rand.New(rand.NewSource(fp.Seed ^ (int64(pid)+1)*0x9E3779B97F4A7C1))
+		if skew, ok := fp.Stragglers[pid]; ok && skew > 0 {
+			p.skew = skew
+		}
+	}
+	if m.tr != nil {
+		pids := make([]int, 0, len(fp.Stragglers))
+		for pid := range fp.Stragglers {
+			if pid >= 0 && pid < m.cfg.P {
+				pids = append(pids, pid)
+			}
+		}
+		sort.Ints(pids)
+		for _, pid := range pids {
+			m.tr.Emit(trace.Event{
+				Kind: trace.KindFault, Name: "straggler",
+				PID: pid, Src: pid, Dst: pid,
+				Dur: fp.Stragglers[pid], // the flop-cost multiplier
+			})
+		}
+	}
+}
+
+// injectSendFaults draws this message's faults from the sender's
+// stream: a delivery delay carried on the message, and whether the
+// link duplicates it. Runs on the sending processor's goroutine only.
+func (p *Proc) injectSendFaults(to, words int, seq int64) (delay float64, dup bool) {
+	fp := p.m.fault
+	if fp == nil || p.frng == nil {
+		return 0, false
+	}
+	if fp.DelayProb > 0 && p.frng.Float64() < fp.DelayProb {
+		delay = (1 - p.frng.Float64()) * fp.DelayMax // (0, DelayMax]
+		if p.m.tr != nil {
+			p.m.tr.Emit(trace.Event{
+				Kind: trace.KindFault, Name: "delay",
+				Proc: p.ctxProc, Line: p.ctxLine,
+				PID: p.id, Src: p.id, Dst: to, Words: words,
+				Start: p.stats.Clock, Dur: delay, Seq: seq,
+			})
+		}
+	}
+	if fp.DupProb > 0 && p.fdups < fp.maxDups() && p.frng.Float64() < fp.DupProb {
+		p.fdups++
+		dup = true
+		if p.m.tr != nil {
+			p.m.tr.Emit(trace.Event{
+				Kind: trace.KindFault, Name: "dup",
+				Proc: p.ctxProc, Line: p.ctxLine,
+				PID: p.id, Src: p.id, Dst: to, Words: words,
+				Start: p.stats.Clock, Seq: seq,
+			})
+		}
+	}
+	return delay, dup
+}
+
+// dropDuplicate charges the receiver for a duplicate it detected and
+// discarded: the duplicate occupied the link, so the receiver's clock
+// advances to its arrival time, but no data is observed and no message
+// is counted.
+func (p *Proc) dropDuplicate(from int, msg message) {
+	start := p.stats.Clock
+	arrival := msg.sendTime + p.m.cfg.Latency + float64(len(msg.data))*p.m.cfg.PerWord + msg.delay
+	if arrival > p.stats.Clock {
+		p.stats.Wait += arrival - p.stats.Clock
+		p.stats.Clock = arrival
+	}
+	if p.m.tr != nil {
+		p.m.tr.Emit(trace.Event{
+			Kind: trace.KindFault, Name: "dup-drop",
+			Proc: p.ctxProc, Line: p.ctxLine,
+			PID: p.id, Src: from, Dst: p.id, Words: len(msg.data),
+			Start: start, Dur: p.stats.Clock - start, Seq: msg.seq,
+		})
+	}
+}

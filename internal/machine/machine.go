@@ -11,6 +11,8 @@ package machine
 import (
 	"fmt"
 	"sync"
+	"sync/atomic"
+	"time"
 
 	"fortd/internal/trace"
 )
@@ -23,7 +25,22 @@ type Config struct {
 	Latency  float64 // message startup cost (α)
 	PerWord  float64 // transfer cost per word (β)
 	FlopCost float64 // cost of one arithmetic operation
+	// LinkDepth is each link's buffered capacity in messages
+	// (0: DefaultLinkDepth). A sender that fills a link fails the run
+	// with a *CongestionError naming the (src, dst) pair.
+	LinkDepth int
+	// Deadline bounds the run's wall-clock time (0: none). When it
+	// expires the machine aborts with a *DeadlockError report marked
+	// Deadline, unblocking every processor.
+	Deadline time.Duration
+	// NoWatchdog disables the all-blocked deadlock watchdog (it is on
+	// by default; see abort.go). The Deadline still applies.
+	NoWatchdog bool
 }
+
+// DefaultLinkDepth is the per-link message buffer when LinkDepth is 0:
+// deep enough that generated communication patterns never fill it.
+const DefaultLinkDepth = 8192
 
 // DefaultConfig returns an iPSC/860-like machine with p processors.
 func DefaultConfig(p int) Config {
@@ -79,7 +96,9 @@ func (s Stats) String() string {
 type message struct {
 	data     []float64
 	sendTime float64
-	seq      int64 // trace message id (0 when tracing is disabled)
+	seq      int64   // trace message id (0 when tracing is disabled)
+	delay    float64 // injected delivery delay (fault plan)
+	dup      bool    // injected duplicate: the receiver discards it
 }
 
 // Machine is one simulated machine instance. Create with New, obtain
@@ -91,6 +110,28 @@ type Machine struct {
 	procs []*Proc
 	wg    sync.WaitGroup
 	tr    *trace.Tracer // nil: tracing disabled
+	fault *FaultPlan    // nil: no fault injection
+
+	// cooperative-abort state: the first failure latches (origin,
+	// cause) and closes done, unblocking every communication primitive
+	done        chan struct{}
+	aborted     atomic.Bool
+	abortOnce   sync.Once
+	abortOrigin int
+	abortCause  error
+
+	// watchdog state: per-processor blocked registrations and a global
+	// progress counter bumped on every completed channel operation
+	mu           sync.Mutex
+	running      int // node programs launched and not yet finished
+	blockedCount int
+	blocked      []blockInfo
+	procErrs     []error
+	progress     atomic.Uint64
+	watchOnce    sync.Once
+	stopOnce     sync.Once
+	watchStop    chan struct{}
+	watchDone    chan struct{}
 }
 
 // New builds a machine.
@@ -98,20 +139,28 @@ func New(cfg Config) *Machine {
 	if cfg.P < 1 {
 		panic("machine: P must be >= 1")
 	}
-	m := &Machine{cfg: cfg}
+	depth := cfg.LinkDepth
+	if depth <= 0 {
+		depth = DefaultLinkDepth
+	}
+	m := &Machine{cfg: cfg,
+		done:      make(chan struct{}),
+		watchStop: make(chan struct{}),
+		watchDone: make(chan struct{}),
+		blocked:   make([]blockInfo, cfg.P),
+		procErrs:  make([]error, cfg.P),
+	}
 	m.links = make([][]chan message, cfg.P)
 	for i := range m.links {
 		m.links[i] = make([]chan message, cfg.P)
 		for j := range m.links[i] {
-			// deep enough that generated communication patterns never
-			// fill it; a full link back-pressures the sender's
-			// goroutine without affecting virtual time
-			m.links[i][j] = make(chan message, 8192)
+			// a full link is a failure, not back-pressure: see Proc.send
+			m.links[i][j] = make(chan message, depth)
 		}
 	}
 	m.procs = make([]*Proc, cfg.P)
 	for p := 0; p < cfg.P; p++ {
-		m.procs[p] = &Proc{m: m, id: p, pairs: make([]PairStats, cfg.P)}
+		m.procs[p] = &Proc{m: m, id: p, pairs: make([]PairStats, cfg.P), skew: 1}
 	}
 	return m
 }
@@ -132,17 +181,48 @@ func (m *Machine) Tracer() *trace.Tracer { return m.tr }
 // Proc returns processor p's handle.
 func (m *Machine) Proc(p int) *Proc { return m.procs[p] }
 
-// Go runs fn as processor p's node program.
+// Go runs fn as processor p's node program. If the run is aborted
+// while fn is blocked in a communication primitive (or between
+// computations), fn is unwound and the processor's *AbortError is
+// recorded (see ProcErr); other panics propagate.
 func (m *Machine) Go(p int, fn func(*Proc)) {
+	m.startWatchdog()
 	m.wg.Add(1)
+	m.mu.Lock()
+	m.running++
+	m.mu.Unlock()
 	go func() {
 		defer m.wg.Done()
+		defer func() {
+			m.mu.Lock()
+			m.running--
+			m.mu.Unlock()
+			if r := recover(); r != nil {
+				ap, ok := r.(abortPanic)
+				if !ok {
+					panic(r)
+				}
+				m.mu.Lock()
+				m.procErrs[p] = ap.err
+				m.mu.Unlock()
+			}
+		}()
 		fn(m.procs[p])
 	}()
 }
 
-// Wait blocks until every node program launched with Go has finished.
-func (m *Machine) Wait() { m.wg.Wait() }
+// Wait blocks until every node program launched with Go has finished
+// and returns the run-level failure, if any: the error passed to
+// Abort, a *CongestionError, or the watchdog's *DeadlockError. A run
+// on this machine cannot hang: a deadlocked schedule is detected and
+// reported instead (see abort.go).
+func (m *Machine) Wait() error {
+	m.wg.Wait()
+	m.startWatchdog() // ensure watchDone closes even if Go was never called
+	m.stopOnce.Do(func() { close(m.watchStop) })
+	<-m.watchDone
+	return m.Err()
+}
 
 // Stats collects the machine-wide statistics. Call after Wait.
 func (m *Machine) Stats() Stats {
@@ -182,19 +262,30 @@ type Proc struct {
 	pairs []PairStats
 	// trace attribution context, set by the interpreter before each
 	// communication statement: the owning procedure, source line and
-	// operation kind. Read only by this processor's goroutine.
+	// operation kind. Written only by this processor's goroutine; the
+	// watchdog reads a copy taken under the machine lock (blockInfo).
 	ctxProc string
 	ctxLine int
 	ctxOp   string
+	// fault-injection state (see fault.go): the per-sender random
+	// stream, the straggler flop-cost multiplier, duplicates injected.
+	frng  faultRand
+	skew  float64
+	fdups int
+	// seqCtr counts this processor's traced sends; message sequence ids
+	// are derived from (id, seqCtr) so they depend only on each sender's
+	// program order, never on goroutine scheduling — a deterministic run
+	// exports byte-identical traces.
+	seqCtr int64
 }
+
+// faultRand is the per-sender random stream (nil: no plan attached).
+type faultRand interface{ Float64() float64 }
 
 // SetContext records the source attribution (procedure, line,
 // operation) carried by every trace event this processor emits until
-// the next call. A no-op when tracing is disabled.
+// the next call, and by its entry in a deadlock report.
 func (p *Proc) SetContext(proc string, line int, op string) {
-	if p.m.tr == nil {
-		return
-	}
 	p.ctxProc, p.ctxLine, p.ctxOp = proc, line, op
 }
 
@@ -213,21 +304,37 @@ func (p *Proc) ID() int { return p.id }
 // Clock returns the processor's current virtual time.
 func (p *Proc) Clock() float64 { return p.stats.Clock }
 
-// Compute advances the clock by n arithmetic operations.
+// Compute advances the clock by n arithmetic operations (scaled by the
+// fault plan's straggler skew, if any). It is also a cancellation
+// point: an aborted run unwinds compute-bound node programs here.
 func (p *Proc) Compute(n int) {
+	if p.m.aborted.Load() {
+		p.abortNow("compute", -1)
+	}
 	p.stats.Flops += int64(n)
-	p.stats.Clock += float64(n) * p.m.cfg.FlopCost
+	p.stats.Clock += float64(n) * p.m.cfg.FlopCost * p.skew
 }
 
 // Tick advances the clock by an explicit cost.
-func (p *Proc) Tick(cost float64) { p.stats.Clock += cost }
+func (p *Proc) Tick(cost float64) {
+	if p.m.aborted.Load() {
+		p.abortNow("compute", -1)
+	}
+	p.stats.Clock += cost
+}
 
 // Send transmits data to processor to. The sender is charged the
-// message startup; delivery time is carried on the message.
+// message startup; delivery time is carried on the message. Send never
+// blocks: a full link fails the run with a *CongestionError naming the
+// congested pair, and an aborted run unwinds the sender with an
+// *AbortError.
 func (p *Proc) Send(to int, data []float64) {
 	if to == p.id {
 		// local move: no message
 		return
+	}
+	if p.m.aborted.Load() {
+		p.abortNow("send", to)
 	}
 	start := p.stats.Clock
 	p.stats.Clock += p.m.cfg.Latency
@@ -237,7 +344,8 @@ func (p *Proc) Send(to int, data []float64) {
 	p.pairs[to].Words += int64(len(data))
 	var seq int64
 	if p.m.tr != nil {
-		seq = p.m.tr.NextSeq()
+		p.seqCtr++
+		seq = int64(p.id)<<32 | p.seqCtr
 		p.m.tr.Emit(trace.Event{
 			Kind: trace.KindSend, Name: p.op(),
 			Proc: p.ctxProc, Line: p.ctxLine,
@@ -245,32 +353,91 @@ func (p *Proc) Send(to int, data []float64) {
 			Start: start, Dur: p.stats.Clock - start, Seq: seq,
 		})
 	}
-	p.m.links[p.id][to] <- message{data: data, sendTime: p.stats.Clock, seq: seq}
+	msg := message{data: data, sendTime: p.stats.Clock, seq: seq}
+	delay, dup := p.injectSendFaults(to, len(data), seq)
+	msg.delay = delay
+	p.deliver(to, msg)
+	if dup {
+		d := msg
+		d.dup = true
+		p.deliver(to, d)
+	}
+}
+
+// deliver enqueues one message, failing the run on a full link.
+func (p *Proc) deliver(to int, msg message) {
+	select {
+	case p.m.links[p.id][to] <- msg:
+		p.m.progress.Add(1)
+	default:
+		err := &CongestionError{
+			Src: p.id, Dst: to, Depth: cap(p.m.links[p.id][to]),
+			Proc: p.ctxProc, Line: p.ctxLine, Clock: p.stats.Clock,
+		}
+		p.m.Abort(p.id, err)
+		panic(abortPanic{err})
+	}
 }
 
 // Recv blocks until a message from processor from arrives, advancing
-// the clock to the delivery time.
+// the clock to the delivery time. It unblocks with an *AbortError when
+// the run is aborted (a peer failed, deadlock was detected, or the
+// deadline expired) instead of hanging forever on a mismatched
+// schedule. Injected duplicate messages are detected and discarded,
+// charging only the delivery stall.
 func (p *Proc) Recv(from int) []float64 {
 	if from == p.id {
 		return nil
 	}
-	msg := <-p.m.links[from][p.id]
-	start := p.stats.Clock
-	arrival := msg.sendTime + p.m.cfg.Latency + float64(len(msg.data))*p.m.cfg.PerWord
-	if arrival > p.stats.Clock {
-		p.stats.Wait += arrival - p.stats.Clock
-		p.stats.Clock = arrival
+	for {
+		msg := p.recvMsg(from)
+		if msg.dup {
+			p.dropDuplicate(from, msg)
+			continue
+		}
+		start := p.stats.Clock
+		arrival := msg.sendTime + p.m.cfg.Latency + float64(len(msg.data))*p.m.cfg.PerWord + msg.delay
+		if arrival > p.stats.Clock {
+			p.stats.Wait += arrival - p.stats.Clock
+			p.stats.Clock = arrival
+		}
+		p.stats.Received++
+		if p.m.tr != nil {
+			p.m.tr.Emit(trace.Event{
+				Kind: trace.KindRecv, Name: p.op(),
+				Proc: p.ctxProc, Line: p.ctxLine,
+				PID: p.id, Src: from, Dst: p.id, Words: len(msg.data),
+				Start: start, Dur: p.stats.Clock - start, Seq: msg.seq,
+			})
+		}
+		return msg.data
 	}
-	p.stats.Received++
-	if p.m.tr != nil {
-		p.m.tr.Emit(trace.Event{
-			Kind: trace.KindRecv, Name: p.op(),
-			Proc: p.ctxProc, Line: p.ctxLine,
-			PID: p.id, Src: from, Dst: p.id, Words: len(msg.data),
-			Start: start, Dur: p.stats.Clock - start, Seq: msg.seq,
-		})
+}
+
+// recvMsg takes the next message off the link, registering the
+// processor as blocked (for the deadlock watchdog) while it waits and
+// unwinding it if the run is aborted.
+func (p *Proc) recvMsg(from int) message {
+	if p.m.aborted.Load() {
+		p.abortNow("recv", from)
 	}
-	return msg.data
+	ch := p.m.links[from][p.id]
+	select {
+	case msg := <-ch:
+		p.m.progress.Add(1)
+		return msg
+	default:
+	}
+	p.block("recv", from)
+	select {
+	case msg := <-ch:
+		p.unblock()
+		return msg
+	case <-p.m.done:
+		p.unblock()
+		p.abortNow("recv", from)
+		panic("unreachable")
+	}
 }
 
 // Broadcast distributes data from root to every processor. All

@@ -867,16 +867,25 @@ func (p *parser) parseComm(kind string) (ast.Stmt, error) {
 			return nil, err
 		}
 	}
+	pos := ast.Position{Line: arr.Line}
 	var st ast.Stmt
 	switch kind {
 	case "SEND":
-		st = &ast.Send{Array: arr.Text, Sec: sec, Dest: peer}
+		s := &ast.Send{Array: arr.Text, Sec: sec, Dest: peer}
+		s.Position = pos
+		st = s
 	case "RECV":
-		st = &ast.Recv{Array: arr.Text, Sec: sec, Src: peer}
+		s := &ast.Recv{Array: arr.Text, Sec: sec, Src: peer}
+		s.Position = pos
+		st = s
 	case "BROADCAST":
-		st = &ast.Broadcast{Array: arr.Text, Sec: sec, Root: peer}
+		s := &ast.Broadcast{Array: arr.Text, Sec: sec, Root: peer}
+		s.Position = pos
+		st = s
 	case "ALLGATHER":
-		st = &ast.AllGather{Array: arr.Text, Sec: sec}
+		s := &ast.AllGather{Array: arr.Text, Sec: sec}
+		s.Position = pos
+		st = s
 	}
 	return st, p.endOfStmt()
 }

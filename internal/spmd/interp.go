@@ -8,8 +8,10 @@
 package spmd
 
 import (
+	"errors"
 	"fmt"
 	"math"
+	"time"
 
 	"fortd/internal/ast"
 	"fortd/internal/decomp"
@@ -66,17 +68,13 @@ type interp struct {
 	// initial distributions for main-program arrays
 	dists map[string]*decomp.Dist
 	ops   int
-	// tracing enabled flag, checked before touching the machine's
-	// attribution context so untraced runs skip it entirely
-	traced bool
 }
 
 // setTraceCtx attributes the communication the statement is about to
-// generate to its owning procedure and source line.
+// generate to its owning procedure and source line. The context is
+// recorded unconditionally (it is three field writes): trace events
+// and the deadlock watchdog's per-processor report both read it.
 func (it *interp) setTraceCtx(f *frame, s ast.Stmt, op string) {
-	if !it.traced {
-		return
-	}
 	it.proc.SetContext(f.unit.Name, s.Pos().Line, op)
 }
 
@@ -94,6 +92,13 @@ type Options struct {
 	// Trace collects per-message events and per-processor timelines
 	// (nil: tracing disabled, the zero-cost default).
 	Trace *trace.Tracer
+	// Faults injects seeded, deterministic faults into the machine
+	// (nil: none). Validated before the run starts.
+	Faults *machine.FaultPlan
+	// Deadline bounds the run's wall-clock time (0: none). Deadlocked
+	// schedules are detected and reported by the machine's watchdog
+	// even without a deadline.
+	Deadline time.Duration
 }
 
 // RunResult carries the outcome of a parallel run.
@@ -105,33 +110,48 @@ type RunResult struct {
 }
 
 // Run executes the program on p processors under the given machine
-// configuration.
+// configuration. A failing run cannot hang: when any processor's node
+// program errors, every peer is unblocked with a machine.AbortError,
+// and a mismatched communication schedule is detected by the machine's
+// watchdog and returned as a machine.DeadlockError report. All
+// per-processor errors are joined, so no failure is dropped.
 func Run(prog *ast.Program, cfg machine.Config, opts Options) (*RunResult, error) {
+	if err := opts.Faults.Validate(); err != nil {
+		return nil, err
+	}
+	if opts.Deadline > 0 {
+		cfg.Deadline = opts.Deadline
+	}
 	m := machine.New(cfg)
 	if opts.Trace != nil {
 		m.SetTracer(opts.Trace)
 	}
+	m.SetFaultPlan(opts.Faults)
 	mains := make([]*frame, cfg.P)
 	errs := make([]error, cfg.P)
 	for pid := 0; pid < cfg.P; pid++ {
 		pid := pid
 		m.Go(pid, func(proc *machine.Proc) {
-			it := &interp{prog: prog, proc: proc, p: pid, nproc: cfg.P, dists: opts.Dists, traced: opts.Trace != nil}
+			it := &interp{prog: prog, proc: proc, p: pid, nproc: cfg.P, dists: opts.Dists}
 			f, err := it.newFrame(prog.Main(), nil, nil)
 			if err != nil {
 				errs[pid] = err
+				m.Abort(pid, err)
 				return
 			}
 			seed(f, opts)
 			mains[pid] = f
-			errs[pid] = it.execBody(f, prog.Main().Body)
+			if err := it.execBody(f, prog.Main().Body); err != nil {
+				errs[pid] = err
+				// unblock every peer: they fail with an AbortError
+				// naming this processor as the origin
+				m.Abort(pid, err)
+			}
 		})
 	}
-	m.Wait()
-	for _, err := range errs {
-		if err != nil {
-			return nil, err
-		}
+	waitErr := m.Wait()
+	if err := joinRunErrors(m, errs, waitErr); err != nil {
+		return nil, err
 	}
 	res := &RunResult{Stats: m.Stats(), Arrays: map[string][]float64{}}
 	if opts.Trace != nil {
@@ -147,11 +167,46 @@ func Run(prog *ast.Program, cfg machine.Config, opts Options) (*RunResult, error
 	return res, nil
 }
 
+// joinRunErrors combines a run's failures into one error: each
+// processor's own (interpreter-level) error tagged with its pid, each
+// aborted peer's AbortError, and the machine-level cause. A pure
+// deadlock — no node program erred, the watchdog fired — returns the
+// structured DeadlockError report itself rather than P redundant
+// AbortError symptoms.
+func joinRunErrors(m *machine.Machine, errs []error, waitErr error) error {
+	anyInterp := false
+	for _, err := range errs {
+		if err != nil {
+			anyInterp = true
+			break
+		}
+	}
+	var dl *machine.DeadlockError
+	if errors.As(waitErr, &dl) && !anyInterp {
+		return dl
+	}
+	var all []error
+	for pid, err := range errs {
+		if err != nil {
+			all = append(all, fmt.Errorf("p%d: %w", pid, err))
+			continue
+		}
+		if perr := m.ProcErr(pid); perr != nil {
+			all = append(all, perr)
+		}
+	}
+	if joined := errors.Join(all...); joined != nil {
+		return joined
+	}
+	return waitErr
+}
+
 // RunSequential interprets the original program on one processor with
 // no distribution, returning the reference result.
 func RunSequential(prog *ast.Program, opts Options) (*RunResult, error) {
 	return Run(prog, machine.Config{P: 1, FlopCost: 1},
-		Options{Init: opts.Init, InitScalars: opts.InitScalars, Trace: opts.Trace})
+		Options{Init: opts.Init, InitScalars: opts.InitScalars, Trace: opts.Trace,
+			Deadline: opts.Deadline})
 }
 
 func seed(f *frame, opts Options) {
@@ -436,7 +491,7 @@ func (it *interp) exec(f *frame, s ast.Stmt) error {
 		it.setTraceCtx(f, st, "send")
 		return it.execSend(f, st)
 	case *ast.Recv:
-		it.setTraceCtx(f, st, "send")
+		it.setTraceCtx(f, st, "recv")
 		return it.execRecv(f, st)
 	case *ast.Broadcast:
 		it.setTraceCtx(f, st, "bcast")

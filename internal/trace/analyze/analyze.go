@@ -78,6 +78,28 @@ type Bucket struct {
 	Words  int64
 }
 
+// FaultStat aggregates one injected-fault kind (machine.FaultPlan):
+// how many faults of that kind fired and their total injected time
+// ("delay": delivery delay; "dup-drop": receiver stall; "straggler":
+// Dur is a multiplier, so Time is meaningless and left as the sum).
+type FaultStat struct {
+	Name  string
+	Count int64
+	Time  float64
+}
+
+// Abort is one processor's termination record from an aborted run:
+// what it was blocked in when the cooperative abort (or deadlock
+// detection) unblocked it.
+type Abort struct {
+	PID      int
+	Reason   string // "abort" or "deadlock"
+	Proc     string
+	Line     int
+	Src, Dst int
+	Clock    float64
+}
+
 // TimeBin is one slot of the utilization timeline: processor-µs spent
 // in each state across all processors during the bin's window.
 type TimeBin struct {
@@ -107,6 +129,11 @@ type Analysis struct {
 	// Profile is the per-processor breakdown (nil when the events carry
 	// no end-of-run summaries).
 	Profile *trace.Profile
+	// Faults summarizes injected faults by kind (empty without a fault
+	// plan), sorted by name; Aborts lists aborted processors in event
+	// order (empty for a clean run).
+	Faults []FaultStat
+	Aborts []Abort
 }
 
 // timelineBins is the default timeline resolution.
@@ -121,10 +148,23 @@ func Analyze(events []trace.Event) *Analysis {
 	var clocks []float64
 	for _, ev := range events {
 		switch ev.Kind {
-		case trace.KindSend, trace.KindRecv, trace.KindRemap, trace.KindProcSummary:
+		case trace.KindSend, trace.KindRecv, trace.KindRemap, trace.KindProcSummary,
+			trace.KindFault, trace.KindAbort:
 			any = true
 			if ev.PID+1 > p {
 				p = ev.PID + 1
+			}
+			// message endpoints also bound P: a partial trace (no
+			// end-of-run summaries) must still size the matrix to hold
+			// every src/dst it mentions
+			switch ev.Kind {
+			case trace.KindSend, trace.KindRecv, trace.KindRemap:
+				if ev.Src+1 > p {
+					p = ev.Src + 1
+				}
+				if ev.Dst+1 > p {
+					p = ev.Dst + 1
+				}
 			}
 			if ev.Kind == trace.KindProcSummary {
 				for len(clocks) < ev.PID+1 {
@@ -172,6 +212,7 @@ func Analyze(events []trace.Event) *Analysis {
 	// occupy; the aggregate cost can legitimately exceed the critical
 	// path (P processors wait in parallel).
 	perProcCost := map[*Hotspot]map[int]float64{}
+	faults := map[string]*FaultStat{}
 	site := func(ev trace.Event) *Hotspot {
 		k := [3]interface{}{ev.Proc, ev.Line, ev.Name}
 		h := sites[k]
@@ -207,8 +248,26 @@ func Analyze(events []trace.Event) *Analysis {
 			a.Matrix.Cost[ev.Src][ev.Dst] += ev.Dur
 			site(ev).BlockedTime += ev.Dur
 			addSpan(ev.Start, ev.Dur, func(b *TimeBin, ov float64) { b.Blocked += ov })
+		case trace.KindFault:
+			fs := faults[ev.Name]
+			if fs == nil {
+				fs = &FaultStat{Name: ev.Name}
+				faults[ev.Name] = fs
+			}
+			fs.Count++
+			fs.Time += ev.Dur
+		case trace.KindAbort:
+			a.Aborts = append(a.Aborts, Abort{
+				PID: ev.PID, Reason: ev.Name,
+				Proc: ev.Proc, Line: ev.Line,
+				Src: ev.Src, Dst: ev.Dst, Clock: ev.Start,
+			})
 		}
 	}
+	for _, fs := range faults {
+		a.Faults = append(a.Faults, *fs)
+	}
+	sort.Slice(a.Faults, func(i, j int) bool { return a.Faults[i].Name < a.Faults[j].Name })
 
 	// compute time per bin: each live processor's window minus its
 	// communication time in the bin, summed machine-wide
@@ -371,6 +430,29 @@ func (a *Analysis) WriteText(w io.Writer) error {
 				rng = fmt.Sprintf("%d words", b.Lo)
 			}
 			fmt.Fprintf(w, "  %-16s msgs=%-8d words=%d\n", rng, b.Msgs, b.Words)
+		}
+	}
+
+	if len(a.Faults) > 0 {
+		fmt.Fprintf(w, "\ninjected faults:\n")
+		for _, fs := range a.Faults {
+			if fs.Name == "straggler" {
+				// Time holds flop-cost multipliers, not µs
+				fmt.Fprintf(w, "  %-12s count=%d\n", fs.Name, fs.Count)
+				continue
+			}
+			fmt.Fprintf(w, "  %-12s count=%-8d total=%.1fµs\n", fs.Name, fs.Count, fs.Time)
+		}
+	}
+	if len(a.Aborts) > 0 {
+		fmt.Fprintf(w, "\naborted processors:\n")
+		for _, ab := range a.Aborts {
+			site := "(unattributed)"
+			if ab.Proc != "" {
+				site = fmt.Sprintf("%s:%d", ab.Proc, ab.Line)
+			}
+			fmt.Fprintf(w, "  p%-3d %-9s p%d->p%d at %-18s clock=%.1fµs\n",
+				ab.PID, ab.Reason, ab.Src, ab.Dst, site, ab.Clock)
 		}
 	}
 	return nil

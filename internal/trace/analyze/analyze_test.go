@@ -1,0 +1,113 @@
+package analyze
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"fortd/internal/trace"
+)
+
+// TestZeroWordHistogram: nil-payload messages land in their own [0,0]
+// size class instead of being dropped or merged into the 1-word bin.
+func TestZeroWordHistogram(t *testing.T) {
+	events := []trace.Event{
+		{Kind: trace.KindSend, Name: "send", Proc: "M", Line: 1, PID: 0, Src: 0, Dst: 1, Words: 0, Start: 0, Dur: 5, Seq: 1},
+		{Kind: trace.KindSend, Name: "send", Proc: "M", Line: 2, PID: 0, Src: 0, Dst: 1, Words: 1, Start: 5, Dur: 5, Seq: 2},
+		{Kind: trace.KindSend, Name: "send", Proc: "M", Line: 3, PID: 0, Src: 0, Dst: 1, Words: 3, Start: 10, Dur: 5, Seq: 3},
+		{Kind: trace.KindRecv, Name: "recv", Proc: "M", Line: 4, PID: 1, Src: 0, Dst: 1, Words: 0, Start: 0, Dur: 6, Seq: 1},
+		{Kind: trace.KindProcSummary, PID: 0, Dur: 15, Sent: 3},
+		{Kind: trace.KindProcSummary, PID: 1, Dur: 20, Recvd: 3},
+	}
+	a := Analyze(events)
+	if a == nil {
+		t.Fatal("Analyze returned nil")
+	}
+	if a.Msgs != 3 || a.Words != 4 {
+		t.Errorf("msgs=%d words=%d, want 3/4", a.Msgs, a.Words)
+	}
+	var zero, one, four *Bucket
+	for i := range a.Histogram {
+		b := &a.Histogram[i]
+		switch {
+		case b.Lo == 0 && b.Hi == 0:
+			zero = b
+		case b.Lo == 1 && b.Hi == 1:
+			one = b
+		case b.Hi == 4:
+			four = b
+		}
+	}
+	if zero == nil || zero.Msgs != 1 || zero.Words != 0 {
+		t.Errorf("zero-word bucket = %+v", zero)
+	}
+	if one == nil || one.Msgs != 1 {
+		t.Errorf("one-word bucket = %+v", one)
+	}
+	if four == nil || four.Msgs != 1 || four.Words != 3 {
+		t.Errorf("3-word bucket = %+v", four)
+	}
+	if got := a.Matrix.Msgs[0][1]; got != 3 {
+		t.Errorf("Matrix.Msgs[0][1] = %d", got)
+	}
+	var buf bytes.Buffer
+	if err := a.WriteText(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "0 words") {
+		t.Errorf("rendered histogram has no zero-word class:\n%s", buf.String())
+	}
+}
+
+// TestFaultAndAbortCollection: injected-fault and abort events are
+// aggregated into the analysis and rendered only when present.
+func TestFaultAndAbortCollection(t *testing.T) {
+	events := []trace.Event{
+		{Kind: trace.KindSend, Name: "send", PID: 0, Src: 0, Dst: 1, Words: 2, Start: 0, Dur: 5, Seq: 1},
+		{Kind: trace.KindFault, Name: "delay", PID: 0, Src: 0, Dst: 1, Start: 0, Dur: 30, Seq: 1},
+		{Kind: trace.KindFault, Name: "delay", PID: 0, Src: 0, Dst: 1, Start: 5, Dur: 10, Seq: 2},
+		{Kind: trace.KindFault, Name: "straggler", PID: 1, Src: 1, Dst: 1, Dur: 2.5},
+		{Kind: trace.KindAbort, Name: "deadlock", Proc: "MAIN", Line: 9, PID: 1, Src: 0, Dst: 1, Start: 40},
+		{Kind: trace.KindProcSummary, PID: 0, Dur: 50},
+		{Kind: trace.KindProcSummary, PID: 1, Dur: 40},
+	}
+	a := Analyze(events)
+	if a == nil {
+		t.Fatal("Analyze returned nil")
+	}
+	if len(a.Faults) != 2 {
+		t.Fatalf("faults = %+v, want delay + straggler", a.Faults)
+	}
+	// sorted by name: delay before straggler
+	if a.Faults[0].Name != "delay" || a.Faults[0].Count != 2 || a.Faults[0].Time != 40 {
+		t.Errorf("delay stat = %+v", a.Faults[0])
+	}
+	if a.Faults[1].Name != "straggler" || a.Faults[1].Count != 1 {
+		t.Errorf("straggler stat = %+v", a.Faults[1])
+	}
+	if len(a.Aborts) != 1 {
+		t.Fatalf("aborts = %+v", a.Aborts)
+	}
+	ab := a.Aborts[0]
+	if ab.PID != 1 || ab.Reason != "deadlock" || ab.Proc != "MAIN" || ab.Line != 9 || ab.Clock != 40 {
+		t.Errorf("abort = %+v", ab)
+	}
+	var buf bytes.Buffer
+	if err := a.WriteText(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "injected faults:") || !strings.Contains(out, "aborted processors:") {
+		t.Errorf("rendered analysis lacks fault/abort sections:\n%s", out)
+	}
+
+	// a clean run renders neither section
+	clean := Analyze(events[:1])
+	buf.Reset()
+	if err := clean.WriteText(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(buf.String(), "injected faults") || strings.Contains(buf.String(), "aborted") {
+		t.Errorf("clean analysis renders fault sections:\n%s", buf.String())
+	}
+}

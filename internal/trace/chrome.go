@@ -113,6 +113,22 @@ func WriteChrome(w io.Writer, events []Event) error {
 				TS: ev.Start, Dur: ev.Dur,
 				PID: ChromePIDMachine, TID: ev.PID, Args: commArgs(ev),
 			})
+		case KindFault:
+			procs[ev.PID] = true
+			slices = append(slices, chromeEvent{
+				Name: "fault " + ev.Name, Cat: "fault", Ph: "i",
+				TS: ev.Start, PID: ChromePIDMachine, TID: ev.PID,
+				Args: map[string]interface{}{
+					"src": ev.Src, "dst": ev.Dst, "cost": ev.Dur,
+				},
+			})
+		case KindAbort:
+			procs[ev.PID] = true
+			slices = append(slices, chromeEvent{
+				Name: "abort " + ev.Name, Cat: "abort", Ph: "i",
+				TS: ev.Start, PID: ChromePIDMachine, TID: ev.PID,
+				Args: commArgs(ev),
+			})
 		case KindProcSummary:
 			procs[ev.PID] = true
 			slices = append(slices, chromeEvent{

@@ -16,6 +16,13 @@ type site struct {
 	words int64
 }
 
+// faultLine aggregates one injected-fault kind for the text summary.
+type faultLine struct {
+	name  string
+	count int64
+	dur   float64
+}
+
 func (s site) key() string {
 	if s.proc == "" {
 		return "(unattributed)"
@@ -37,8 +44,9 @@ func (t *Tracer) WriteText(w io.Writer) error { return WriteText(w, t.Events()) 
 // and its output is fully deterministic (virtual time only).
 func WriteText(w io.Writer, events []Event) error {
 	events = sorted(events)
-	var phases, counters, sums []Event
+	var phases, counters, sums, aborts []Event
 	sites := map[[3]interface{}]*site{}
+	faults := map[string]*faultLine{}
 	var msgs, words, remaps, attributed int64
 	for _, ev := range events {
 		switch ev.Kind {
@@ -48,6 +56,16 @@ func WriteText(w io.Writer, events []Event) error {
 			counters = append(counters, ev)
 		case KindProcSummary:
 			sums = append(sums, ev)
+		case KindAbort:
+			aborts = append(aborts, ev)
+		case KindFault:
+			fl := faults[ev.Name]
+			if fl == nil {
+				fl = &faultLine{name: ev.Name}
+				faults[ev.Name] = fl
+			}
+			fl.count++
+			fl.dur += ev.Dur
 		case KindSend, KindRemap:
 			// one remap event stands for Value partner messages, the way
 			// the cost model charges it
@@ -96,6 +114,36 @@ func WriteText(w io.Writer, events []Event) error {
 		fmt.Fprintf(w, " (%d remap events)", remaps)
 	}
 	fmt.Fprintf(w, "\n")
+
+	if len(faults) > 0 {
+		names := make([]string, 0, len(faults))
+		for name := range faults {
+			names = append(names, name)
+		}
+		sort.Strings(names)
+		fmt.Fprintf(w, "injected faults (seeded fault plan):\n")
+		for _, name := range names {
+			fl := faults[name]
+			switch name {
+			case "straggler":
+				// Dur carries the flop-cost multiplier, not a time
+				fmt.Fprintf(w, "  %-12s count=%-6d\n", name, fl.count)
+			default:
+				fmt.Fprintf(w, "  %-12s count=%-6d total=%.1fµs\n", name, fl.count, fl.dur)
+			}
+		}
+	}
+	if len(aborts) > 0 {
+		fmt.Fprintf(w, "aborted processors:\n")
+		for _, ev := range aborts {
+			site := "(unattributed)"
+			if ev.Proc != "" {
+				site = fmt.Sprintf("%s:%d", ev.Proc, ev.Line)
+			}
+			fmt.Fprintf(w, "  p%-3d %-9s p%d->p%d at %-18s clock=%.1fµs\n",
+				ev.PID, ev.Name, ev.Src, ev.Dst, site, ev.Start)
+		}
+	}
 
 	if len(sites) > 0 {
 		list := make([]*site, 0, len(sites))

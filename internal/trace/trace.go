@@ -36,6 +36,16 @@ const (
 	KindRemap
 	// KindProcSummary carries one processor's end-of-run totals.
 	KindProcSummary
+	// KindAbort marks a processor unblocked by a cooperative abort,
+	// deadlock detection or deadline expiry; Name is "abort" or
+	// "deadlock" and the event carries the blocked operation's
+	// attribution (Proc/Line), link (Src/Dst) and virtual clock (Start).
+	KindAbort
+	// KindFault is one injected fault from a machine.FaultPlan: a
+	// delivery "delay" (Dur = injected µs), a duplicated message
+	// ("dup" at the sender, "dup-drop" at the discarding receiver), or
+	// a "straggler" announcement (Dur = flop-cost multiplier).
+	KindFault
 )
 
 func (k Kind) String() string {
@@ -52,6 +62,10 @@ func (k Kind) String() string {
 		return "remap"
 	case KindProcSummary:
 		return "proc"
+	case KindAbort:
+		return "abort"
+	case KindFault:
+		return "fault"
 	}
 	return "?"
 }

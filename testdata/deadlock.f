@@ -1,0 +1,11 @@
+      PROGRAM MISMATCH
+      PARAMETER (n$proc = 2)
+      REAL a(8)
+      my$p = myproc()
+      if (my$p .EQ. 0) then
+        recv a(1:4) from 1
+      endif
+      if (my$p .EQ. 1) then
+        recv a(5:8) from 0
+      endif
+      END

@@ -1,6 +1,7 @@
 package fortd
 
 import (
+	"errors"
 	"math"
 	"os"
 	"path/filepath"
@@ -35,6 +36,15 @@ func TestTestdataPrograms(t *testing.T) {
 					t.Fatalf("%v: compile: %v", strategy, err)
 				}
 				res, err := prog.Run(RunOptions{})
+				if filepath.Base(file) == "deadlock.f" {
+					// the shipped deadlock sample must terminate with a
+					// structured report, not hang or succeed
+					var dl *DeadlockError
+					if !errors.As(err, &dl) || len(dl.Blocked) != 2 {
+						t.Fatalf("%v: run = %v, want 2-proc DeadlockError", strategy, err)
+					}
+					continue
+				}
 				if err != nil {
 					t.Fatalf("%v: run: %v", strategy, err)
 				}
