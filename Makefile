@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check test race bench golden fuzz report
+.PHONY: check test race bench golden fuzz report serve load
 
 check: ## build + vet + race tests + fuzz smoke + trace-overhead guard
 	./ci.sh
@@ -25,3 +25,12 @@ FUZZTIME ?= 30s
 fuzz: ## fuzz the parser and the whole compile pipeline
 	$(GO) test -run '^$$' -fuzz FuzzParse -fuzztime $(FUZZTIME) ./internal/parser
 	$(GO) test -run '^$$' -fuzz FuzzCompile -fuzztime $(FUZZTIME) .
+
+FDD_ADDR ?= localhost:8700
+FDD_CACHE ?= .fddcache
+serve: ## run the compile daemon with a disk-persisted summary cache
+	$(GO) run ./cmd/fdd -addr $(FDD_ADDR) -cache-dir $(FDD_CACHE)
+
+SESSIONS ?= 500
+load: ## drive 500 concurrent sessions against a running daemon (make serve first)
+	$(GO) run ./cmd/fdload -addr http://$(FDD_ADDR) -sessions $(SESSIONS)

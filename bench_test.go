@@ -23,7 +23,7 @@ func mustCompile(b *testing.B, src string, opts Options) *Program {
 
 func runOnce(b *testing.B, p *Program, init map[string][]float64) *Result {
 	b.Helper()
-	res, err := p.Run(RunOptions{Init: init})
+	res, err := NewRunner(WithInit(init)).Run(p)
 	if err != nil {
 		b.Fatal(err)
 	}

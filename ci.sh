@@ -36,6 +36,52 @@ grep -q 'id="heatmap"' /tmp/ci_report.html
 grep -q '</html>' /tmp/ci_report.html
 rm -f /tmp/ci_report.html
 
+# daemon smoke: start fdd on a random port, compile+run jacobi over
+# HTTP, verify the returned SPMD listing is byte-identical to fdc's
+# output, check /healthz, and exercise one per-session 429
+FDD_PORT=$((20000 + $$ % 20000))
+FDD_BIN=/tmp/ci_fdd.$$
+go build -o "$FDD_BIN" ./cmd/fdd
+"$FDD_BIN" -addr "localhost:$FDD_PORT" -rate 0.001 -burst 2 >/tmp/ci_fdd.log 2>&1 &
+FDD_PID=$!
+trap 'kill $FDD_PID 2>/dev/null || true; rm -f "$FDD_BIN" /tmp/ci_fdd.log /tmp/ci_fdd_*' EXIT
+for i in $(seq 1 50); do
+	curl -sf "http://localhost:$FDD_PORT/healthz" >/dev/null 2>&1 && break
+	sleep 0.1
+done
+curl -sf "http://localhost:$FDD_PORT/healthz" | grep -q '"ok":true'
+python3 - "$FDD_PORT" <<'EOF'
+import json, sys, urllib.request
+port = sys.argv[1]
+def post(path, body, expect):
+    req = urllib.request.Request(f"http://localhost:{port}{path}",
+                                 data=json.dumps(body).encode(),
+                                 headers={"Content-Type": "application/json"})
+    try:
+        with urllib.request.urlopen(req) as r:
+            assert r.status == expect, (r.status, expect)
+            return json.load(r)
+    except urllib.error.HTTPError as e:
+        assert e.code == expect, (e.code, expect)
+        return json.load(e)
+src = open("testdata/jacobi2d.f").read()
+c = post("/compile", {"session": "ci-compile", "source": src}, 200)
+assert c["id"] and c["listing"], "compile response incomplete"
+open("/tmp/ci_fdd_listing", "w").write(c["listing"])
+r = post("/run", {"session": "ci-run", "id": c["id"]}, 200)
+assert r["stats"]["time"] > 0, r
+e1 = post("/compile", {"session": "ci-greedy", "source": src}, 200)
+e2 = post("/compile", {"session": "ci-greedy", "source": src}, 200)
+e3 = post("/compile", {"session": "ci-greedy", "source": src}, 429)
+assert e3["error"]["kind"] == "rate-limit", e3
+print("fdd smoke ok: id", c["id"][:12])
+EOF
+go run ./cmd/fdc -report=false testdata/jacobi2d.f >/tmp/ci_fdd_fdc_listing
+diff /tmp/ci_fdd_listing /tmp/ci_fdd_fdc_listing
+kill $FDD_PID 2>/dev/null || true
+trap - EXIT
+rm -f "$FDD_BIN" /tmp/ci_fdd.log /tmp/ci_fdd_*
+
 # benchmark regression soft gate: compare a fresh run against the most
 # recent committed snapshot. Wall time is machine-dependent, so a
 # regression here warns instead of failing the gate.

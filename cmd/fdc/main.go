@@ -26,30 +26,13 @@ import (
 	"fortd"
 )
 
-// compileResult carries a bounded compilation's outcome.
-type compileResult struct {
-	prog *fortd.Program
-	err  error
-}
-
-// compileWithDeadline runs Compile, failing after d (0: unbounded).
-// The compilation goroutine is not cancelled on timeout — the process
-// exits immediately after, which is the only sound way to stop it.
+// compileWithDeadline runs Compile bounded by d (0: unbounded) via
+// Options.Deadline, which cancels the compilation pipeline itself —
+// phase boundaries and the phase-3 workers observe the expiry and the
+// call returns context.DeadlineExceeded.
 func compileWithDeadline(src string, opts fortd.Options, d time.Duration) (*fortd.Program, error) {
-	if d <= 0 {
-		return fortd.Compile(src, opts)
-	}
-	ch := make(chan compileResult, 1)
-	go func() {
-		prog, err := fortd.Compile(src, opts)
-		ch <- compileResult{prog, err}
-	}()
-	select {
-	case r := <-ch:
-		return r.prog, r.err
-	case <-time.After(d):
-		return nil, fmt.Errorf("compilation exceeded deadline %v", d)
-	}
+	opts.Deadline = d
+	return fortd.Compile(src, opts)
 }
 
 func main() {

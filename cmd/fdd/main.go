@@ -1,0 +1,82 @@
+// Command fdd is the Fortran D compile daemon: it serves compilations
+// and simulated runs over HTTP/JSON from one process-wide fortd.Service,
+// so every request shares the summary cache (optionally disk-persisted
+// across restarts), the bounded worker pool and per-session rate limits.
+//
+// Endpoints:
+//
+//	POST /compile      {"session","source","options":{...},"explain"}
+//	POST /run          {"session","id"|"source","init","reference"}
+//	GET  /report/{id}  HTML performance report for a compiled program
+//	GET  /healthz      liveness
+//	GET  /stats        service + cache counters
+//
+// Errors are structured JSON ({"error":{"kind","message","detail"}})
+// carrying the library's typed errors: parse errors keep their line
+// positions, deadlock and abort reports their per-processor detail,
+// and rate-limit/overload map onto 429/503.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"time"
+
+	"fortd"
+)
+
+func main() {
+	var (
+		addr        = flag.String("addr", "localhost:8700", "listen address")
+		cacheDir    = flag.String("cache-dir", "", "disk-persist the summary cache under this directory")
+		workers     = flag.Int("workers", 0, "max concurrently executing requests (0: GOMAXPROCS)")
+		queue       = flag.Int("queue", 0, "max requests waiting for a worker (0: 4x workers)")
+		rate        = flag.Float64("rate", 0, "per-session sustained requests/sec (0: unlimited)")
+		burst       = flag.Int("burst", 0, "per-session burst capacity (0: 2x rate)")
+		compileWall = flag.Duration("compile-deadline", 0, "per-compile wall-clock bound (0: none)")
+		runWall     = flag.Duration("run-deadline", 10*time.Second, "per-run wall-clock bound (0: none)")
+		jobs        = flag.Int("jobs", 0, "phase-3 workers per compile (0: serial)")
+	)
+	flag.Parse()
+
+	base := fortd.DefaultOptions()
+	base.Jobs = *jobs
+	cfg := fortd.ServiceConfig{
+		Options:     withDeadline(base, *compileWall),
+		CacheDir:    *cacheDir,
+		Workers:     *workers,
+		QueueDepth:  *queue,
+		RateLimit:   *rate,
+		RateBurst:   *burst,
+		RunDeadline: *runWall,
+	}
+	svc, err := fortd.NewService(cfg)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "fdd:", err)
+		os.Exit(1)
+	}
+	defer svc.Close()
+
+	log.SetPrefix("fdd: ")
+	log.SetFlags(log.LstdFlags)
+	if dir := svc.Cache().Stats().Dir; dir != "" {
+		log.Printf("summary cache persisted under %s", dir)
+	}
+	log.Printf("listening on http://%s", *addr)
+	srv := &http.Server{
+		Addr:              *addr,
+		Handler:           newServer(svc, base),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+	if err := srv.ListenAndServe(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func withDeadline(o fortd.Options, d time.Duration) fortd.Options {
+	o.Deadline = d
+	return o
+}

@@ -1,0 +1,301 @@
+package main
+
+// HTTP/JSON transport for fortd.Service: request decoding, option
+// defaulting, and the mapping from the library's typed errors onto
+// status codes and structured JSON error bodies. Handlers hold no
+// state beyond the Service — everything shareable (summary cache,
+// worker pool, rate limits, program table) lives there.
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strings"
+	"time"
+
+	"fortd"
+	"fortd/internal/report"
+)
+
+// optionsDTO is the wire form of fortd.Options: pointer fields so
+// omitted values inherit the server's base options.
+type optionsDTO struct {
+	P          *int    `json:"p,omitempty"`
+	Strategy   *string `json:"strategy,omitempty"` // interproc | runtime | immediate
+	Remap      *string `json:"remap,omitempty"`    // none | live | hoist | kills
+	CloneLimit *int    `json:"cloneLimit,omitempty"`
+	Jobs       *int    `json:"jobs,omitempty"`
+}
+
+// apply overlays the DTO onto base.
+func (d *optionsDTO) apply(base fortd.Options) (fortd.Options, error) {
+	if d == nil {
+		return base, nil
+	}
+	if d.P != nil {
+		base.P = *d.P
+	}
+	if d.Strategy != nil {
+		switch *d.Strategy {
+		case "interproc":
+			base.Strategy = fortd.Interprocedural
+		case "runtime":
+			base.Strategy = fortd.RuntimeResolution
+		case "immediate":
+			base.Strategy = fortd.Immediate
+		default:
+			return base, fmt.Errorf("unknown strategy %q (want interproc, runtime or immediate)", *d.Strategy)
+		}
+	}
+	if d.Remap != nil {
+		switch *d.Remap {
+		case "none":
+			base.RemapOpt = fortd.RemapNone
+		case "live":
+			base.RemapOpt = fortd.RemapLive
+		case "hoist":
+			base.RemapOpt = fortd.RemapHoist
+		case "kills":
+			base.RemapOpt = fortd.RemapKills
+		default:
+			return base, fmt.Errorf("unknown remap level %q (want none, live, hoist or kills)", *d.Remap)
+		}
+	}
+	if d.CloneLimit != nil {
+		base.CloneLimit = *d.CloneLimit
+	}
+	if d.Jobs != nil {
+		base.Jobs = *d.Jobs
+	}
+	return base, nil
+}
+
+type compileDTO struct {
+	Session string      `json:"session"`
+	Source  string      `json:"source"`
+	Options *optionsDTO `json:"options,omitempty"`
+	Explain bool        `json:"explain,omitempty"`
+}
+
+type runDTO struct {
+	Session     string               `json:"session"`
+	ID          string               `json:"id,omitempty"`
+	Source      string               `json:"source,omitempty"`
+	Options     *optionsDTO          `json:"options,omitempty"`
+	Init        map[string][]float64 `json:"init,omitempty"`
+	InitScalars map[string]float64   `json:"initScalars,omitempty"`
+	Reference   bool                 `json:"reference,omitempty"`
+}
+
+// errorBody is the structured JSON error every endpoint returns: Kind
+// is machine-readable, Message carries the library's diagnostic
+// (parse errors keep their "line N:" positions, deadlock reports their
+// per-processor attribution).
+type errorBody struct {
+	Kind    string         `json:"kind"`
+	Message string         `json:"message"`
+	Detail  map[string]any `json:"detail,omitempty"`
+}
+
+// classify maps a library error onto (status, structured body).
+func classify(err error) (int, errorBody) {
+	switch {
+	case errors.Is(err, fortd.ErrRateLimited):
+		return http.StatusTooManyRequests, errorBody{Kind: "rate-limit", Message: err.Error()}
+	case errors.Is(err, fortd.ErrOverloaded):
+		return http.StatusServiceUnavailable, errorBody{Kind: "overloaded", Message: err.Error()}
+	case errors.Is(err, fortd.ErrServiceClosed):
+		return http.StatusServiceUnavailable, errorBody{Kind: "closed", Message: err.Error()}
+	case errors.Is(err, fortd.ErrUnknownProgram):
+		return http.StatusNotFound, errorBody{Kind: "unknown-program", Message: err.Error()}
+	case errors.Is(err, context.Canceled):
+		// the client went away; 499 in the nginx tradition
+		return 499, errorBody{Kind: "cancelled", Message: err.Error()}
+	case errors.Is(err, context.DeadlineExceeded):
+		return http.StatusGatewayTimeout, errorBody{Kind: "deadline", Message: err.Error()}
+	}
+	var dl *fortd.DeadlockError
+	if errors.As(err, &dl) {
+		return http.StatusUnprocessableEntity, errorBody{
+			Kind: "deadlock", Message: err.Error(),
+			Detail: map[string]any{"deadline": dl.Deadline, "blocked": len(dl.Blocked), "live": dl.Live},
+		}
+	}
+	var ab *fortd.AbortError
+	if errors.As(err, &ab) {
+		return http.StatusUnprocessableEntity, errorBody{
+			Kind: "abort", Message: err.Error(),
+			Detail: map[string]any{"pid": ab.PID, "origin": ab.Origin, "op": ab.Op},
+		}
+	}
+	var cg *fortd.CongestionError
+	if errors.As(err, &cg) {
+		return http.StatusUnprocessableEntity, errorBody{
+			Kind: "congestion", Message: err.Error(),
+			Detail: map[string]any{"src": cg.Src, "dst": cg.Dst},
+		}
+	}
+	msg := err.Error()
+	if strings.HasPrefix(msg, "line ") || strings.HasPrefix(msg, "parser:") {
+		return http.StatusBadRequest, errorBody{Kind: "parse", Message: msg}
+	}
+	return http.StatusBadRequest, errorBody{Kind: "invalid", Message: msg}
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetEscapeHTML(false)
+	enc.Encode(v)
+}
+
+func writeError(w http.ResponseWriter, err error) {
+	status, body := classify(err)
+	writeJSON(w, status, map[string]any{"error": body})
+}
+
+// server binds a Service to the HTTP mux.
+type server struct {
+	svc  *fortd.Service
+	base fortd.Options
+}
+
+// newServer builds the daemon's handler tree.
+func newServer(svc *fortd.Service, base fortd.Options) http.Handler {
+	s := &server{svc: svc, base: base}
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /compile", s.handleCompile)
+	mux.HandleFunc("POST /run", s.handleRun)
+	mux.HandleFunc("GET /report/{id}", s.handleReport)
+	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	mux.HandleFunc("GET /stats", s.handleStats)
+	return mux
+}
+
+// remarkDTO flattens a fortd.Remark for the wire.
+type remarkDTO struct {
+	Kind string `json:"kind"`
+	Pass string `json:"pass"`
+	Proc string `json:"proc,omitempty"`
+	Line int    `json:"line,omitempty"`
+	Name string `json:"name"`
+	Msg  string `json:"msg"`
+}
+
+func (s *server) handleCompile(w http.ResponseWriter, r *http.Request) {
+	var req compileDTO
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeError(w, fmt.Errorf("bad request body: %w", err))
+		return
+	}
+	opts, err := req.Options.apply(s.base)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	res, err := s.svc.Compile(r.Context(), fortd.CompileRequest{
+		Session: req.Session, Source: req.Source, Options: opts, Explain: req.Explain,
+	})
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	body := map[string]any{
+		"id":          res.ID,
+		"p":           res.Program.P(),
+		"listing":     res.Listing,
+		"report":      res.Report.String(),
+		"cacheHits":   res.CacheHits,
+		"cacheMisses": res.CacheMisses,
+	}
+	if req.Explain {
+		remarks := make([]remarkDTO, 0, len(res.Remarks))
+		for _, rm := range res.Remarks {
+			remarks = append(remarks, remarkDTO{
+				Kind: rm.Kind.String(), Pass: rm.Pass, Proc: rm.Proc,
+				Line: rm.Line, Name: rm.Name, Msg: rm.Msg,
+			})
+		}
+		body["remarks"] = remarks
+	}
+	writeJSON(w, http.StatusOK, body)
+}
+
+func (s *server) handleRun(w http.ResponseWriter, r *http.Request) {
+	var req runDTO
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeError(w, fmt.Errorf("bad request body: %w", err))
+		return
+	}
+	opts, err := req.Options.apply(s.base)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	out, err := s.svc.Run(r.Context(), fortd.RunRequest{
+		Session: req.Session, ID: req.ID, Source: req.Source, Options: opts,
+		Init: req.Init, InitScalars: req.InitScalars, Reference: req.Reference,
+	})
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	st := out.Result.Stats
+	writeJSON(w, http.StatusOK, map[string]any{
+		"id": out.ID,
+		"stats": map[string]any{
+			"time":     st.Time,
+			"messages": st.Messages,
+			"words":    st.Words,
+			"flops":    st.Flops,
+			"remaps":   st.Remaps,
+			"summary":  st.String(),
+		},
+		"arrays": out.Result.Arrays,
+	})
+}
+
+func (s *server) handleReport(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	src, opts, _, err := s.svc.Lookup(id)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	// the report recompiles traced; route it through the shared cache
+	// so the phase-3 work is served warm
+	opts.Cache = s.svc.Cache()
+	sec, err := report.BuildSection(id[:12], src, nil, opts, nil)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	w.Header().Set("Content-Type", "text/html; charset=utf-8")
+	if err := report.Write(w, "fdd compile report", "program "+id, sec); err != nil {
+		// headers are gone; nothing useful left to send
+		return
+	}
+}
+
+func (s *server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{"ok": true, "time": time.Now().UTC().Format(time.RFC3339)})
+}
+
+func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
+	st := s.svc.Stats()
+	writeJSON(w, http.StatusOK, map[string]any{
+		"service": st,
+		"cache": map[string]any{
+			"hits":        st.Cache.Hits,
+			"misses":      st.Cache.Misses,
+			"hitRate":     st.Cache.HitRate(),
+			"entries":     st.Cache.Entries,
+			"diskHits":    st.Cache.DiskHits,
+			"diskEntries": st.Cache.DiskEntries,
+			"dir":         st.Cache.Dir,
+		},
+	})
+}

@@ -1,0 +1,205 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"fortd"
+)
+
+func newTestHandler(t *testing.T, cfg fortd.ServiceConfig) http.Handler {
+	t.Helper()
+	svc, err := fortd.NewService(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(svc.Close)
+	return newServer(svc, fortd.DefaultOptions())
+}
+
+func do(t *testing.T, h http.Handler, method, path string, body any) (*httptest.ResponseRecorder, map[string]any) {
+	t.Helper()
+	var rd *bytes.Reader
+	if body != nil {
+		buf, err := json.Marshal(body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rd = bytes.NewReader(buf)
+	} else {
+		rd = bytes.NewReader(nil)
+	}
+	req := httptest.NewRequest(method, path, rd)
+	w := httptest.NewRecorder()
+	h.ServeHTTP(w, req)
+	out := map[string]any{}
+	if strings.HasPrefix(w.Header().Get("Content-Type"), "application/json") {
+		if err := json.Unmarshal(w.Body.Bytes(), &out); err != nil {
+			t.Fatalf("%s %s: bad JSON: %v\n%s", method, path, err, w.Body.String())
+		}
+	}
+	return w, out
+}
+
+func errKind(t *testing.T, out map[string]any) string {
+	t.Helper()
+	e, ok := out["error"].(map[string]any)
+	if !ok {
+		t.Fatalf("no structured error in %v", out)
+	}
+	kind, _ := e["kind"].(string)
+	return kind
+}
+
+// TestDaemonCompileRunReport walks the primary flow over HTTP: compile
+// jacobi, verify the listing is byte-identical to a direct library
+// compile, run it by id, and fetch the HTML report.
+func TestDaemonCompileRunReport(t *testing.T) {
+	h := newTestHandler(t, fortd.ServiceConfig{})
+	src := fortd.Jacobi1DSrc(64, 4, 4)
+
+	w, out := do(t, h, "POST", "/compile", map[string]any{"session": "t", "source": src})
+	if w.Code != http.StatusOK {
+		t.Fatalf("compile status %d: %s", w.Code, w.Body.String())
+	}
+	id, _ := out["id"].(string)
+	listing, _ := out["listing"].(string)
+	if id == "" || listing == "" {
+		t.Fatalf("compile response missing id/listing: %v", out)
+	}
+	direct, err := fortd.Compile(src, fortd.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if listing != direct.Listing() {
+		t.Fatal("daemon listing differs from direct library compile")
+	}
+
+	w, out = do(t, h, "POST", "/run", map[string]any{
+		"session": "t", "id": id,
+		"init": map[string][]float64{"a": fortd.Ramp(64)},
+	})
+	if w.Code != http.StatusOK {
+		t.Fatalf("run status %d: %s", w.Code, w.Body.String())
+	}
+	stats, _ := out["stats"].(map[string]any)
+	if stats == nil || stats["time"].(float64) <= 0 {
+		t.Fatalf("run response missing stats: %v", out)
+	}
+
+	w, _ = do(t, h, "GET", "/report/"+id, nil)
+	if w.Code != http.StatusOK {
+		t.Fatalf("report status %d: %s", w.Code, w.Body.String())
+	}
+	if ct := w.Header().Get("Content-Type"); !strings.HasPrefix(ct, "text/html") {
+		t.Fatalf("report content type %q", ct)
+	}
+	if !strings.Contains(w.Body.String(), "<html") {
+		t.Fatal("report is not an HTML document")
+	}
+}
+
+// TestDaemonErrors pins the structured error mapping: parse errors are
+// 400 with positions, unknown ids 404, rate limiting 429, explicit
+// kinds throughout.
+func TestDaemonErrors(t *testing.T) {
+	h := newTestHandler(t, fortd.ServiceConfig{})
+
+	w, out := do(t, h, "POST", "/compile", map[string]any{"source": "PROGRAM ("})
+	if w.Code != http.StatusBadRequest {
+		t.Fatalf("parse error status %d, want 400", w.Code)
+	}
+	if k := errKind(t, out); k != "parse" && k != "invalid" {
+		t.Fatalf("parse error kind %q", k)
+	}
+	msg := out["error"].(map[string]any)["message"].(string)
+	if !strings.Contains(msg, "line") {
+		t.Fatalf("parse error lost its position: %q", msg)
+	}
+
+	w, out = do(t, h, "POST", "/run", map[string]any{"id": "no-such-id"})
+	if w.Code != http.StatusNotFound || errKind(t, out) != "unknown-program" {
+		t.Fatalf("unknown id -> %d %v", w.Code, out)
+	}
+
+	w, out = do(t, h, "GET", "/report/no-such-id", nil)
+	if w.Code != http.StatusNotFound || errKind(t, out) != "unknown-program" {
+		t.Fatalf("unknown report -> %d %v", w.Code, out)
+	}
+
+	w, out = do(t, h, "POST", "/compile", map[string]any{
+		"source":  fortd.Fig1Src(32, 4),
+		"options": map[string]any{"strategy": "bogus"},
+	})
+	if w.Code != http.StatusBadRequest || errKind(t, out) != "invalid" {
+		t.Fatalf("bad strategy -> %d %v", w.Code, out)
+	}
+}
+
+// TestDaemonRateLimit exhausts a session's bucket over HTTP and
+// verifies the 429 with kind rate-limit, plus the /stats counter.
+func TestDaemonRateLimit(t *testing.T) {
+	h := newTestHandler(t, fortd.ServiceConfig{RateLimit: 0.001, RateBurst: 1})
+	src := fortd.Fig1Src(32, 4)
+
+	w, _ := do(t, h, "POST", "/compile", map[string]any{"session": "greedy", "source": src})
+	if w.Code != http.StatusOK {
+		t.Fatalf("first request status %d: %s", w.Code, w.Body.String())
+	}
+	w, out := do(t, h, "POST", "/compile", map[string]any{"session": "greedy", "source": src})
+	if w.Code != http.StatusTooManyRequests || errKind(t, out) != "rate-limit" {
+		t.Fatalf("second request -> %d %v", w.Code, out)
+	}
+
+	w, out = do(t, h, "GET", "/stats", nil)
+	if w.Code != http.StatusOK {
+		t.Fatalf("stats status %d", w.Code)
+	}
+	svc, _ := out["service"].(map[string]any)
+	if svc == nil || svc["rateLimited"].(float64) != 1 {
+		t.Fatalf("stats did not count the 429: %v", out)
+	}
+	cache, _ := out["cache"].(map[string]any)
+	if cache == nil || cache["misses"].(float64) == 0 {
+		t.Fatalf("stats missing cache counters: %v", out)
+	}
+}
+
+// TestDaemonHealthz pins the liveness endpoint.
+func TestDaemonHealthz(t *testing.T) {
+	h := newTestHandler(t, fortd.ServiceConfig{})
+	w, out := do(t, h, "GET", "/healthz", nil)
+	if w.Code != http.StatusOK || out["ok"] != true {
+		t.Fatalf("healthz -> %d %v", w.Code, out)
+	}
+}
+
+// TestDaemonOptionOverlay verifies pointer-field DTO defaulting: an
+// omitted option inherits the server's base, a present one overrides.
+func TestDaemonOptionOverlay(t *testing.T) {
+	h := newTestHandler(t, fortd.ServiceConfig{})
+	src := fortd.Jacobi1DSrc(64, 2, 8) // n$proc = 8 in the source
+
+	// Base options leave P=0 (read n$proc): expect 8.
+	w, out := do(t, h, "POST", "/compile", map[string]any{"source": src})
+	if w.Code != http.StatusOK {
+		t.Fatalf("status %d: %s", w.Code, w.Body.String())
+	}
+	if p := out["p"].(float64); p != 8 {
+		t.Fatalf("default compile p = %v, want 8 from n$proc", p)
+	}
+	// Explicit override wins.
+	w, out = do(t, h, "POST", "/compile", map[string]any{
+		"source": src, "options": map[string]any{"p": 4},
+	})
+	if w.Code != http.StatusOK {
+		t.Fatalf("status %d: %s", w.Code, w.Body.String())
+	}
+	if p := out["p"].(float64); p != 4 {
+		t.Fatalf("override compile p = %v, want 4", p)
+	}
+}

@@ -1,0 +1,392 @@
+// Command fdload is the load generator for the fdd compile daemon: it
+// drives N concurrent sessions of mixed compile / recompile / run
+// requests against a running server and verifies the service's
+// correctness contracts under concurrency:
+//
+//   - determinism: every SPMD listing returned for one program id is
+//     byte-identical across sessions, and every run of one id reports
+//     identical simulated statistics;
+//   - invalidation (§8 as a cache predicate): a body-only edit may only
+//     re-analyze the edited procedure, an interface-affecting edit only
+//     the edited procedure plus its callers, and a recompile of
+//     already-cached source must be all hits.
+//
+// It reports throughput and per-operation latency percentiles, and
+// exits non-zero on any violated invariant or unexpected error.
+package main
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"sort"
+	"sync"
+	"time"
+)
+
+// The workload: one main program calling two independent stencil
+// sweeps. Editing sweepa's coefficient changes only its own body hash
+// (same communication summary, so MAIN's consumed inputs are
+// unchanged); editing the shift distance changes sweepa's delayed
+// communication, which MAIN consumes, so MAIN is invalidated with it.
+// sweepb is untouched by every variant and must never be re-analyzed
+// after the priming compile.
+func src(coef string, shift int) string {
+	return fmt.Sprintf(`
+      PROGRAM MAIN
+      PARAMETER (n$proc = 4)
+      REAL a(64), b(64)
+      DISTRIBUTE a(BLOCK)
+      DISTRIBUTE b(BLOCK)
+      call sweepa(a)
+      call sweepb(b)
+      END
+      SUBROUTINE sweepa(x)
+      REAL x(64)
+      do i = %d, 63
+        x(i) = %s * x(i-%d) + 1.0
+      enddo
+      END
+      SUBROUTINE sweepb(x)
+      REAL x(64)
+      do i = 2, 63
+        x(i) = 0.5 * x(i+1) + 1.0
+      enddo
+      END
+`, shift+1, coef, shift)
+}
+
+var (
+	srcBase  = src("0.5", 1)
+	srcBody  = src("0.25", 1) // body-only edit of sweepa
+	srcIface = src("0.5", 2)  // interface-affecting edit of sweepa
+
+	// allowed re-analysis sets per variant, compiled after priming
+	coneBase  = map[string]bool{} // warm recompile: all hits
+	coneBody  = map[string]bool{"sweepa": true}
+	coneIface = map[string]bool{"sweepa": true, "MAIN": true}
+)
+
+type compileResp struct {
+	ID          string   `json:"id"`
+	Listing     string   `json:"listing"`
+	CacheMisses []string `json:"cacheMisses"`
+}
+
+type runResp struct {
+	ID    string `json:"id"`
+	Stats struct {
+		Summary string `json:"summary"`
+	} `json:"stats"`
+}
+
+type errResp struct {
+	Error struct {
+		Kind    string `json:"kind"`
+		Message string `json:"message"`
+	} `json:"error"`
+}
+
+// checker accumulates the cross-session invariants.
+type checker struct {
+	mu         sync.Mutex
+	listings   map[string]string // id -> sha256 of listing
+	runStats   map[string]string // id -> stats summary line
+	violations []string
+}
+
+func (c *checker) violate(format string, args ...any) {
+	c.mu.Lock()
+	if len(c.violations) < 20 {
+		c.violations = append(c.violations, fmt.Sprintf(format, args...))
+	}
+	c.mu.Unlock()
+}
+
+func (c *checker) listing(id, listing string) {
+	sum := sha256.Sum256([]byte(listing))
+	h := hex.EncodeToString(sum[:])
+	c.mu.Lock()
+	prev, seen := c.listings[id]
+	if !seen {
+		c.listings[id] = h
+	}
+	c.mu.Unlock()
+	if seen && prev != h {
+		c.violate("non-deterministic listing for id %.12s: %s vs %s", id, prev, h)
+	}
+}
+
+func (c *checker) run(id, summary string) {
+	c.mu.Lock()
+	prev, seen := c.runStats[id]
+	if !seen {
+		c.runStats[id] = summary
+	}
+	c.mu.Unlock()
+	if seen && prev != summary {
+		c.violate("non-deterministic run stats for id %.12s:\n  %s\n  %s", id, prev, summary)
+	}
+}
+
+func (c *checker) cone(label string, allowed map[string]bool, misses []string) {
+	for _, proc := range misses {
+		if !allowed[proc] {
+			c.violate("%s compile re-analyzed %q outside its invalidation cone", label, proc)
+		}
+	}
+}
+
+// latencies is one operation class's samples.
+type latencies struct {
+	mu sync.Mutex
+	d  []time.Duration
+}
+
+func (l *latencies) add(d time.Duration) {
+	l.mu.Lock()
+	l.d = append(l.d, d)
+	l.mu.Unlock()
+}
+
+func (l *latencies) percentiles() (n int, p50, p95, p99 time.Duration) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if len(l.d) == 0 {
+		return 0, 0, 0, 0
+	}
+	sort.Slice(l.d, func(i, j int) bool { return l.d[i] < l.d[j] })
+	at := func(q float64) time.Duration {
+		i := int(q * float64(len(l.d)-1))
+		return l.d[i]
+	}
+	return len(l.d), at(0.50), at(0.95), at(0.99)
+}
+
+type client struct {
+	base    string
+	hc      *http.Client
+	chk     *checker
+	retries int
+
+	mu          sync.Mutex
+	ok          int64
+	throttled   int64 // 429/503 responses seen (each is retried)
+	dropped     int64 // requests abandoned after exhausting retries
+	failures    int64
+	failSamples []string
+}
+
+func (cl *client) fail(op string, err error) {
+	cl.mu.Lock()
+	cl.failures++
+	if len(cl.failSamples) < 10 {
+		cl.failSamples = append(cl.failSamples, op+": "+err.Error())
+	}
+	cl.mu.Unlock()
+}
+
+// post sends one JSON request, retrying 429/503 (the server's
+// rate-limit and queue-full fast failures) with capped exponential
+// backoff the way a production client would. Each throttle response is
+// counted; exhausting the retries surfaces as throttled=true.
+func (cl *client) post(path string, req, resp any) (throttled bool, err error) {
+	buf, err := json.Marshal(req)
+	if err != nil {
+		return false, err
+	}
+	backoff := 10 * time.Millisecond
+	for attempt := 0; ; attempt++ {
+		hr, err := cl.hc.Post(cl.base+path, "application/json", bytes.NewReader(buf))
+		if err != nil {
+			return false, err
+		}
+		body, err := io.ReadAll(hr.Body)
+		hr.Body.Close()
+		if err != nil {
+			return false, err
+		}
+		if hr.StatusCode == http.StatusTooManyRequests || hr.StatusCode == http.StatusServiceUnavailable {
+			cl.mu.Lock()
+			cl.throttled++
+			cl.mu.Unlock()
+			if attempt >= cl.retries {
+				return true, nil
+			}
+			time.Sleep(backoff)
+			if backoff *= 2; backoff > 500*time.Millisecond {
+				backoff = 500 * time.Millisecond
+			}
+			continue
+		}
+		if hr.StatusCode != http.StatusOK {
+			var er errResp
+			if json.Unmarshal(body, &er) == nil && er.Error.Message != "" {
+				return false, fmt.Errorf("%d %s: %s", hr.StatusCode, er.Error.Kind, er.Error.Message)
+			}
+			return false, fmt.Errorf("status %d: %.200s", hr.StatusCode, body)
+		}
+		return false, json.Unmarshal(body, resp)
+	}
+}
+
+func ramp(n int) []float64 {
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = float64(i + 1)
+	}
+	return out
+}
+
+// session runs one client session's iteration mix.
+func (cl *client) session(id int, iters int, lat map[string]*latencies) {
+	sess := fmt.Sprintf("s%04d", id)
+	lastID := ""
+	compile := func(label, source string, cone map[string]bool) {
+		start := time.Now()
+		var resp compileResp
+		throttled, err := cl.post("/compile", map[string]any{"session": sess, "source": source}, &resp)
+		took := time.Since(start)
+		switch {
+		case err != nil:
+			cl.fail("compile/"+label, err)
+		case throttled:
+			cl.mu.Lock()
+			cl.dropped++
+			cl.mu.Unlock()
+		default:
+			cl.mu.Lock()
+			cl.ok++
+			cl.mu.Unlock()
+			lat["compile"].add(took)
+			cl.chk.listing(resp.ID, resp.Listing)
+			cl.chk.cone(label, cone, resp.CacheMisses)
+			if label == "base" {
+				lastID = resp.ID
+			}
+		}
+	}
+	run := func() {
+		req := map[string]any{
+			"session": sess,
+			"init":    map[string][]float64{"a": ramp(64), "b": ramp(64)},
+		}
+		if lastID != "" {
+			req["id"] = lastID
+		} else {
+			req["source"] = srcBase
+		}
+		start := time.Now()
+		var resp runResp
+		throttled, err := cl.post("/run", req, &resp)
+		took := time.Since(start)
+		switch {
+		case err != nil:
+			cl.fail("run", err)
+		case throttled:
+			cl.mu.Lock()
+			cl.dropped++
+			cl.mu.Unlock()
+		default:
+			cl.mu.Lock()
+			cl.ok++
+			cl.mu.Unlock()
+			lat["run"].add(took)
+			cl.chk.run(resp.ID, resp.Stats.Summary)
+		}
+	}
+	for it := 0; it < iters; it++ {
+		switch (id + it) % 4 {
+		case 0:
+			compile("base", srcBase, coneBase)
+		case 1:
+			compile("body-edit", srcBody, coneBody)
+		case 2:
+			compile("iface-edit", srcIface, coneIface)
+		case 3:
+			run()
+		}
+	}
+}
+
+func main() {
+	var (
+		addr     = flag.String("addr", "http://localhost:8700", "fdd base URL")
+		sessions = flag.Int("sessions", 500, "concurrent sessions")
+		iters    = flag.Int("iters", 4, "requests per session")
+		timeout  = flag.Duration("timeout", 60*time.Second, "per-request timeout")
+		retries  = flag.Int("retries", 40, "max retries per request on 429/503")
+	)
+	flag.Parse()
+
+	cl := &client{
+		base:    *addr,
+		hc:      &http.Client{Timeout: *timeout},
+		chk:     &checker{listings: map[string]string{}, runStats: map[string]string{}},
+		retries: *retries,
+	}
+	lat := map[string]*latencies{"compile": {}, "run": {}}
+
+	// Prime the cache with the base program from a dedicated session so
+	// the per-variant invalidation cones are meaningful: after this,
+	// sweepb (and for body edits, MAIN) must always be served warm.
+	var prime compileResp
+	if _, err := cl.post("/compile", map[string]any{"session": "prime", "source": srcBase}, &prime); err != nil {
+		fmt.Fprintln(os.Stderr, "fdload: priming compile failed:", err)
+		os.Exit(1)
+	}
+	cl.chk.listing(prime.ID, prime.Listing)
+	cl.ok, cl.failures, cl.throttled, cl.dropped = 0, 0, 0, 0
+
+	start := time.Now()
+	var wg sync.WaitGroup
+	for i := 0; i < *sessions; i++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			cl.session(id, *iters, lat)
+		}(i)
+	}
+	wg.Wait()
+	wall := time.Since(start)
+
+	fmt.Printf("fdload: %d sessions x %d requests against %s in %v\n",
+		*sessions, *iters, *addr, wall.Round(time.Millisecond))
+	fmt.Printf("  ok %d, throttle responses %d (retried), dropped %d, failed %d — %.0f req/s\n",
+		cl.ok, cl.throttled, cl.dropped, cl.failures, float64(cl.ok)/wall.Seconds())
+	for _, op := range []string{"compile", "run"} {
+		n, p50, p95, p99 := lat[op].percentiles()
+		if n == 0 {
+			continue
+		}
+		fmt.Printf("  %-7s n=%-5d p50=%-10v p95=%-10v p99=%v\n", op, n,
+			p50.Round(time.Microsecond), p95.Round(time.Microsecond), p99.Round(time.Microsecond))
+	}
+	fmt.Printf("  distinct programs: %d, all listings byte-identical per id: %t\n",
+		len(cl.chk.listings), len(cl.chk.violations) == 0)
+
+	bad := false
+	if len(cl.chk.violations) > 0 {
+		bad = true
+		fmt.Fprintln(os.Stderr, "fdload: invariant violations:")
+		for _, v := range cl.chk.violations {
+			fmt.Fprintln(os.Stderr, "  -", v)
+		}
+	}
+	if cl.failures > 0 {
+		bad = true
+		fmt.Fprintln(os.Stderr, "fdload: unexpected failures:")
+		for _, s := range cl.failSamples {
+			fmt.Fprintln(os.Stderr, "  -", s)
+		}
+	}
+	if bad {
+		os.Exit(1)
+	}
+}

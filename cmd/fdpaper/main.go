@@ -149,7 +149,7 @@ func run(p *fortd.Program, init map[string][]float64) *fortd.Result {
 		log.Fatal(err)
 	}
 	// every experiment validates against the sequential reference
-	ref, err := p.RunReference(fortd.RunOptions{Init: init})
+	ref, err := fortd.NewRunner(fortd.WithInit(init)).RunReference(p)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -263,7 +263,7 @@ func dgefa() {
 	}
 	fmt.Printf("%-20s %12s %10s %12s %9s\n", "strategy", "time(µs)", "messages", "words", "vs hand")
 	// the paper's §9 baseline: hand-written SPMD message passing
-	hand, err := fortd.RunSPMD(fortd.DgefaHandSrc(n, 4), 4, fortd.RunOptions{Init: init})
+	hand, err := fortd.NewRunner(fortd.WithInit(init)).RunSPMD(fortd.DgefaHandSrc(n, 4), 4)
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -252,7 +252,7 @@ func main() {
 	}
 
 	if *check && !*spmdMode {
-		ref, err := prog.RunReference(fortd.RunOptions{Init: init})
+		ref, err := fortd.NewRunner(fortd.WithInit(init)).RunReference(prog)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "fdrun: reference:", err)
 			os.Exit(1)

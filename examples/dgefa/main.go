@@ -91,12 +91,12 @@ func main() {
 		if err != nil {
 			log.Fatalf("%s: %v", v.name, err)
 		}
-		res, err := prog.Run(fortd.RunOptions{Init: map[string][]float64{"a": matrix(*n)}})
+		res, err := fortd.NewRunner(fortd.WithInit(map[string][]float64{"a": matrix(*n)})).Run(prog)
 		if err != nil {
 			log.Fatalf("%s: %v", v.name, err)
 		}
 		// sanity: compare against the sequential reference
-		ref, err := prog.RunReference(fortd.RunOptions{Init: map[string][]float64{"a": matrix(*n)}})
+		ref, err := fortd.NewRunner(fortd.WithInit(map[string][]float64{"a": matrix(*n)})).RunReference(prog)
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -122,7 +122,7 @@ func main() {
 		if err != nil {
 			log.Fatal(err)
 		}
-		res, err := prog.Run(fortd.RunOptions{Init: map[string][]float64{"a": matrix(*n)}})
+		res, err := fortd.NewRunner(fortd.WithInit(map[string][]float64{"a": matrix(*n)})).Run(prog)
 		if err != nil {
 			log.Fatal(err)
 		}

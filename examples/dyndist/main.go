@@ -74,11 +74,11 @@ func main() {
 		if err != nil {
 			log.Fatal(err)
 		}
-		res, err := prog.Run(fortd.RunOptions{Init: map[string][]float64{"X": x0}})
+		res, err := fortd.NewRunner(fortd.WithInit(map[string][]float64{"X": x0})).Run(prog)
 		if err != nil {
 			log.Fatal(err)
 		}
-		ref, err := prog.RunReference(fortd.RunOptions{Init: map[string][]float64{"X": x0}})
+		ref, err := fortd.NewRunner(fortd.WithInit(map[string][]float64{"X": x0})).RunReference(prog)
 		if err != nil {
 			log.Fatal(err)
 		}

@@ -59,11 +59,11 @@ func main() {
 		grid[j] = 100
 		grid[(*n-1)*(*n)+j] = 100
 	}
-	res, err := prog.Run(fortd.RunOptions{Init: map[string][]float64{"a": grid}})
+	res, err := fortd.NewRunner(fortd.WithInit(map[string][]float64{"a": grid})).Run(prog)
 	if err != nil {
 		log.Fatal(err)
 	}
-	ref, err := prog.RunReference(fortd.RunOptions{Init: map[string][]float64{"a": grid}})
+	ref, err := fortd.NewRunner(fortd.WithInit(map[string][]float64{"a": grid})).RunReference(prog)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -88,7 +88,7 @@ func main() {
 		if err != nil {
 			log.Fatal(err)
 		}
-		r, err := pr.Run(fortd.RunOptions{Init: map[string][]float64{"a": grid}})
+		r, err := fortd.NewRunner(fortd.WithInit(map[string][]float64{"a": grid})).Run(pr)
 		if err != nil {
 			log.Fatal(err)
 		}

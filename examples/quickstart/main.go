@@ -45,7 +45,7 @@ func main() {
 	for i := range x0 {
 		x0[i] = float64(i + 1)
 	}
-	res, err := prog.Run(fortd.RunOptions{Init: map[string][]float64{"X": x0}})
+	res, err := fortd.NewRunner(fortd.WithInit(map[string][]float64{"X": x0})).Run(prog)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -55,7 +55,7 @@ func main() {
 	fmt.Printf("X(1:5):     %v\n", res.Arrays["X"][:5])
 
 	// verify against the sequential reference
-	ref, err := prog.RunReference(fortd.RunOptions{Init: map[string][]float64{"X": x0}})
+	ref, err := fortd.NewRunner(fortd.WithInit(map[string][]float64{"X": x0})).RunReference(prog)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -75,7 +75,7 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	sres, err := slow.Run(fortd.RunOptions{Init: map[string][]float64{"X": x0}})
+	sres, err := fortd.NewRunner(fortd.WithInit(map[string][]float64{"X": x0})).Run(slow)
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -18,21 +18,32 @@
 // Basic usage:
 //
 //	prog, err := fortd.Compile(src, fortd.DefaultOptions())
-//	res, err := prog.Run(fortd.RunOptions{Init: map[string][]float64{"X": x0}})
+//	res, err := fortd.NewRunner(fortd.WithInit(init)).Run(prog)
 //	fmt.Println(res.Stats)
 //
-// Runs are configured through a Runner built from functional options;
-// Program.Run, Program.RunReference and RunSPMD are thin wrappers over
-// it. To observe a run (or a compilation), attach a Trace:
+// Runs are configured through a Runner built from functional options.
+// Every entry point has a context-aware form — CompileContext,
+// Runner.RunContext, Runner.RunReferenceContext, Runner.RunSPMDContext
+// — whose cancellation stops the phase-3 compile pipeline at the next
+// task boundary and aborts a simulated run through the machine's
+// cooperative-abort channel; the plain forms are thin wrappers over
+// context.Background(). To observe a run (or a compilation), attach a
+// Trace:
 //
 //	tr := fortd.NewTrace()
 //	r := fortd.NewRunner(fortd.WithTrace(tr), fortd.WithInit(init))
-//	res, err := r.Run(prog)
+//	res, err := r.RunContext(ctx, prog)
 //	tr.WriteText(os.Stdout)         // human-readable summary
 //	tr.WriteChrome(f)               // chrome://tracing / Perfetto JSON
+//
+// For serving many compilations from one process — a compile daemon —
+// see Service, which owns a shared SummaryCache (optionally disk-
+// persisted via NewDiskSummaryCache), a bounded worker pool and
+// per-session rate limits; cmd/fdd exposes it over HTTP/JSON.
 package fortd
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -89,6 +100,13 @@ type MachineConfig = machine.Config
 // Options.Trace or WithTrace, then export with WriteText (human
 // summary) or WriteChrome (trace_event JSON). A nil *Trace disables
 // tracing at near-zero cost.
+//
+// Concurrency: a Trace is safe for concurrent emission — the parallel
+// compile pipeline and all simulated processors of one run feed one
+// Trace. Do NOT share one Trace across concurrent compilations or
+// runs, though: their events interleave into one stream and the
+// exporters cannot split them apart again. Per-request observability
+// wants one Trace per request (the compile daemon does exactly that).
 type Trace = trace.Tracer
 
 // NewTrace returns an enabled trace sink.
@@ -104,6 +122,11 @@ func NewTrace() *Trace { return trace.New() }
 // WriteJSON (one JSON object per line) or WriteAnnotated (source
 // listing with interleaved remarks). A nil *Explain disables remark
 // collection at zero cost.
+//
+// Concurrency: an Explain is safe for concurrent Add calls (the
+// parallel compile pipeline relies on it), but like a Trace it is a
+// single stream — attach one collector per compilation or run, not one
+// per process.
 type Explain = explain.Collector
 
 // Remark is a single optimization remark.
@@ -174,6 +197,17 @@ type Options struct {
 	// procedure and the callers whose consumed summaries changed (the
 	// paper's §8 recompilation analysis, run as a cache).
 	Cache *SummaryCache
+	// CacheDir, when non-empty, attaches a disk-persisted summary cache
+	// rooted at this directory: entries written by earlier processes are
+	// served warm (see NewDiskSummaryCache). Mutually exclusive with
+	// Cache — to share one cache across compilations and keep the disk
+	// tier, create it once with NewDiskSummaryCache and pass it as
+	// Cache.
+	CacheDir string
+	// Deadline bounds the compilation's wall-clock time (0: none).
+	// CompileContext derives a timeout context from it; a compilation
+	// that exceeds it returns context.DeadlineExceeded.
+	Deadline time.Duration
 }
 
 // DefaultOptions enables the full interprocedural pipeline.
@@ -204,19 +238,44 @@ func (o Options) Validate() error {
 	if o.Jobs < 0 {
 		return fmt.Errorf("fortd: Options.Jobs = %d, must be >= 0 (0 or 1 compiles sequentially)", o.Jobs)
 	}
+	if o.Deadline < 0 {
+		return fmt.Errorf("fortd: Options.Deadline = %v, must be >= 0 (0 disables the deadline)", o.Deadline)
+	}
+	if o.CacheDir != "" && o.Cache != nil {
+		return fmt.Errorf("fortd: Options.CacheDir and Options.Cache are mutually exclusive; pass NewDiskSummaryCache(dir) as Cache to share a disk-backed cache")
+	}
 	return nil
 }
 
-// SummaryCache is a concurrency-safe, content-hashed cache of
-// per-procedure compilation results, shared across Compile calls via
-// Options.Cache. See Options.Cache for the invalidation contract.
+// SummaryCache is a content-hashed cache of per-procedure compilation
+// results, shared across Compile calls via Options.Cache. See
+// Options.Cache for the invalidation contract.
+//
+// Concurrency: a SummaryCache is safe for concurrent use. Any number of
+// goroutines may compile through one shared cache simultaneously (the
+// compile daemon does exactly that); entries are immutable once stored
+// and cloned before being spliced into a program. With a disk tier
+// (NewDiskSummaryCache), separate processes may also share the same
+// directory without coordination.
 type SummaryCache = summarycache.Cache
 
 // CacheStats reports a summary cache's hit/miss counters and size.
 type CacheStats = summarycache.Stats
 
-// NewSummaryCache returns an empty summary cache.
+// NewSummaryCache returns an empty in-memory summary cache.
 func NewSummaryCache() *SummaryCache { return summarycache.New() }
+
+// NewDiskSummaryCache returns a summary cache backed by entry files
+// under dir (created as needed): entries stored by earlier runs or by
+// other processes sharing the directory are served as disk hits, with
+// no phase-3 re-analysis, and fresh entries are written through. The
+// content-hash keys already cover every compilation input, so the §8
+// recompilation predicate doubles as the cross-process invalidation
+// contract — an edited procedure hashes to a new key, and stale
+// entries are simply never probed again.
+func NewDiskSummaryCache(dir string) (*SummaryCache, error) {
+	return summarycache.Open(dir)
+}
 
 // Report summarizes what code generation did: messages and ownership
 // guards inserted, loop bounds reduced to local iterations, dynamic
@@ -228,20 +287,49 @@ type Report core.Report
 func (r Report) String() string { return core.Report(r).String() }
 
 // Program is a compiled Fortran D program.
+//
+// Concurrency: a Program is immutable after Compile returns and safe
+// for concurrent use — any number of goroutines may inspect it and run
+// it (each Runner.Run builds a fresh simulated machine).
 type Program struct {
 	c *core.Compilation
 }
 
-// Compile compiles Fortran D source text.
+// Compile compiles Fortran D source text. It is CompileContext with a
+// background context.
 func Compile(src string, opts Options) (*Program, error) {
+	return CompileContext(context.Background(), src, opts)
+}
+
+// CompileContext compiles Fortran D source text under a cancellation
+// context: when ctx is cancelled (a dropped client, a server shutting
+// down) the phase-3 compile pipeline stops at the next procedure-task
+// boundary and CompileContext returns ctx.Err(). A cancelled
+// compilation never stores partial results into Options.Cache, so a
+// shared cache stays byte-for-byte reproducible. Options.Deadline, when
+// set, bounds the compilation's wall-clock time through the same
+// mechanism.
+func CompileContext(ctx context.Context, src string, opts Options) (*Program, error) {
 	if err := opts.Validate(); err != nil {
 		return nil, err
 	}
-	c, err := core.Compile(src, core.Options{
+	cache := opts.Cache
+	if opts.CacheDir != "" {
+		var err error
+		if cache, err = summarycache.Open(opts.CacheDir); err != nil {
+			return nil, err
+		}
+	}
+	if opts.Deadline > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, opts.Deadline)
+		defer cancel()
+	}
+	c, err := core.CompileContext(ctx, src, core.Options{
 		P: opts.P, Strategy: opts.Strategy,
 		RemapOpt: opts.RemapOpt, CloneLimit: opts.CloneLimit,
 		Trace: opts.Trace, Explain: opts.Explain,
-		Jobs: opts.Jobs, Cache: opts.Cache,
+		Jobs: opts.Jobs, Cache: cache,
 	})
 	if err != nil {
 		return nil, err
@@ -359,13 +447,23 @@ func NewRunner(opts ...RunOption) *Runner {
 	return r
 }
 
-// Run executes the compiled SPMD program on the simulated machine.
+// Run executes the compiled SPMD program on the simulated machine. It
+// is RunContext with a background context.
 func (r *Runner) Run(p *Program) (*Result, error) {
+	return r.RunContext(context.Background(), p)
+}
+
+// RunContext executes the compiled SPMD program on the simulated
+// machine under a cancellation context: when ctx is cancelled mid-run
+// the machine's cooperative abort unblocks every simulated processor
+// and RunContext returns ctx.Err(). The machine's own failure modes —
+// deadlock watchdog, WithDeadline, congestion — are unchanged.
+func (r *Runner) RunContext(ctx context.Context, p *Program) (*Result, error) {
 	cfg := r.machine
 	if cfg.P == 0 {
 		cfg = machine.DefaultConfig(p.c.P)
 	}
-	rr, err := spmd.Run(p.c.Program, cfg, spmd.Options{
+	rr, err := spmd.RunContext(ctx, p.c.Program, cfg, spmd.Options{
 		Dists: p.c.MainDists, Init: r.init, InitScalars: r.initScalars,
 		Trace: r.trace, Faults: r.faults, Deadline: r.deadline,
 	})
@@ -376,9 +474,16 @@ func (r *Runner) Run(p *Program) (*Result, error) {
 }
 
 // RunReference executes the original sequential program (one
-// processor, no communication) and returns the reference result.
+// processor, no communication) and returns the reference result. It is
+// RunReferenceContext with a background context.
 func (r *Runner) RunReference(p *Program) (*Result, error) {
-	rr, err := spmd.RunSequential(p.c.Source, spmd.Options{
+	return r.RunReferenceContext(context.Background(), p)
+}
+
+// RunReferenceContext is RunReference under a cancellation context
+// (see RunContext).
+func (r *Runner) RunReferenceContext(ctx context.Context, p *Program) (*Result, error) {
+	rr, err := spmd.RunSequentialContext(ctx, p.c.Source, spmd.Options{
 		Init: r.init, InitScalars: r.initScalars, Trace: r.trace,
 		Deadline: r.deadline,
 	})
@@ -396,7 +501,14 @@ func (r *Runner) RunReference(p *Program) (*Result, error) {
 // whose descriptor cannot be built (non-constant dimension bounds,
 // rank mismatch, bad machine size) is a compile-time error.
 // nproc <= 0 reads the main program's n$proc PARAMETER (default 4).
+// It is RunSPMDContext with a background context.
 func (r *Runner) RunSPMD(src string, nproc int) (*Result, error) {
+	return r.RunSPMDContext(context.Background(), src, nproc)
+}
+
+// RunSPMDContext is RunSPMD under a cancellation context (see
+// RunContext).
+func (r *Runner) RunSPMDContext(ctx context.Context, src string, nproc int) (*Result, error) {
 	prog, err := parser.Parse(src)
 	if err != nil {
 		return nil, err
@@ -466,7 +578,7 @@ func (r *Runner) RunSPMD(src string, nproc int) (*Result, error) {
 	if cfg.P == 0 {
 		cfg = machine.DefaultConfig(nproc)
 	}
-	rr, err := spmd.Run(prog, cfg, spmd.Options{
+	rr, err := spmd.RunContext(ctx, prog, cfg, spmd.Options{
 		Dists: dists, Init: r.init, InitScalars: r.initScalars,
 		Trace: r.trace, Faults: r.faults, Deadline: r.deadline,
 	})
@@ -478,6 +590,12 @@ func (r *Runner) RunSPMD(src string, nproc int) (*Result, error) {
 
 // RunOptions configures a simulated execution (legacy form; the
 // Runner's functional options are the primary API).
+//
+// Deprecated: build a Runner with functional options instead —
+// NewRunner(WithInit(...), WithMachine(...), ...) — and call
+// Runner.Run/RunContext. RunOptions predates the Runner and cannot
+// express newer per-run settings (explain collection, context
+// cancellation).
 type RunOptions struct {
 	// Init seeds main-program arrays (row-major global order).
 	Init map[string][]float64
@@ -506,6 +624,9 @@ func (o RunOptions) runner() *Runner {
 
 // Run executes the compiled SPMD program on the simulated machine. It
 // is shorthand for NewRunner(...).Run(p).
+//
+// Deprecated: use NewRunner(WithInit(...), ...).Run(p) — or
+// Runner.RunContext for cancellation.
 func (p *Program) Run(opts RunOptions) (*Result, error) {
 	return opts.runner().Run(p)
 }
@@ -513,12 +634,18 @@ func (p *Program) Run(opts RunOptions) (*Result, error) {
 // RunReference executes the original sequential program (one
 // processor, no communication) and returns the reference result. It is
 // shorthand for NewRunner(...).RunReference(p).
+//
+// Deprecated: use NewRunner(WithInit(...), ...).RunReference(p) — or
+// Runner.RunReferenceContext for cancellation.
 func (p *Program) RunReference(opts RunOptions) (*Result, error) {
 	return opts.runner().RunReference(p)
 }
 
 // RunSPMD executes hand-written SPMD node-program text on a p-processor
 // simulated machine. It is shorthand for NewRunner(...).RunSPMD(src, p).
+//
+// Deprecated: use NewRunner(WithInit(...), ...).RunSPMD(src, p) — or
+// Runner.RunSPMDContext for cancellation.
 func RunSPMD(src string, p int, opts RunOptions) (*Result, error) {
 	return opts.runner().RunSPMD(src, p)
 }

@@ -14,11 +14,11 @@ func TestCompileAndRunQuickstart(t *testing.T) {
 	if prog.P() != 4 {
 		t.Errorf("P = %d", prog.P())
 	}
-	res, err := prog.Run(RunOptions{Init: map[string][]float64{"X": Ramp(100)}})
+	res, err := NewRunner(WithInit(map[string][]float64{"X": Ramp(100)})).Run(prog)
 	if err != nil {
 		t.Fatal(err)
 	}
-	ref, err := prog.RunReference(RunOptions{Init: map[string][]float64{"X": Ramp(100)}})
+	ref, err := NewRunner(WithInit(map[string][]float64{"X": Ramp(100)})).RunReference(prog)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -74,11 +74,11 @@ func TestCustomMachineConfig(t *testing.T) {
 	cheap := MachineConfig{P: 4, Latency: 1, PerWord: 0.01, FlopCost: 0.1}
 	expensive := MachineConfig{P: 4, Latency: 10000, PerWord: 10, FlopCost: 0.1}
 	init := map[string][]float64{"X": Ramp(100)}
-	r1, err := prog.Run(RunOptions{Init: init, Machine: cheap})
+	r1, err := NewRunner(WithInit(init), WithMachine(cheap)).Run(prog)
 	if err != nil {
 		t.Fatal(err)
 	}
-	r2, err := prog.Run(RunOptions{Init: init, Machine: expensive})
+	r2, err := NewRunner(WithInit(init), WithMachine(expensive)).Run(prog)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -121,7 +121,7 @@ func TestStrategiesAgreeOnResults(t *testing.T) {
 		if err != nil {
 			t.Fatalf("%v: %v", s, err)
 		}
-		res, err := prog.Run(RunOptions{Init: init})
+		res, err := NewRunner(WithInit(init)).Run(prog)
 		if err != nil {
 			t.Fatalf("%v: %v", s, err)
 		}
@@ -200,7 +200,7 @@ func TestDgefaApproachesHandWritten(t *testing.T) {
 	init := map[string][]float64{"a": DgefaMatrix(n)}
 
 	// the hand-written program is plain SPMD text executed directly
-	handRes, err := RunSPMD(DgefaHandSrc(n, p), p, RunOptions{Init: init})
+	handRes, err := NewRunner(WithInit(init)).RunSPMD(DgefaHandSrc(n, p), p)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -209,11 +209,11 @@ func TestDgefaApproachesHandWritten(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	compRes, err := compiled.Run(RunOptions{Init: init})
+	compRes, err := NewRunner(WithInit(init)).Run(compiled)
 	if err != nil {
 		t.Fatal(err)
 	}
-	ref, err := compiled.RunReference(RunOptions{Init: init})
+	ref, err := NewRunner(WithInit(init)).RunReference(compiled)
 	if err != nil {
 		t.Fatal(err)
 	}

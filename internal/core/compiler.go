@@ -6,6 +6,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"strings"
@@ -142,18 +143,32 @@ type Compilation struct {
 
 // Compile parses and compiles Fortran D source text.
 func Compile(src string, opts Options) (*Compilation, error) {
+	return CompileContext(context.Background(), src, opts)
+}
+
+// CompileContext is Compile under a cancellation context: when ctx is
+// cancelled the compilation stops at the next phase boundary or
+// phase-3 task boundary and returns ctx.Err(). A cancelled compilation
+// never stores partial results into Options.Cache.
+func CompileContext(ctx context.Context, src string, opts Options) (*Compilation, error) {
 	endParse := opts.Trace.Phase("parse")
 	prog, err := parser.Parse(src)
 	endParse()
 	if err != nil {
 		return nil, err
 	}
-	return CompileProgram(prog, opts)
+	return CompileProgramContext(ctx, prog, opts)
 }
 
 // CompileProgram compiles an already-parsed program. The program is
 // transformed in place; a deep copy is kept as Compilation.Source.
 func CompileProgram(prog *ast.Program, opts Options) (*Compilation, error) {
+	return CompileProgramContext(context.Background(), prog, opts)
+}
+
+// CompileProgramContext is CompileProgram under a cancellation context
+// (see CompileContext).
+func CompileProgramContext(ctx context.Context, prog *ast.Program, opts Options) (*Compilation, error) {
 	tr := opts.Trace
 	ex := opts.Explain
 	if ex.Enabled() {
@@ -169,12 +184,18 @@ func CompileProgram(prog *ast.Program, opts Options) (*Compilation, error) {
 	if err != nil {
 		return nil, err
 	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 
 	// Phase 1+2: reaching decompositions with cloning.
 	endReach := tr.Phase("reaching-decompositions")
 	reachRes, err := reach.Analyze(g, reach.Options{CloneLimit: opts.CloneLimit, Explain: opts.Explain})
 	endReach()
 	if err != nil {
+		return nil, err
+	}
+	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
 	g = reachRes.Graph
@@ -231,7 +252,7 @@ func CompileProgram(prog *ast.Program, opts Options) (*Compilation, error) {
 		jobs = 1
 	}
 	pcx := &passCtx{
-		c: c, opts: opts, p: p, exOn: ex.Enabled(),
+		ctx: ctx, c: c, opts: opts, p: p, exOn: ex.Enabled(),
 		sections: sections, consts: consts, killTest: killTest,
 		table: newSummaryTable(), cache: opts.Cache,
 	}

@@ -13,6 +13,7 @@ package core
 // worker count.
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"sync"
@@ -139,6 +140,7 @@ func (t *summaryTable) shashOf(name string) string {
 // passCtx carries the whole-program analyses phase 3 reads. Everything
 // here is either immutable during phase 3 or internally synchronized.
 type passCtx struct {
+	ctx      context.Context
 	c        *Compilation
 	opts     Options
 	p        int
@@ -166,9 +168,16 @@ func calleeNames(n *acg.Node) []string {
 }
 
 // compileOne runs one procedure's phase-3 task: a cache probe followed,
-// on a miss, by the full analysis and code-generation pass.
+// on a miss, by the full analysis and code-generation pass. A cancelled
+// context fails the task with ctx.Err() before any work (or cache
+// counter update) happens, so cancellation is observed within one task
+// boundary and the shared cache never sees a partial store.
 func (pc *passCtx) compileOne(n *acg.Node, idx int) *procOut {
 	out := &procOut{name: n.Name(), idx: idx}
+	if err := pc.ctx.Err(); err != nil {
+		out.err = err
+		return out
+	}
 	if pc.cache.Enabled() {
 		out.key = pc.procKey(n)
 		if e := pc.cache.Get(out.key); e != nil {

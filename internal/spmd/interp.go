@@ -8,6 +8,7 @@
 package spmd
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
@@ -116,13 +117,38 @@ type RunResult struct {
 // watchdog and returned as a machine.DeadlockError report. All
 // per-processor errors are joined, so no failure is dropped.
 func Run(prog *ast.Program, cfg machine.Config, opts Options) (*RunResult, error) {
+	return RunContext(context.Background(), prog, cfg, opts)
+}
+
+// RunContext is Run under a cancellation context: when ctx is cancelled
+// mid-run the machine's cooperative abort unblocks every processor and
+// the run returns ctx.Err(). The machine's own failure modes (deadlock
+// watchdog, wall-clock deadline, congestion) are unchanged.
+func RunContext(ctx context.Context, prog *ast.Program, cfg machine.Config, opts Options) (*RunResult, error) {
 	if err := opts.Faults.Validate(); err != nil {
+		return nil, err
+	}
+	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
 	if opts.Deadline > 0 {
 		cfg.Deadline = opts.Deadline
 	}
 	m := machine.New(cfg)
+	if ctx.Done() != nil {
+		// a dropped client aborts its simulated run: the watcher feeds
+		// the context's cancellation into the PR-5 abort channel, and
+		// closing stop retires it once the run is over
+		stop := make(chan struct{})
+		defer close(stop)
+		go func() {
+			select {
+			case <-ctx.Done():
+				m.Abort(-1, ctx.Err())
+			case <-stop:
+			}
+		}()
+	}
 	if opts.Trace != nil {
 		m.SetTracer(opts.Trace)
 	}
@@ -185,6 +211,11 @@ func joinRunErrors(m *machine.Machine, errs []error, waitErr error) error {
 	if errors.As(waitErr, &dl) && !anyInterp {
 		return dl
 	}
+	// a pure external cancellation likewise returns the context error
+	// itself (the per-processor AbortErrors are symptoms, not causes)
+	if !anyInterp && (errors.Is(waitErr, context.Canceled) || errors.Is(waitErr, context.DeadlineExceeded)) {
+		return waitErr
+	}
 	var all []error
 	for pid, err := range errs {
 		if err != nil {
@@ -204,7 +235,12 @@ func joinRunErrors(m *machine.Machine, errs []error, waitErr error) error {
 // RunSequential interprets the original program on one processor with
 // no distribution, returning the reference result.
 func RunSequential(prog *ast.Program, opts Options) (*RunResult, error) {
-	return Run(prog, machine.Config{P: 1, FlopCost: 1},
+	return RunSequentialContext(context.Background(), prog, opts)
+}
+
+// RunSequentialContext is RunSequential under a cancellation context.
+func RunSequentialContext(ctx context.Context, prog *ast.Program, opts Options) (*RunResult, error) {
+	return RunContext(ctx, prog, machine.Config{P: 1, FlopCost: 1},
 		Options{Init: opts.Init, InitScalars: opts.InitScalars, Trace: opts.Trace,
 			Deadline: opts.Deadline})
 }

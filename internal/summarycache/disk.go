@@ -1,0 +1,147 @@
+// Disk tier: content-hash keyed entry files under a cache directory,
+// so summaries stay warm across process restarts and are shared by
+// parallel compile servers on the same machine. The in-memory map
+// remains the first tier; a memory miss probes the disk, and every
+// fresh store is written through. Because the key already covers the
+// procedure's source, positions, options and consumed interprocedural
+// inputs, a disk file is immutable once written — concurrent writers
+// of the same key produce identical bytes, and the write is an atomic
+// rename, so readers never observe a torn entry.
+//
+// The on-disk format is JSON. Every summary structure (delayed
+// partition constraints, delayed communication, decomposition
+// summaries, distributions, overlap actuals, remarks) is plain
+// exported data and round-trips directly; the generated unit — an AST
+// — is stored as printed SPMD source and reparsed on load. Entries are
+// stored only when that print→parse round trip reproduces the printed
+// bytes exactly (verified at store time), so a disk hit's listing is
+// byte-identical to the cold compile's.
+package summarycache
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"fortd/internal/ast"
+	"fortd/internal/codegen"
+	"fortd/internal/comm"
+	"fortd/internal/decomp"
+	"fortd/internal/explain"
+	"fortd/internal/livedecomp"
+	"fortd/internal/parser"
+	"fortd/internal/partition"
+)
+
+// diskFormat versions the entry file schema; files with any other
+// version are ignored (treated as misses) rather than misread.
+const diskFormat = 1
+
+// diskEntry is Entry with the AST unit flattened to printed source.
+type diskEntry struct {
+	Format      int
+	Key         string
+	Proc        string
+	UnitSrc     string
+	Result      codegen.Result
+	PartDelayed map[string]*partition.Constraint
+	CommDelayed []*comm.Delayed
+	DecompSum   *livedecomp.Summary
+	Interface   string
+	InputsUsed  string
+	MainDists   map[string]*decomp.Dist
+	Overlaps    []OverlapActual
+	Remarks     []explain.Remark
+	Runtime     bool
+}
+
+// disk is one cache directory.
+type disk struct {
+	dir string
+}
+
+func (d *disk) path(key string) string {
+	return filepath.Join(d.dir, key+".json")
+}
+
+// printUnit renders a procedure the way disk entries store it.
+func printUnit(u *ast.Procedure) string {
+	var b strings.Builder
+	ast.PrintProcedure(&b, u)
+	return b.String()
+}
+
+// store writes e's entry file via an atomic rename. Entries whose unit
+// does not round-trip byte-identically through the printer and parser
+// are skipped: a later process would regenerate a different listing,
+// which the cache's determinism contract forbids.
+func (d *disk) store(e *Entry) error {
+	src := printUnit(e.Unit)
+	reparsed, err := parser.ParseProcedure(src)
+	if err != nil || printUnit(reparsed) != src {
+		return fmt.Errorf("summarycache: %s does not round-trip through the printer; not persisted", e.Proc)
+	}
+	res := e.Result
+	res.Body = nil
+	buf, err := json.Marshal(&diskEntry{
+		Format: diskFormat, Key: e.Key, Proc: e.Proc, UnitSrc: src,
+		Result: res, PartDelayed: e.PartDelayed, CommDelayed: e.CommDelayed,
+		DecompSum: e.DecompSum, Interface: e.Interface, InputsUsed: e.InputsUsed,
+		MainDists: e.MainDists, Overlaps: e.Overlaps, Remarks: e.Remarks,
+		Runtime: e.Runtime,
+	})
+	if err != nil {
+		return err
+	}
+	tmp, err := os.CreateTemp(d.dir, "."+e.Key+".tmp*")
+	if err != nil {
+		return err
+	}
+	name := tmp.Name()
+	if _, err := tmp.Write(buf); err != nil {
+		tmp.Close()
+		os.Remove(name)
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(name)
+		return err
+	}
+	return os.Rename(name, d.path(e.Key))
+}
+
+// load reads the entry stored under key, or nil when there is none (or
+// the file is unreadable, version-mismatched, or corrupt — all of
+// which are treated as plain misses).
+func (d *disk) load(key string) *Entry {
+	buf, err := os.ReadFile(d.path(key))
+	if err != nil {
+		return nil
+	}
+	var de diskEntry
+	if json.Unmarshal(buf, &de) != nil || de.Format != diskFormat || de.Key != key {
+		return nil
+	}
+	unit, err := parser.ParseProcedure(de.UnitSrc)
+	if err != nil {
+		return nil
+	}
+	return &Entry{
+		Key: de.Key, Proc: de.Proc, Unit: unit, Result: de.Result,
+		PartDelayed: de.PartDelayed, CommDelayed: de.CommDelayed,
+		DecompSum: de.DecompSum, Interface: de.Interface, InputsUsed: de.InputsUsed,
+		MainDists: de.MainDists, Overlaps: de.Overlaps, Remarks: de.Remarks,
+		Runtime: de.Runtime,
+	}
+}
+
+// entries counts the entry files currently in the directory.
+func (d *disk) entries() int {
+	names, err := filepath.Glob(filepath.Join(d.dir, "*.json"))
+	if err != nil {
+		return 0
+	}
+	return len(names)
+}

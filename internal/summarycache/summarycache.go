@@ -22,6 +22,8 @@ package summarycache
 import (
 	"crypto/sha256"
 	"encoding/hex"
+	"fmt"
+	"os"
 	"sync"
 
 	"fortd/internal/ast"
@@ -82,6 +84,13 @@ type Entry struct {
 type Stats struct {
 	Hits, Misses int64
 	Entries      int
+	// DiskHits counts the subset of Hits served by loading an entry
+	// file from the disk tier (zero for memory-only caches). DiskEntries
+	// is the number of entry files currently in the cache directory, and
+	// Dir names it ("" for memory-only caches).
+	DiskHits    int64
+	DiskEntries int
+	Dir         string
 }
 
 // HitRate returns Hits/(Hits+Misses), or 0 before any lookup.
@@ -92,38 +101,98 @@ func (s Stats) HitRate() float64 {
 	return float64(s.Hits) / float64(s.Hits+s.Misses)
 }
 
-// Cache is a content-addressed store of procedure compilation entries.
-// The zero value is ready to use; a nil *Cache disables caching.
+// Cache is a content-addressed store of procedure compilation entries,
+// optionally backed by a disk tier (see Open). The zero value is ready
+// to use; a nil *Cache disables caching. A Cache is safe for concurrent
+// use: any number of goroutines (and, with a disk tier, processes) may
+// Get and Put simultaneously.
 type Cache struct {
-	mu      sync.Mutex
-	entries map[string]*Entry
-	hits    int64
-	misses  int64
+	mu       sync.Mutex
+	entries  map[string]*Entry
+	hits     int64
+	misses   int64
+	diskHits int64
+	disk     *disk // nil: memory-only
 }
 
 // New returns an empty enabled cache.
 func New() *Cache { return &Cache{} }
 
+// Open returns a cache backed by the entry files under dir, creating
+// the directory as needed. Entries stored by earlier processes are
+// served as disk hits (loaded once, then held in memory); fresh
+// entries are written through, so concurrent and future compile
+// servers on the same directory stay warm. The cache keys already
+// cover everything a compilation consumes, so processes sharing a
+// directory never need to coordinate invalidation: an edited procedure
+// simply hashes to a new key (§8 run as a cache, across processes).
+func Open(dir string) (*Cache, error) {
+	if dir == "" {
+		return nil, fmt.Errorf("summarycache: empty cache directory")
+	}
+	if err := os.MkdirAll(dir, 0o777); err != nil {
+		return nil, fmt.Errorf("summarycache: %w", err)
+	}
+	return &Cache{disk: &disk{dir: dir}}, nil
+}
+
+// Dir returns the disk tier's directory ("" for memory-only caches).
+func (c *Cache) Dir() string {
+	if c == nil || c.disk == nil {
+		return ""
+	}
+	return c.disk.dir
+}
+
 // Enabled reports whether lookups can hit.
 func (c *Cache) Enabled() bool { return c != nil }
 
-// Get returns the entry stored under key, counting a hit or miss.
+// Get returns the entry stored under key, counting a hit or miss. With
+// a disk tier, a memory miss probes the entry file and promotes it into
+// memory on success (counted as a hit and a disk hit).
 func (c *Cache) Get(key string) *Entry {
 	if c == nil {
 		return nil
 	}
 	c.mu.Lock()
+	if e := c.entries[key]; e != nil {
+		c.hits++
+		c.mu.Unlock()
+		return e
+	}
+	if c.disk == nil {
+		c.misses++
+		c.mu.Unlock()
+		return nil
+	}
+	c.mu.Unlock()
+	// load outside the lock: disk I/O and reparsing must not serialize
+	// the parallel compile pipeline's workers
+	e := c.disk.load(key)
+	c.mu.Lock()
 	defer c.mu.Unlock()
-	e := c.entries[key]
+	if have := c.entries[key]; have != nil {
+		// another worker promoted the same key concurrently; keep the
+		// first copy so every consumer shares one immutable entry
+		c.hits++
+		return have
+	}
 	if e == nil {
 		c.misses++
 		return nil
 	}
+	if c.entries == nil {
+		c.entries = map[string]*Entry{}
+	}
+	c.entries[key] = e
 	c.hits++
+	c.diskHits++
 	return e
 }
 
-// Put stores an entry under e.Key, overwriting any previous entry.
+// Put stores an entry under e.Key, overwriting any previous entry and
+// writing through to the disk tier when one is attached. Entries whose
+// unit cannot be persisted faithfully stay memory-only (see disk.store).
 func (c *Cache) Put(e *Entry) {
 	if c == nil || e == nil || e.Key == "" {
 		return
@@ -133,7 +202,11 @@ func (c *Cache) Put(e *Entry) {
 		c.entries = map[string]*Entry{}
 	}
 	c.entries[e.Key] = e
+	d := c.disk
 	c.mu.Unlock()
+	if d != nil {
+		d.store(e) // best-effort: a failed write degrades to memory-only
+	}
 }
 
 // Len returns the number of stored entries.
@@ -152,18 +225,25 @@ func (c *Cache) Stats() Stats {
 		return Stats{}
 	}
 	c.mu.Lock()
-	defer c.mu.Unlock()
-	return Stats{Hits: c.hits, Misses: c.misses, Entries: len(c.entries)}
+	s := Stats{Hits: c.hits, Misses: c.misses, Entries: len(c.entries), DiskHits: c.diskHits}
+	d := c.disk
+	c.mu.Unlock()
+	if d != nil {
+		s.Dir = d.dir
+		s.DiskEntries = d.entries()
+	}
+	return s
 }
 
-// Reset drops all entries and counters (the cache stays enabled).
+// Reset drops all in-memory entries and counters (the cache stays
+// enabled; entry files in the disk tier are left in place).
 func (c *Cache) Reset() {
 	if c == nil {
 		return
 	}
 	c.mu.Lock()
 	c.entries = nil
-	c.hits, c.misses = 0, 0
+	c.hits, c.misses, c.diskHits = 0, 0, 0
 	c.mu.Unlock()
 }
 

@@ -1,0 +1,549 @@
+package fortd
+
+// Service is the compile-as-a-service engine: the production analogue
+// of ParaScope's program database. One process-wide Service owns the
+// shared summary cache (optionally disk-persisted, so restarts and
+// parallel servers stay warm), a bounded worker pool, and per-session
+// token-bucket rate limits; cmd/fdd exposes it over HTTP/JSON. All
+// methods are safe for concurrent use — that is the point.
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+	"time"
+
+	"fortd/internal/summarycache"
+)
+
+// Typed service errors. The HTTP layer maps these onto status codes
+// (429, 503, 404); library callers test them with errors.Is.
+var (
+	// ErrRateLimited reports that the request's session exhausted its
+	// token bucket. Retry after ~1/RateLimit seconds.
+	ErrRateLimited = errors.New("fortd: session rate limit exceeded")
+	// ErrOverloaded reports that the service's queue is full: every
+	// worker is busy and QueueDepth requests are already waiting.
+	ErrOverloaded = errors.New("fortd: service overloaded, queue full")
+	// ErrServiceClosed reports a request against a closed Service.
+	ErrServiceClosed = errors.New("fortd: service closed")
+	// ErrUnknownProgram reports a run or report request naming a
+	// program id the service has not compiled (or has since evicted).
+	ErrUnknownProgram = errors.New("fortd: unknown program id")
+)
+
+// ServiceConfig configures a Service.
+type ServiceConfig struct {
+	// Options is the base compilation configuration; per-request
+	// options override it field by field at the transport layer. Its
+	// Cache and CacheDir must be unset — the Service owns the cache
+	// (set ServiceConfig.CacheDir for the disk tier) — and its Trace
+	// and Explain must be nil (observability is per-request).
+	Options Options
+	// CacheDir, when non-empty, backs the shared summary cache with
+	// entry files under this directory (see NewDiskSummaryCache), so a
+	// restarted or parallel server serves previously-compiled
+	// procedures as disk hits with no phase-3 re-analysis.
+	CacheDir string
+	// Workers bounds the number of concurrently executing compile/run
+	// requests (0: GOMAXPROCS).
+	Workers int
+	// QueueDepth bounds how many requests may wait for a worker slot
+	// beyond the ones executing (0: 4×Workers). Requests beyond the
+	// bound fail fast with ErrOverloaded instead of piling up.
+	QueueDepth int
+	// RateLimit is each session's sustained request budget in requests
+	// per second (0: unlimited).
+	RateLimit float64
+	// RateBurst is each session's token-bucket capacity — how many
+	// requests may arrive back to back before the sustained rate
+	// applies (0: 2×ceil(RateLimit), at least 1). Requires RateLimit.
+	RateBurst int
+	// RunDeadline bounds each simulated run's wall-clock time (0:
+	// none); the machine's deadlock watchdog runs regardless.
+	RunDeadline time.Duration
+	// MaxPrograms bounds the compiled-program table serving run-by-id
+	// and /report/{id}; the least recently used entry is evicted (0:
+	// 256).
+	MaxPrograms int
+}
+
+// Validate reports the first invalid field or combination.
+func (c ServiceConfig) Validate() error {
+	if err := c.Options.Validate(); err != nil {
+		return err
+	}
+	if c.Options.Cache != nil || c.Options.CacheDir != "" {
+		return fmt.Errorf("fortd: ServiceConfig.Options must not carry a cache; the Service owns it (set ServiceConfig.CacheDir for the disk tier)")
+	}
+	if c.Options.Trace != nil || c.Options.Explain != nil {
+		return fmt.Errorf("fortd: ServiceConfig.Options must not carry a Trace or Explain; observability is per-request")
+	}
+	if c.Workers < 0 {
+		return fmt.Errorf("fortd: ServiceConfig.Workers = %d, must be >= 0 (0 uses GOMAXPROCS)", c.Workers)
+	}
+	if c.QueueDepth < 0 {
+		return fmt.Errorf("fortd: ServiceConfig.QueueDepth = %d, must be >= 0 (0 uses 4x workers)", c.QueueDepth)
+	}
+	if c.RateLimit < 0 {
+		return fmt.Errorf("fortd: ServiceConfig.RateLimit = %g, must be >= 0 (0 disables rate limiting)", c.RateLimit)
+	}
+	if c.RateBurst < 0 {
+		return fmt.Errorf("fortd: ServiceConfig.RateBurst = %d, must be >= 0", c.RateBurst)
+	}
+	if c.RateBurst > 0 && c.RateLimit == 0 {
+		return fmt.Errorf("fortd: ServiceConfig.RateBurst = %d without RateLimit; a burst needs a sustained rate to refill from", c.RateBurst)
+	}
+	if c.RunDeadline < 0 {
+		return fmt.Errorf("fortd: ServiceConfig.RunDeadline = %v, must be >= 0 (0 disables it)", c.RunDeadline)
+	}
+	if c.MaxPrograms < 0 {
+		return fmt.Errorf("fortd: ServiceConfig.MaxPrograms = %d, must be >= 0 (0 uses 256)", c.MaxPrograms)
+	}
+	return nil
+}
+
+// ServiceStats is a point-in-time view of a Service's counters,
+// exposed by the daemon's /stats endpoint.
+type ServiceStats struct {
+	Compiles    int64 `json:"compiles"`
+	Runs        int64 `json:"runs"`
+	Failures    int64 `json:"failures"`
+	RateLimited int64 `json:"rateLimited"`
+	Rejected    int64 `json:"rejected"` // queue-full fast failures
+	InFlight    int   `json:"inFlight"`
+	Queued      int   `json:"queued"`
+	Workers     int   `json:"workers"`
+	QueueDepth  int   `json:"queueDepth"`
+	Sessions    int   `json:"sessions"` // sessions with a live token bucket
+	Programs    int   `json:"programs"` // compiled programs held for run/report by id
+	// Cache is for Go consumers; the daemon's /stats endpoint serves
+	// it as a separate top-level object (with hitRate), so it is
+	// excluded here to keep the wire format free of duplicates.
+	Cache CacheStats `json:"-"`
+}
+
+// program is one retained compilation, addressable by content hash.
+type program struct {
+	id      string
+	src     string
+	opts    Options
+	prog    *Program
+	listing string
+	lastUse int64 // monotonic use sequence, for LRU eviction
+}
+
+// bucket is one session's token bucket.
+type bucket struct {
+	tokens float64
+	last   time.Time
+}
+
+// Service serves compilations and simulated runs for many concurrent
+// sessions from one process. Create with NewService; a Service must
+// not be copied.
+type Service struct {
+	cfg     ServiceConfig
+	cache   *SummaryCache
+	workers int
+	depth   int
+	burst   float64
+
+	slots chan struct{}
+
+	mu          sync.Mutex
+	closed      bool
+	queued      int
+	inflight    int
+	sessions    map[string]*bucket
+	programs    map[string]*program
+	useSeq      int64
+	compiles    int64
+	runs        int64
+	failures    int64
+	rateLimited int64
+	rejected    int64
+}
+
+// NewService validates cfg and builds a Service. The shared summary
+// cache is created here: memory-only, or disk-backed when cfg.CacheDir
+// is set.
+func NewService(cfg ServiceConfig) (*Service, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	cache := NewSummaryCache()
+	if cfg.CacheDir != "" {
+		var err error
+		if cache, err = NewDiskSummaryCache(cfg.CacheDir); err != nil {
+			return nil, err
+		}
+	}
+	workers := cfg.Workers
+	if workers == 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	depth := cfg.QueueDepth
+	if depth == 0 {
+		depth = 4 * workers
+	}
+	burst := float64(cfg.RateBurst)
+	if burst == 0 && cfg.RateLimit > 0 {
+		burst = 2 * float64(int(cfg.RateLimit+0.999))
+		if burst < 1 {
+			burst = 1
+		}
+	}
+	return &Service{
+		cfg: cfg, cache: cache, workers: workers, depth: depth, burst: burst,
+		slots:    make(chan struct{}, workers),
+		sessions: map[string]*bucket{},
+		programs: map[string]*program{},
+	}, nil
+}
+
+// Cache returns the service's shared summary cache.
+func (s *Service) Cache() *SummaryCache { return s.cache }
+
+// Close marks the service closed: subsequent requests fail with
+// ErrServiceClosed; requests already executing finish normally.
+func (s *Service) Close() {
+	s.mu.Lock()
+	s.closed = true
+	s.mu.Unlock()
+}
+
+// Stats returns the current counters.
+func (s *Service) Stats() ServiceStats {
+	s.mu.Lock()
+	st := ServiceStats{
+		Compiles: s.compiles, Runs: s.runs, Failures: s.failures,
+		RateLimited: s.rateLimited, Rejected: s.rejected,
+		InFlight: s.inflight, Queued: s.queued,
+		Workers: s.workers, QueueDepth: s.depth,
+		Sessions: len(s.sessions), Programs: len(s.programs),
+	}
+	s.mu.Unlock()
+	st.Cache = s.cache.Stats()
+	return st
+}
+
+// sessionIdleTimeout is how long an unused token bucket survives; the
+// map is pruned opportunistically so millions of one-shot sessions
+// cannot grow it without bound.
+const sessionIdleTimeout = 5 * time.Minute
+
+// admit performs the per-session rate-limit check at time now.
+func (s *Service) admit(session string, now time.Time) error {
+	if s.cfg.RateLimit <= 0 {
+		return nil
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	b := s.sessions[session]
+	if b == nil {
+		if len(s.sessions) >= 8192 {
+			for k, ob := range s.sessions {
+				if now.Sub(ob.last) > sessionIdleTimeout {
+					delete(s.sessions, k)
+				}
+			}
+		}
+		b = &bucket{tokens: s.burst}
+		s.sessions[session] = b
+	} else {
+		b.tokens += now.Sub(b.last).Seconds() * s.cfg.RateLimit
+		if b.tokens > s.burst {
+			b.tokens = s.burst
+		}
+	}
+	b.last = now
+	if b.tokens < 1 {
+		s.rateLimited++
+		return ErrRateLimited
+	}
+	b.tokens--
+	return nil
+}
+
+// acquire admits the request through the rate limiter, then waits for
+// a worker slot (bounded by QueueDepth). The caller must release()
+// after a nil return.
+func (s *Service) acquire(ctx context.Context, session string) error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return ErrServiceClosed
+	}
+	s.mu.Unlock()
+	if err := s.admit(session, time.Now()); err != nil {
+		return err
+	}
+	s.mu.Lock()
+	if s.queued >= s.depth {
+		s.rejected++
+		s.mu.Unlock()
+		return ErrOverloaded
+	}
+	s.queued++
+	s.mu.Unlock()
+	select {
+	case s.slots <- struct{}{}:
+		s.mu.Lock()
+		s.queued--
+		s.inflight++
+		s.mu.Unlock()
+		return nil
+	case <-ctx.Done():
+		s.mu.Lock()
+		s.queued--
+		s.mu.Unlock()
+		return ctx.Err()
+	}
+}
+
+func (s *Service) release() {
+	<-s.slots
+	s.mu.Lock()
+	s.inflight--
+	s.mu.Unlock()
+}
+
+// ProgramID is the content hash a compilation is addressable under:
+// it covers the source text and every option that influences the
+// generated code, so byte-identical listings map one-to-one onto ids.
+// (Jobs is excluded — the parallel scheduler's output is byte-identical
+// for any worker count.)
+func ProgramID(src string, opts Options) string {
+	return summarycache.Hash(
+		"src", src,
+		"p", fmt.Sprint(opts.P),
+		"strategy", fmt.Sprint(int(opts.Strategy)),
+		"remap", fmt.Sprint(int(opts.RemapOpt)),
+		"clone", fmt.Sprint(opts.CloneLimit),
+	)
+}
+
+// CompileRequest is one session's compile call.
+type CompileRequest struct {
+	// Session identifies the requesting session for rate limiting
+	// ("" is a valid shared session).
+	Session string
+	// Source is the Fortran D program text.
+	Source string
+	// Options configures the compilation. Cache, CacheDir, Trace and
+	// Explain must be unset: the service attaches its shared cache and
+	// per-request collectors itself.
+	Options Options
+	// Explain requests optimization remarks in the result.
+	Explain bool
+}
+
+// CompileResult is a compile call's outcome.
+type CompileResult struct {
+	// ID addresses this compilation in later Run and Report calls.
+	ID string
+	// Program is the compiled program (shared, immutable).
+	Program *Program
+	// Listing is the generated SPMD node program.
+	Listing string
+	// Report carries the code-generation counters.
+	Report Report
+	// CacheHits and CacheMisses list the procedures served from /
+	// stored into the shared summary cache.
+	CacheHits, CacheMisses []string
+	// Remarks holds the optimization remarks (when requested).
+	Remarks []Remark
+}
+
+// Compile compiles source text through the shared summary cache and
+// retains the program for run-by-id and report-by-id. Concurrent
+// compilations of the same content hash are allowed (both execute;
+// the summary cache deduplicates the per-procedure work).
+func (s *Service) Compile(ctx context.Context, req CompileRequest) (*CompileResult, error) {
+	if err := s.acquire(ctx, req.Session); err != nil {
+		return nil, err
+	}
+	defer s.release()
+	res, err := s.compileLocked(ctx, req)
+	if err != nil {
+		s.mu.Lock()
+		s.failures++
+		s.mu.Unlock()
+	}
+	return res, err
+}
+
+// compileLocked does the compile work inside an acquired worker slot
+// (it also serves Run requests that carry inline source, so the
+// compile counter lives here).
+func (s *Service) compileLocked(ctx context.Context, req CompileRequest) (*CompileResult, error) {
+	s.mu.Lock()
+	s.compiles++
+	s.mu.Unlock()
+	opts := req.Options
+	if opts.Cache != nil || opts.CacheDir != "" || opts.Trace != nil || opts.Explain != nil {
+		return nil, fmt.Errorf("fortd: CompileRequest.Options must not carry a cache, trace or explain; the service owns them")
+	}
+	if err := opts.Validate(); err != nil {
+		return nil, err
+	}
+	opts.Cache = s.cache
+	if opts.Deadline == 0 {
+		opts.Deadline = s.cfg.Options.Deadline
+	}
+	var ex *Explain
+	if req.Explain {
+		ex = NewExplain()
+		opts.Explain = ex
+	}
+	prog, err := CompileContext(ctx, req.Source, opts)
+	if err != nil {
+		return nil, err
+	}
+	res := &CompileResult{
+		ID:      ProgramID(req.Source, req.Options),
+		Program: prog,
+		Listing: prog.Listing(),
+		Report:  prog.Report(),
+	}
+	res.CacheHits = append(res.CacheHits, prog.CacheHits()...)
+	res.CacheMisses = append(res.CacheMisses, prog.CacheMisses()...)
+	if ex != nil {
+		res.Remarks = ex.Remarks()
+	}
+	s.retain(&program{
+		id: res.ID, src: req.Source, opts: req.Options,
+		prog: prog, listing: res.Listing,
+	})
+	return res, nil
+}
+
+// retain stores p in the program table, evicting the least recently
+// used entry past the cap.
+func (s *Service) retain(p *program) {
+	max := s.cfg.MaxPrograms
+	if max == 0 {
+		max = 256
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.useSeq++
+	p.lastUse = s.useSeq
+	s.programs[p.id] = p
+	for len(s.programs) > max {
+		var lru *program
+		for _, q := range s.programs {
+			if lru == nil || q.lastUse < lru.lastUse {
+				lru = q
+			}
+		}
+		delete(s.programs, lru.id)
+	}
+}
+
+// lookup returns the retained program for id, refreshing its LRU slot.
+func (s *Service) lookup(id string) (*program, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	p := s.programs[id]
+	if p == nil {
+		return nil, fmt.Errorf("%w: %s", ErrUnknownProgram, id)
+	}
+	s.useSeq++
+	p.lastUse = s.useSeq
+	return p, nil
+}
+
+// RunRequest is one session's run call: it executes a program compiled
+// earlier in this process (by ID) or compiles Source first.
+type RunRequest struct {
+	Session string
+	// ID names a retained compilation; empty means compile Source.
+	ID string
+	// Source and Options are used when ID is empty (see CompileRequest).
+	Source  string
+	Options Options
+	// Init seeds main-program arrays; InitScalars seeds scalars.
+	Init        map[string][]float64
+	InitScalars map[string]float64
+	// Reference requests the sequential reference execution instead of
+	// the parallel SPMD run.
+	Reference bool
+}
+
+// RunOutcome is a run call's result.
+type RunOutcome struct {
+	// ID is the executed program's id.
+	ID string
+	// Result carries the run statistics and assembled arrays.
+	Result *Result
+}
+
+// Run executes a compiled program on the simulated machine. A dropped
+// ctx aborts the simulated run through the machine's cooperative-abort
+// channel.
+func (s *Service) Run(ctx context.Context, req RunRequest) (*RunOutcome, error) {
+	if err := s.acquire(ctx, req.Session); err != nil {
+		return nil, err
+	}
+	defer s.release()
+	out, err := s.runLocked(ctx, req)
+	s.mu.Lock()
+	s.runs++
+	if err != nil {
+		s.failures++
+	}
+	s.mu.Unlock()
+	return out, err
+}
+
+func (s *Service) runLocked(ctx context.Context, req RunRequest) (*RunOutcome, error) {
+	var prog *Program
+	id := req.ID
+	if id != "" {
+		p, err := s.lookup(id)
+		if err != nil {
+			return nil, err
+		}
+		prog = p.prog
+	} else {
+		cres, err := s.compileLocked(ctx, CompileRequest{
+			Session: req.Session, Source: req.Source, Options: req.Options,
+		})
+		if err != nil {
+			return nil, err
+		}
+		prog, id = cres.Program, cres.ID
+	}
+	r := NewRunner(
+		WithInit(req.Init),
+		WithInitScalars(req.InitScalars),
+		WithDeadline(s.cfg.RunDeadline),
+	)
+	var (
+		res *Result
+		err error
+	)
+	if req.Reference {
+		res, err = r.RunReferenceContext(ctx, prog)
+	} else {
+		res, err = r.RunContext(ctx, prog)
+	}
+	if err != nil {
+		return nil, err
+	}
+	return &RunOutcome{ID: id, Result: res}, nil
+}
+
+// Lookup returns the retained source, options and listing for a
+// program id (for report rendering and listing diffs).
+func (s *Service) Lookup(id string) (src string, opts Options, listing string, err error) {
+	p, err := s.lookup(id)
+	if err != nil {
+		return "", Options{}, "", err
+	}
+	return p.src, p.opts, p.listing, nil
+}

@@ -1,0 +1,255 @@
+package fortd
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+)
+
+func newTestService(t *testing.T, cfg ServiceConfig) *Service {
+	t.Helper()
+	svc, err := NewService(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(svc.Close)
+	return svc
+}
+
+// TestServiceCompileRun drives the basic session flow: compile, run by
+// the returned id, and verify the result matches a direct library run.
+func TestServiceCompileRun(t *testing.T) {
+	svc := newTestService(t, ServiceConfig{})
+	src := Jacobi1DSrc(64, 4, 4)
+	init := map[string][]float64{"a": Ramp(64), "b": make([]float64, 64)}
+
+	res, err := svc.Compile(context.Background(), CompileRequest{Session: "s1", Source: src})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.ID == "" || res.Listing == "" {
+		t.Fatalf("empty id or listing: %+v", res)
+	}
+	if len(res.CacheMisses) == 0 {
+		t.Fatalf("cold compile reported no cache misses")
+	}
+
+	out, err := svc.Run(context.Background(), RunRequest{Session: "s1", ID: res.ID, Init: init})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	direct, err := Compile(src, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if direct.Listing() != res.Listing {
+		t.Fatalf("service listing differs from direct compile")
+	}
+	want, err := NewRunner(WithInit(init)).Run(direct)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Result.Stats.Time != want.Stats.Time ||
+		out.Result.Stats.Messages != want.Stats.Messages ||
+		out.Result.Stats.Words != want.Stats.Words {
+		t.Fatalf("service run stats %v != direct run stats %v", out.Result.Stats, want.Stats)
+	}
+	for name, vals := range want.Arrays {
+		got := out.Result.Arrays[name]
+		if len(got) != len(vals) {
+			t.Fatalf("array %s: %d elements, want %d", name, len(got), len(vals))
+		}
+		for i := range vals {
+			if got[i] != vals[i] {
+				t.Fatalf("array %s[%d] = %v, want %v", name, i, got[i], vals[i])
+			}
+		}
+	}
+
+	// run with inline source (no id) compiles warm through the shared cache
+	out2, err := svc.Run(context.Background(), RunRequest{Session: "s1", Source: src, Init: init})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out2.ID != res.ID {
+		t.Fatalf("inline-source run id %s != compile id %s", out2.ID, res.ID)
+	}
+
+	st := svc.Stats()
+	if st.Compiles < 2 || st.Runs != 2 || st.Failures != 0 {
+		t.Fatalf("stats = %+v, want >=2 compiles, 2 runs, 0 failures", st)
+	}
+	if st.Cache.Hits == 0 {
+		t.Fatalf("second compile did not hit the shared cache: %+v", st.Cache)
+	}
+}
+
+// TestServiceRunUnknownID pins the typed not-found error.
+func TestServiceRunUnknownID(t *testing.T) {
+	svc := newTestService(t, ServiceConfig{})
+	_, err := svc.Run(context.Background(), RunRequest{ID: "deadbeef"})
+	if !errors.Is(err, ErrUnknownProgram) {
+		t.Fatalf("err = %v, want ErrUnknownProgram", err)
+	}
+	_, _, _, err = svc.Lookup("deadbeef")
+	if !errors.Is(err, ErrUnknownProgram) {
+		t.Fatalf("Lookup err = %v, want ErrUnknownProgram", err)
+	}
+}
+
+// TestServiceRateLimit exhausts a session's token bucket and verifies
+// the typed error, the counter, and that other sessions are unaffected.
+func TestServiceRateLimit(t *testing.T) {
+	svc := newTestService(t, ServiceConfig{RateLimit: 0.001, RateBurst: 2})
+	src := Fig1Src(32, 4)
+	ctx := context.Background()
+	for i := 0; i < 2; i++ {
+		if _, err := svc.Compile(ctx, CompileRequest{Session: "greedy", Source: src}); err != nil {
+			t.Fatalf("request %d within burst: %v", i, err)
+		}
+	}
+	_, err := svc.Compile(ctx, CompileRequest{Session: "greedy", Source: src})
+	if !errors.Is(err, ErrRateLimited) {
+		t.Fatalf("err = %v, want ErrRateLimited", err)
+	}
+	if _, err := svc.Compile(ctx, CompileRequest{Session: "patient", Source: src}); err != nil {
+		t.Fatalf("other session was throttled too: %v", err)
+	}
+	if st := svc.Stats(); st.RateLimited != 1 || st.Sessions != 2 {
+		t.Fatalf("stats = %+v, want RateLimited=1 Sessions=2", st)
+	}
+}
+
+// TestServiceOverload saturates a 1-worker, depth-1 service and
+// verifies the queue-full fast failure.
+func TestServiceOverload(t *testing.T) {
+	svc := newTestService(t, ServiceConfig{Workers: 1, QueueDepth: 1})
+	big := SyntheticProcsSrc(80, 10, 128, 4)
+	ctx := context.Background()
+
+	errc := make(chan error, 2)
+	go func() { // occupies the only worker
+		_, err := svc.Compile(ctx, CompileRequest{Session: "a", Source: big})
+		errc <- err
+	}()
+	waitFor(t, func() bool { return svc.Stats().InFlight == 1 })
+	go func() { // fills the queue
+		_, err := svc.Compile(ctx, CompileRequest{Session: "b", Source: big})
+		errc <- err
+	}()
+	waitFor(t, func() bool { return svc.Stats().Queued == 1 })
+
+	_, err := svc.Compile(ctx, CompileRequest{Session: "c", Source: Fig1Src(32, 4)})
+	if !errors.Is(err, ErrOverloaded) {
+		t.Fatalf("err = %v, want ErrOverloaded", err)
+	}
+	if st := svc.Stats(); st.Rejected != 1 {
+		t.Fatalf("stats = %+v, want Rejected=1", st)
+	}
+	for i := 0; i < 2; i++ {
+		if err := <-errc; err != nil {
+			t.Fatalf("queued compile %d failed: %v", i, err)
+		}
+	}
+}
+
+// TestServiceQueueWaitCancel verifies that a request waiting for a
+// worker slot honours its context.
+func TestServiceQueueWaitCancel(t *testing.T) {
+	svc := newTestService(t, ServiceConfig{Workers: 1, QueueDepth: 4})
+	big := SyntheticProcsSrc(80, 10, 128, 4)
+	done := make(chan error, 1)
+	go func() {
+		_, err := svc.Compile(context.Background(), CompileRequest{Session: "a", Source: big})
+		done <- err
+	}()
+	waitFor(t, func() bool { return svc.Stats().InFlight == 1 })
+
+	ctx, cancel := context.WithCancel(context.Background())
+	waiting := make(chan error, 1)
+	go func() {
+		_, err := svc.Compile(ctx, CompileRequest{Session: "b", Source: big})
+		waiting <- err
+	}()
+	waitFor(t, func() bool { return svc.Stats().Queued == 1 })
+	cancel()
+	select {
+	case err := <-waiting:
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("queued request err = %v, want context.Canceled", err)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("cancelled queued request did not return")
+	}
+	if err := <-done; err != nil {
+		t.Fatalf("running compile failed: %v", err)
+	}
+	if st := svc.Stats(); st.Queued != 0 {
+		t.Fatalf("queued = %d after cancellation, want 0", st.Queued)
+	}
+}
+
+// TestServiceClosed pins the post-Close behaviour.
+func TestServiceClosed(t *testing.T) {
+	svc := newTestService(t, ServiceConfig{})
+	svc.Close()
+	_, err := svc.Compile(context.Background(), CompileRequest{Source: Fig1Src(32, 4)})
+	if !errors.Is(err, ErrServiceClosed) {
+		t.Fatalf("err = %v, want ErrServiceClosed", err)
+	}
+}
+
+// TestServiceProgramLRU verifies the bounded program table evicts the
+// least recently used compilation.
+func TestServiceProgramLRU(t *testing.T) {
+	svc := newTestService(t, ServiceConfig{MaxPrograms: 2})
+	ctx := context.Background()
+	ids := make([]string, 3)
+	for i, src := range []string{Fig1Src(32, 4), Fig1Src(48, 4), Fig1Src(64, 4)} {
+		res, err := svc.Compile(ctx, CompileRequest{Source: src})
+		if err != nil {
+			t.Fatal(err)
+		}
+		ids[i] = res.ID
+	}
+	if _, _, _, err := svc.Lookup(ids[0]); !errors.Is(err, ErrUnknownProgram) {
+		t.Fatalf("oldest program still retained, err = %v", err)
+	}
+	for _, id := range ids[1:] {
+		if _, _, _, err := svc.Lookup(id); err != nil {
+			t.Fatalf("recent program %s evicted: %v", id, err)
+		}
+	}
+}
+
+// TestServiceRejectsOwnedOptions verifies per-request options cannot
+// smuggle in a cache or observability sinks.
+func TestServiceRejectsOwnedOptions(t *testing.T) {
+	svc := newTestService(t, ServiceConfig{})
+	ctx := context.Background()
+	for _, opts := range []Options{
+		{Cache: NewSummaryCache()},
+		{CacheDir: t.TempDir()},
+		{Trace: NewTrace()},
+		{Explain: NewExplain()},
+	} {
+		if _, err := svc.Compile(ctx, CompileRequest{Source: Fig1Src(32, 4), Options: opts}); err == nil {
+			t.Fatalf("Compile accepted request options %+v", opts)
+		}
+	}
+}
+
+// waitFor polls cond for up to 5s; the deadline only trips when the
+// surrounding machinery has genuinely stalled.
+func waitFor(t *testing.T, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatal("condition not reached within 5s")
+		}
+		time.Sleep(200 * time.Microsecond)
+	}
+}

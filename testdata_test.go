@@ -35,7 +35,7 @@ func TestTestdataPrograms(t *testing.T) {
 				if err != nil {
 					t.Fatalf("%v: compile: %v", strategy, err)
 				}
-				res, err := prog.Run(RunOptions{})
+				res, err := NewRunner().Run(prog)
 				if filepath.Base(file) == "deadlock.f" {
 					// the shipped deadlock sample must terminate with a
 					// structured report, not hang or succeed
@@ -48,7 +48,7 @@ func TestTestdataPrograms(t *testing.T) {
 				if err != nil {
 					t.Fatalf("%v: run: %v", strategy, err)
 				}
-				ref, err := prog.RunReference(RunOptions{})
+				ref, err := NewRunner().RunReference(prog)
 				if err != nil {
 					t.Fatalf("%v: reference: %v", strategy, err)
 				}

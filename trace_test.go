@@ -8,6 +8,7 @@ import (
 	"path/filepath"
 	"strings"
 	"testing"
+	"time"
 
 	"fortd/internal/trace"
 )
@@ -217,6 +218,9 @@ func TestOptionsValidate(t *testing.T) {
 		{"unknown strategy", func(o *Options) { o.Strategy = 99 }, "Strategy"},
 		{"unknown remap level", func(o *Options) { o.RemapOpt = -1 }, "RemapOpt"},
 		{"negative clone limit", func(o *Options) { o.CloneLimit = -1 }, "CloneLimit"},
+		{"negative jobs", func(o *Options) { o.Jobs = -4 }, "Options.Jobs"},
+		{"negative deadline", func(o *Options) { o.Deadline = -time.Second }, "Options.Deadline"},
+		{"cache dir and cache", func(o *Options) { o.CacheDir = "/tmp/x"; o.Cache = NewSummaryCache() }, "mutually exclusive"},
 	}
 	for _, tc := range bad {
 		t.Run(tc.name, func(t *testing.T) {
@@ -248,7 +252,7 @@ func TestRunSPMDBadDistribute(t *testing.T) {
       enddo
       END
 `
-	_, err := RunSPMD(src, 4, RunOptions{})
+	_, err := NewRunner().RunSPMD(src, 4)
 	if err == nil || !strings.Contains(err.Error(), "DISTRIBUTE A") {
 		t.Errorf("RunSPMD = %v, want DISTRIBUTE A error", err)
 	}
@@ -260,7 +264,7 @@ func TestRunSPMDBadDistribute(t *testing.T) {
       DISTRIBUTE A(BLOCK)
       END
 `
-	_, err = RunSPMD(src2, 4, RunOptions{})
+	_, err = NewRunner().RunSPMD(src2, 4)
 	if err == nil || !strings.Contains(err.Error(), "not compile-time constants") {
 		t.Errorf("RunSPMD = %v, want non-constant bounds error", err)
 	}
