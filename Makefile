@@ -15,8 +15,8 @@ bench: ## go benchmarks + the BENCH_<yyyymmdd>.json snapshot
 	$(GO) test -run '^$$' -bench . -benchtime 10x .
 	$(GO) run ./cmd/fdbench
 
-golden: ## regenerate the trace-summary, analysis and optimization-report goldens
-	$(GO) test -run TestGolden -update .
+golden: ## regenerate the trace-summary, analysis, optimization-report and metrics goldens
+	$(GO) test -run TestGolden -update . ./internal/metrics
 
 report: ## render the dgefa HTML performance report to report.html
 	$(GO) run ./cmd/fdreport -o report.html testdata/dgefa.f
@@ -28,9 +28,10 @@ fuzz: ## fuzz the parser and the whole compile pipeline
 
 FDD_ADDR ?= localhost:8700
 FDD_CACHE ?= .fddcache
-serve: ## run the compile daemon with a disk-persisted summary cache
-	$(GO) run ./cmd/fdd -addr $(FDD_ADDR) -cache-dir $(FDD_CACHE)
+PPROF ?= 0
+serve: ## run the compile daemon with a disk-persisted summary cache (PPROF=1 mounts /debug/pprof)
+	$(GO) run ./cmd/fdd -addr $(FDD_ADDR) -cache-dir $(FDD_CACHE) $(if $(filter 1,$(PPROF)),-pprof)
 
 SESSIONS ?= 500
-load: ## drive 500 concurrent sessions against a running daemon (make serve first)
-	$(GO) run ./cmd/fdload -addr http://$(FDD_ADDR) -sessions $(SESSIONS)
+load: ## drive 500 concurrent sessions against a running daemon (make serve first), auditing /metrics consistency
+	$(GO) run ./cmd/fdload -addr http://$(FDD_ADDR) -sessions $(SESSIONS) -scrape

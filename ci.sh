@@ -78,6 +78,23 @@ print("fdd smoke ok: id", c["id"][:12])
 EOF
 go run ./cmd/fdc -report=false testdata/jacobi2d.f >/tmp/ci_fdd_fdc_listing
 diff /tmp/ci_fdd_listing /tmp/ci_fdd_fdc_listing
+
+# telemetry smoke: after the traffic above /metrics must expose
+# non-zero compile and memory-tier cache-hit counters plus the HTTP
+# layer's request counts, /readyz must be green, and a forced 429
+# (ci-greedy's bucket is empty) must carry a Retry-After header
+curl -sf "http://localhost:$FDD_PORT/metrics" >/tmp/ci_fdd_metrics
+grep -q 'fdd_compiles_total{outcome="ok"} [1-9]' /tmp/ci_fdd_metrics
+grep -q 'fdd_cache_hits_total{tier="memory"} [1-9]' /tmp/ci_fdd_metrics
+grep -q 'fdd_http_requests_total{route="/compile",method="POST",status="200"} [1-9]' /tmp/ci_fdd_metrics
+grep -q 'fdd_compile_seconds_count [1-9]' /tmp/ci_fdd_metrics
+curl -sf "http://localhost:$FDD_PORT/readyz" | grep -q '"ready":true'
+curl -s -D /tmp/ci_fdd_429hdr -o /dev/null \
+	-H 'Content-Type: application/json' -d '{"session":"ci-greedy","source":"x"}' \
+	"http://localhost:$FDD_PORT/compile"
+grep -q '429' /tmp/ci_fdd_429hdr
+grep -qi '^retry-after: [0-9]' /tmp/ci_fdd_429hdr
+
 kill $FDD_PID 2>/dev/null || true
 trap - EXIT
 rm -f "$FDD_BIN" /tmp/ci_fdd.log /tmp/ci_fdd_*

@@ -8,24 +8,35 @@
 //	POST /compile      {"session","source","options":{...},"explain"}
 //	POST /run          {"session","id"|"source","init","reference"}
 //	GET  /report/{id}  HTML performance report for a compiled program
-//	GET  /healthz      liveness
-//	GET  /stats        service + cache counters
+//	GET  /healthz      liveness (also GET /livez)
+//	GET  /readyz       readiness; 503 once the daemon is draining
+//	GET  /stats        service + cache + process counters (JSON)
+//	GET  /metrics      Prometheus text exposition of the same telemetry
+//	GET  /debug/pprof  net/http/pprof profiling (only with -pprof)
 //
 // Errors are structured JSON ({"error":{"kind","message","detail"}})
 // carrying the library's typed errors: parse errors keep their line
 // positions, deadlock and abort reports their per-processor detail,
-// and rate-limit/overload map onto 429/503.
+// and rate-limit/overload map onto 429/503 (429s carry a Retry-After
+// derived from the token-bucket refill). Every request gets a
+// generated-or-propagated X-Request-ID, echoed in the response
+// header, logged in the per-request JSON log line, and included in
+// every error's detail.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
-	"log"
+	"log/slog"
 	"net/http"
 	"os"
+	"os/signal"
+	"syscall"
 	"time"
 
 	"fortd"
+	"fortd/internal/metrics"
 )
 
 func main() {
@@ -39,9 +50,20 @@ func main() {
 		compileWall = flag.Duration("compile-deadline", 0, "per-compile wall-clock bound (0: none)")
 		runWall     = flag.Duration("run-deadline", 10*time.Second, "per-run wall-clock bound (0: none)")
 		jobs        = flag.Int("jobs", 0, "phase-3 workers per compile (0: serial)")
+		pprofOn     = flag.Bool("pprof", false, "expose net/http/pprof under /debug/pprof (opt-in; leaks process internals)")
+		drain       = flag.Duration("drain", 2*time.Second, "hold /readyz at 503 this long before shutdown on SIGINT/SIGTERM")
+		logLevel    = flag.String("log-level", "info", "structured log level: debug, info, warn or error")
 	)
 	flag.Parse()
 
+	var level slog.Level
+	if err := level.UnmarshalText([]byte(*logLevel)); err != nil {
+		fmt.Fprintln(os.Stderr, "fdd: bad -log-level:", err)
+		os.Exit(1)
+	}
+	logger := slog.New(slog.NewJSONHandler(os.Stderr, &slog.HandlerOptions{Level: level}))
+
+	reg := metrics.New()
 	base := fortd.DefaultOptions()
 	base.Jobs = *jobs
 	cfg := fortd.ServiceConfig{
@@ -52,6 +74,7 @@ func main() {
 		RateLimit:   *rate,
 		RateBurst:   *burst,
 		RunDeadline: *runWall,
+		Metrics:     reg,
 	}
 	svc, err := fortd.NewService(cfg)
 	if err != nil {
@@ -60,20 +83,40 @@ func main() {
 	}
 	defer svc.Close()
 
-	log.SetPrefix("fdd: ")
-	log.SetFlags(log.LstdFlags)
+	tel := newTelemetry(logger, reg)
 	if dir := svc.Cache().Stats().Dir; dir != "" {
-		log.Printf("summary cache persisted under %s", dir)
+		logger.Info("summary cache persisted", "dir", dir)
 	}
-	log.Printf("listening on http://%s", *addr)
 	srv := &http.Server{
 		Addr:              *addr,
-		Handler:           newServer(svc, base),
+		Handler:           newServer(svc, base, tel, *pprofOn),
 		ReadHeaderTimeout: 10 * time.Second,
 	}
-	if err := srv.ListenAndServe(); err != nil {
-		log.Fatal(err)
+	logger.Info("listening", "addr", "http://"+*addr, "pprof", *pprofOn)
+
+	errc := make(chan error, 1)
+	go func() { errc <- srv.ListenAndServe() }()
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	select {
+	case err := <-errc:
+		logger.Error("listen failed", "err", err)
+		os.Exit(1)
+	case <-ctx.Done():
 	}
+
+	// Drain: fail readiness so load balancers stop sending work, give
+	// them a beat to notice, then shut down (waiting for in-flight
+	// requests) and close the service.
+	tel.ready.Store(false)
+	logger.Info("draining", "delay", *drain)
+	time.Sleep(*drain)
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(shutdownCtx); err != nil {
+		logger.Warn("shutdown incomplete", "err", err)
+	}
+	logger.Info("stopped")
 }
 
 func withDeadline(o fortd.Options, d time.Duration) fortd.Options {

@@ -11,11 +11,16 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"math"
 	"net/http"
+	"net/http/pprof"
+	"runtime"
+	"strconv"
 	"strings"
 	"time"
 
 	"fortd"
+	"fortd/internal/metrics"
 	"fortd/internal/report"
 )
 
@@ -152,8 +157,36 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 	enc.Encode(v)
 }
 
-func writeError(w http.ResponseWriter, err error) {
-	status, body := classify(err)
+// writeError renders a library error as the structured JSON body. The
+// request id travels in every error's detail (and the X-Request-ID
+// response header, set by the middleware) so a client error report
+// pins the matching daemon log line; rate-limit errors additionally
+// carry an honest Retry-After derived from the token-bucket refill.
+func writeError(w http.ResponseWriter, r *http.Request, err error) {
+	inner := err
+	var req *fortd.RequestError
+	if errors.As(err, &req) {
+		inner = req.Err
+	}
+	status, body := classify(inner)
+	if id := fortd.RequestIDFrom(r.Context()); id != "" {
+		if body.Detail == nil {
+			body.Detail = map[string]any{}
+		}
+		body.Detail["requestId"] = id
+	}
+	var rl *fortd.RateLimitError
+	if errors.As(err, &rl) {
+		secs := int(math.Ceil(rl.RetryAfter.Seconds()))
+		if secs < 1 {
+			secs = 1
+		}
+		w.Header().Set("Retry-After", strconv.Itoa(secs))
+		if body.Detail == nil {
+			body.Detail = map[string]any{}
+		}
+		body.Detail["retryAfterSeconds"] = secs
+	}
 	writeJSON(w, status, map[string]any{"error": body})
 }
 
@@ -161,18 +194,32 @@ func writeError(w http.ResponseWriter, err error) {
 type server struct {
 	svc  *fortd.Service
 	base fortd.Options
+	tel  *telemetry
 }
 
-// newServer builds the daemon's handler tree.
-func newServer(svc *fortd.Service, base fortd.Options) http.Handler {
-	s := &server{svc: svc, base: base}
+// newServer builds the daemon's handler tree wrapped in the telemetry
+// middleware. pprofOn additionally mounts net/http/pprof under
+// /debug/pprof (off by default: the profiling surface leaks heap and
+// command-line contents, so it is strictly opt-in).
+func newServer(svc *fortd.Service, base fortd.Options, tel *telemetry, pprofOn bool) http.Handler {
+	s := &server{svc: svc, base: base, tel: tel}
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /compile", s.handleCompile)
 	mux.HandleFunc("POST /run", s.handleRun)
 	mux.HandleFunc("GET /report/{id}", s.handleReport)
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	mux.HandleFunc("GET /livez", s.handleHealthz)
+	mux.HandleFunc("GET /readyz", s.handleReadyz)
 	mux.HandleFunc("GET /stats", s.handleStats)
-	return mux
+	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	if pprofOn {
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	}
+	return tel.wrap(mux)
 }
 
 // remarkDTO flattens a fortd.Remark for the wire.
@@ -188,19 +235,19 @@ type remarkDTO struct {
 func (s *server) handleCompile(w http.ResponseWriter, r *http.Request) {
 	var req compileDTO
 	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-		writeError(w, fmt.Errorf("bad request body: %w", err))
+		writeError(w, r, fmt.Errorf("bad request body: %w", err))
 		return
 	}
 	opts, err := req.Options.apply(s.base)
 	if err != nil {
-		writeError(w, err)
+		writeError(w, r, err)
 		return
 	}
 	res, err := s.svc.Compile(r.Context(), fortd.CompileRequest{
 		Session: req.Session, Source: req.Source, Options: opts, Explain: req.Explain,
 	})
 	if err != nil {
-		writeError(w, err)
+		writeError(w, r, err)
 		return
 	}
 	body := map[string]any{
@@ -227,12 +274,12 @@ func (s *server) handleCompile(w http.ResponseWriter, r *http.Request) {
 func (s *server) handleRun(w http.ResponseWriter, r *http.Request) {
 	var req runDTO
 	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-		writeError(w, fmt.Errorf("bad request body: %w", err))
+		writeError(w, r, fmt.Errorf("bad request body: %w", err))
 		return
 	}
 	opts, err := req.Options.apply(s.base)
 	if err != nil {
-		writeError(w, err)
+		writeError(w, r, err)
 		return
 	}
 	out, err := s.svc.Run(r.Context(), fortd.RunRequest{
@@ -240,7 +287,7 @@ func (s *server) handleRun(w http.ResponseWriter, r *http.Request) {
 		Init: req.Init, InitScalars: req.InitScalars, Reference: req.Reference,
 	})
 	if err != nil {
-		writeError(w, err)
+		writeError(w, r, err)
 		return
 	}
 	st := out.Result.Stats
@@ -262,7 +309,7 @@ func (s *server) handleReport(w http.ResponseWriter, r *http.Request) {
 	id := r.PathValue("id")
 	src, opts, _, err := s.svc.Lookup(id)
 	if err != nil {
-		writeError(w, err)
+		writeError(w, r, err)
 		return
 	}
 	// the report recompiles traced; route it through the shared cache
@@ -270,7 +317,7 @@ func (s *server) handleReport(w http.ResponseWriter, r *http.Request) {
 	opts.Cache = s.svc.Cache()
 	sec, err := report.BuildSection(id[:12], src, nil, opts, nil)
 	if err != nil {
-		writeError(w, err)
+		writeError(w, r, err)
 		return
 	}
 	w.Header().Set("Content-Type", "text/html; charset=utf-8")
@@ -284,10 +331,32 @@ func (s *server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, map[string]any{"ok": true, "time": time.Now().UTC().Format(time.RFC3339)})
 }
 
+// handleReadyz is the readiness probe: it flips to 503 once the
+// daemon starts draining so load balancers stop routing new work
+// while in-flight requests finish.
+func (s *server) handleReadyz(w http.ResponseWriter, r *http.Request) {
+	if !s.tel.ready.Load() {
+		writeJSON(w, http.StatusServiceUnavailable, map[string]any{"ready": false, "reason": "draining"})
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"ready": true})
+}
+
+// handleMetrics renders the registry in the Prometheus text format.
+func (s *server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", metrics.ContentType)
+	s.tel.reg.WriteText(w)
+}
+
 func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
 	st := s.svc.Stats()
 	writeJSON(w, http.StatusOK, map[string]any{
 		"service": st,
+		"process": map[string]any{
+			"startTime":     s.tel.start.UTC().Format(time.RFC3339),
+			"uptimeSeconds": time.Since(s.tel.start).Seconds(),
+			"goroutines":    runtime.NumGoroutine(),
+		},
 		"cache": map[string]any{
 			"hits":        st.Cache.Hits,
 			"misses":      st.Cache.Misses,

@@ -3,22 +3,35 @@ package main
 import (
 	"bytes"
 	"encoding/json"
+	"io"
+	"log/slog"
 	"net/http"
 	"net/http/httptest"
 	"strings"
 	"testing"
 
 	"fortd"
+	"fortd/internal/metrics"
 )
 
 func newTestHandler(t *testing.T, cfg fortd.ServiceConfig) http.Handler {
+	h, _ := newTestServer(t, cfg, false)
+	return h
+}
+
+// newTestServer builds a full daemon handler — registry, telemetry
+// middleware, Service — around a quiet logger.
+func newTestServer(t *testing.T, cfg fortd.ServiceConfig, pprofOn bool) (http.Handler, *telemetry) {
 	t.Helper()
+	reg := metrics.New()
+	cfg.Metrics = reg
 	svc, err := fortd.NewService(cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
 	t.Cleanup(svc.Close)
-	return newServer(svc, fortd.DefaultOptions())
+	tel := newTelemetry(slog.New(slog.NewJSONHandler(io.Discard, nil)), reg)
+	return newServer(svc, fortd.DefaultOptions(), tel, pprofOn), tel
 }
 
 func do(t *testing.T, h http.Handler, method, path string, body any) (*httptest.ResponseRecorder, map[string]any) {
@@ -175,6 +188,219 @@ func TestDaemonHealthz(t *testing.T) {
 	w, out := do(t, h, "GET", "/healthz", nil)
 	if w.Code != http.StatusOK || out["ok"] != true {
 		t.Fatalf("healthz -> %d %v", w.Code, out)
+	}
+}
+
+// scrape parses the daemon's /metrics rendering.
+func scrape(t *testing.T, h http.Handler) *metrics.Snapshot {
+	t.Helper()
+	w, _ := do(t, h, "GET", "/metrics", nil)
+	if w.Code != http.StatusOK {
+		t.Fatalf("metrics status %d", w.Code)
+	}
+	if ct := w.Header().Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		t.Fatalf("metrics content type %q", ct)
+	}
+	snap, err := metrics.ParseText(w.Body)
+	if err != nil {
+		t.Fatalf("metrics did not parse: %v", err)
+	}
+	return snap
+}
+
+// TestDaemonMetricsEndpoint drives compile (twice, for a cache hit)
+// and run traffic, then checks /metrics covers the service, cache,
+// pool and HTTP layers with consistent counts.
+func TestDaemonMetricsEndpoint(t *testing.T) {
+	h, _ := newTestServer(t, fortd.ServiceConfig{}, false)
+	src := fortd.Jacobi1DSrc(64, 4, 4)
+
+	for i := 0; i < 2; i++ {
+		if w, _ := do(t, h, "POST", "/compile", map[string]any{"session": "m", "source": src}); w.Code != http.StatusOK {
+			t.Fatalf("compile %d status %d", i, w.Code)
+		}
+	}
+	if w, _ := do(t, h, "POST", "/run", map[string]any{"session": "m", "source": src, "init": map[string][]float64{"a": fortd.Ramp(64)}}); w.Code != http.StatusOK {
+		t.Fatalf("run status %d", w.Code)
+	}
+	do(t, h, "POST", "/compile", map[string]any{"session": "m", "source": "PROGRAM ("}) // a 400, for the status labels
+
+	snap := scrape(t, h)
+	for _, fam := range []string{
+		"fdd_compiles_total", "fdd_runs_total", "fdd_rejected_total",
+		"fdd_compile_seconds", "fdd_run_seconds",
+		"fdd_queue_depth", "fdd_pool_inflight", "fdd_pool_workers", "fdd_pool_saturation",
+		"fdd_cache_hits_total", "fdd_cache_misses_total", "fdd_cache_entries",
+		"fdd_http_requests_total", "fdd_http_request_seconds",
+		"fdd_process_uptime_seconds", "fdd_process_goroutines", "fdd_ready",
+	} {
+		if _, ok := snap.Families[fam]; !ok {
+			t.Errorf("family %s missing from /metrics", fam)
+		}
+	}
+	if got := snap.Value("fdd_compiles_total", "outcome", "ok"); got != 2 {
+		t.Errorf("compiles ok = %v, want 2", got)
+	}
+	if got := snap.Value("fdd_compiles_total", "outcome", "error"); got != 1 {
+		t.Errorf("compiles error = %v, want 1", got)
+	}
+	// The run carried inline source: one run request, not a compile.
+	if got := snap.Value("fdd_runs_total", "outcome", "ok"); got != 1 {
+		t.Errorf("runs ok = %v, want 1", got)
+	}
+	if hits := snap.Value("fdd_cache_hits_total"); hits == 0 {
+		t.Error("warm recompile produced no cache hits")
+	}
+	// Latency histograms count one observation per service request.
+	if c, n := snap.Value("fdd_compile_seconds_count"), snap.Value("fdd_compiles_total"); c != n {
+		t.Errorf("compile histogram count %v != compiles_total %v", c, n)
+	}
+	if c, n := snap.Value("fdd_run_seconds_count"), snap.Value("fdd_runs_total"); c != n {
+		t.Errorf("run histogram count %v != runs_total %v", c, n)
+	}
+	// HTTP layer: 3 ok + 1 parse failure on /compile.
+	if got := snap.Value("fdd_http_requests_total", "route", "/compile", "status", "200"); got != 2 {
+		t.Errorf("http /compile 200 = %v, want 2", got)
+	}
+	if got := snap.Value("fdd_http_requests_total", "route", "/compile", "status", "400"); got != 1 {
+		t.Errorf("http /compile 400 = %v, want 1", got)
+	}
+	if c, n := snap.Value("fdd_http_request_seconds_count", "route", "/compile"), snap.Value("fdd_http_requests_total", "route", "/compile"); c != n {
+		t.Errorf("http histogram count %v != requests %v", c, n)
+	}
+}
+
+// TestDaemonStatsMetricsAgree cross-checks /stats against /metrics:
+// the two views are fed by the same live state, so the stable numbers
+// must match exactly.
+func TestDaemonStatsMetricsAgree(t *testing.T) {
+	h, _ := newTestServer(t, fortd.ServiceConfig{Workers: 3}, false)
+	src := fortd.Jacobi1DSrc(64, 4, 4)
+	for i := 0; i < 2; i++ {
+		if w, _ := do(t, h, "POST", "/compile", map[string]any{"session": "x", "source": src}); w.Code != http.StatusOK {
+			t.Fatalf("compile status %d", w.Code)
+		}
+	}
+
+	w, out := do(t, h, "GET", "/stats", nil)
+	if w.Code != http.StatusOK {
+		t.Fatalf("stats status %d", w.Code)
+	}
+	snap := scrape(t, h)
+	svc := out["service"].(map[string]any)
+	cache := out["cache"].(map[string]any)
+	proc := out["process"].(map[string]any)
+	for _, tc := range []struct {
+		stats  float64
+		metric float64
+		name   string
+	}{
+		{svc["queued"].(float64), snap.Value("fdd_queue_depth"), "queue depth"},
+		{svc["queueDepth"].(float64), snap.Value("fdd_queue_limit"), "queue limit"},
+		{svc["inFlight"].(float64), snap.Value("fdd_pool_inflight"), "inflight"},
+		{svc["workers"].(float64), snap.Value("fdd_pool_workers"), "workers"},
+		{svc["sessions"].(float64), snap.Value("fdd_sessions"), "sessions"},
+		{svc["programs"].(float64), snap.Value("fdd_programs"), "programs"},
+		{cache["hits"].(float64), snap.Value("fdd_cache_hits_total"), "cache hits (memory+disk)"},
+		{cache["misses"].(float64), snap.Value("fdd_cache_misses_total"), "cache misses"},
+		{cache["entries"].(float64), snap.Value("fdd_cache_entries", "tier", "memory"), "cache entries"},
+	} {
+		if tc.stats != tc.metric {
+			t.Errorf("%s: /stats says %v, /metrics says %v", tc.name, tc.stats, tc.metric)
+		}
+	}
+	if proc["uptimeSeconds"].(float64) <= 0 || snap.Value("fdd_process_uptime_seconds") <= 0 {
+		t.Error("uptime not positive in both views")
+	}
+	if proc["goroutines"].(float64) <= 0 || snap.Value("fdd_process_goroutines") <= 0 {
+		t.Error("goroutine count not positive in both views")
+	}
+}
+
+// TestDaemonRetryAfterAndRequestID pins the 429 contract: an honest
+// Retry-After from the token-bucket refill, and the request id in the
+// response header and the structured error detail (propagated when
+// the client sent one, generated otherwise).
+func TestDaemonRetryAfterAndRequestID(t *testing.T) {
+	h, _ := newTestServer(t, fortd.ServiceConfig{RateLimit: 0.5, RateBurst: 1}, false)
+	src := fortd.Fig1Src(32, 4)
+
+	if w, _ := do(t, h, "POST", "/compile", map[string]any{"session": "g", "source": src}); w.Code != http.StatusOK {
+		t.Fatalf("first request status %d", w.Code)
+	}
+	req := httptest.NewRequest("POST", "/compile", strings.NewReader(`{"session":"g","source":"x"}`))
+	req.Header.Set("X-Request-ID", "trace-me-1234")
+	w := httptest.NewRecorder()
+	h.ServeHTTP(w, req)
+	if w.Code != http.StatusTooManyRequests {
+		t.Fatalf("second request status %d, want 429", w.Code)
+	}
+	ra := w.Header().Get("Retry-After")
+	if ra == "" {
+		t.Fatal("429 missing Retry-After")
+	}
+	// 0.5 req/s means a fresh token takes ~2s: Retry-After in [1, 3].
+	if ra != "1" && ra != "2" && ra != "3" {
+		t.Errorf("Retry-After = %q, want ~2s for a 0.5 req/s bucket", ra)
+	}
+	if got := w.Header().Get("X-Request-ID"); got != "trace-me-1234" {
+		t.Errorf("X-Request-ID = %q, not propagated", got)
+	}
+	var out map[string]any
+	if err := json.Unmarshal(w.Body.Bytes(), &out); err != nil {
+		t.Fatal(err)
+	}
+	detail := out["error"].(map[string]any)["detail"].(map[string]any)
+	if detail["requestId"] != "trace-me-1234" {
+		t.Errorf("error detail requestId = %v", detail["requestId"])
+	}
+	if detail["retryAfterSeconds"].(float64) <= 0 {
+		t.Errorf("error detail retryAfterSeconds = %v", detail["retryAfterSeconds"])
+	}
+
+	// Without a client-supplied id the daemon generates one, and every
+	// error detail carries it.
+	w2, out2 := do(t, h, "POST", "/run", map[string]any{"id": "no-such-id"})
+	if id := w2.Header().Get("X-Request-ID"); len(id) != 16 {
+		t.Errorf("generated X-Request-ID = %q, want 16 hex chars", id)
+	}
+	detail2 := out2["error"].(map[string]any)["detail"].(map[string]any)
+	if detail2["requestId"] != w2.Header().Get("X-Request-ID") {
+		t.Errorf("error detail requestId %v != header %q", detail2["requestId"], w2.Header().Get("X-Request-ID"))
+	}
+}
+
+// TestDaemonReadyzDrain pins the probe split: /livez stays 200 while
+// /readyz flips to 503 once draining begins (and fdd_ready tracks it).
+func TestDaemonReadyzDrain(t *testing.T) {
+	h, tel := newTestServer(t, fortd.ServiceConfig{}, false)
+	if w, out := do(t, h, "GET", "/readyz", nil); w.Code != http.StatusOK || out["ready"] != true {
+		t.Fatalf("readyz -> %d %v", w.Code, out)
+	}
+	if snap := scrape(t, h); snap.Value("fdd_ready") != 1 {
+		t.Error("fdd_ready != 1 while serving")
+	}
+	tel.ready.Store(false)
+	if w, out := do(t, h, "GET", "/readyz", nil); w.Code != http.StatusServiceUnavailable || out["ready"] != false {
+		t.Fatalf("draining readyz -> %d %v", w.Code, out)
+	}
+	if w, _ := do(t, h, "GET", "/livez", nil); w.Code != http.StatusOK {
+		t.Fatalf("livez during drain -> %d, want 200", w.Code)
+	}
+	if snap := scrape(t, h); snap.Value("fdd_ready") != 0 {
+		t.Error("fdd_ready != 0 while draining")
+	}
+}
+
+// TestDaemonPprofGate pins that the profiling surface is opt-in.
+func TestDaemonPprofGate(t *testing.T) {
+	off, _ := newTestServer(t, fortd.ServiceConfig{}, false)
+	if w, _ := do(t, off, "GET", "/debug/pprof/", nil); w.Code != http.StatusNotFound {
+		t.Errorf("pprof without -pprof -> %d, want 404", w.Code)
+	}
+	on, _ := newTestServer(t, fortd.ServiceConfig{}, true)
+	if w, _ := do(t, on, "GET", "/debug/pprof/", nil); w.Code != http.StatusOK {
+		t.Errorf("pprof with -pprof -> %d, want 200", w.Code)
 	}
 }
 

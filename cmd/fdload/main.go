@@ -213,6 +213,9 @@ func (cl *client) post(path string, req, resp any) (throttled bool, err error) {
 			return false, err
 		}
 		if hr.StatusCode == http.StatusTooManyRequests || hr.StatusCode == http.StatusServiceUnavailable {
+			if hr.StatusCode == http.StatusTooManyRequests && hr.Header.Get("Retry-After") == "" {
+				cl.chk.violate("429 response missing its Retry-After header")
+			}
 			cl.mu.Lock()
 			cl.throttled++
 			cl.mu.Unlock()
@@ -317,11 +320,13 @@ func (cl *client) session(id int, iters int, lat map[string]*latencies) {
 
 func main() {
 	var (
-		addr     = flag.String("addr", "http://localhost:8700", "fdd base URL")
-		sessions = flag.Int("sessions", 500, "concurrent sessions")
-		iters    = flag.Int("iters", 4, "requests per session")
-		timeout  = flag.Duration("timeout", 60*time.Second, "per-request timeout")
-		retries  = flag.Int("retries", 40, "max retries per request on 429/503")
+		addr      = flag.String("addr", "http://localhost:8700", "fdd base URL")
+		sessions  = flag.Int("sessions", 500, "concurrent sessions")
+		iters     = flag.Int("iters", 4, "requests per session")
+		timeout   = flag.Duration("timeout", 60*time.Second, "per-request timeout")
+		retries   = flag.Int("retries", 40, "max retries per request on 429/503")
+		doScrape  = flag.Bool("scrape", false, "poll /metrics during the run and assert counter/histogram consistency")
+		scrapeInt = flag.Duration("scrape-interval", 250*time.Millisecond, "poll period for -scrape")
 	)
 	flag.Parse()
 
@@ -343,6 +348,11 @@ func main() {
 	}
 	cl.chk.listing(prime.ID, prime.Listing)
 	cl.ok, cl.failures, cl.throttled, cl.dropped = 0, 0, 0, 0
+
+	var sc *scraper
+	if *doScrape {
+		sc = startScraper(*addr, cl.hc, *scrapeInt)
+	}
 
 	start := time.Now()
 	var wg sync.WaitGroup
@@ -372,6 +382,18 @@ func main() {
 		len(cl.chk.listings), len(cl.chk.violations) == 0)
 
 	bad := false
+	if sc != nil {
+		scErrs, polls := sc.finish()
+		fmt.Printf("  scrape: %d polls of /metrics, consistency %s\n",
+			polls, map[bool]string{true: "ok", false: "VIOLATED"}[len(scErrs) == 0])
+		if len(scErrs) > 0 {
+			bad = true
+			fmt.Fprintln(os.Stderr, "fdload: metrics consistency violations:")
+			for _, v := range scErrs {
+				fmt.Fprintln(os.Stderr, "  -", v)
+			}
+		}
+	}
 	if len(cl.chk.violations) > 0 {
 		bad = true
 		fmt.Fprintln(os.Stderr, "fdload: invariant violations:")

@@ -1,0 +1,198 @@
+package main
+
+// -scrape mode: while the load run is in flight, poll the daemon's
+// /metrics endpoint like a monitoring agent would, and afterwards
+// assert the telemetry's internal consistency — the accounting
+// identities that must hold if no request slipped through the
+// instrumentation:
+//
+//   - every admitted service request lands in exactly one outcome
+//     counter, so requests == ok + each error kind:
+//       sum(fdd_http_requests_total{/compile,/run})
+//         == sum(fdd_compiles_total) + sum(fdd_runs_total)
+//            + sum(fdd_rejected_total)
+//   - every outcome observation also lands in the latency histogram:
+//       fdd_compile_seconds_count == sum(fdd_compiles_total)   (runs alike)
+//   - per route, the HTTP histogram and the request counter agree;
+//   - every HTTP 429 is a rate-limit rejection and every 503 an
+//     overload/closed rejection — the cross-layer status mapping.
+//
+// The end-of-run check retries briefly: a scrape can land between a
+// finished response and its middleware bookkeeping, so the counters
+// are only required to converge, not to be consistent mid-flight.
+
+import (
+	"fmt"
+	"net/http"
+	"sync"
+	"time"
+
+	"fortd/internal/metrics"
+)
+
+// requiredFamilies is the minimum metric surface the daemon must
+// expose across the service, cache, pool and HTTP layers.
+var requiredFamilies = []string{
+	"fdd_compiles_total", "fdd_runs_total", "fdd_rejected_total",
+	"fdd_compile_seconds", "fdd_run_seconds",
+	"fdd_cache_hits_total", "fdd_cache_misses_total",
+	"fdd_queue_depth", "fdd_pool_inflight", "fdd_pool_saturation",
+	"fdd_http_requests_total", "fdd_http_request_seconds",
+}
+
+// scraper polls /metrics for the duration of the run.
+type scraper struct {
+	url      string
+	hc       *http.Client
+	interval time.Duration
+
+	mu    sync.Mutex
+	polls int
+	errs  []string
+
+	stop chan struct{}
+	done chan struct{}
+}
+
+func startScraper(base string, hc *http.Client, interval time.Duration) *scraper {
+	s := &scraper{
+		url: base + "/metrics", hc: hc, interval: interval,
+		stop: make(chan struct{}), done: make(chan struct{}),
+	}
+	go s.loop()
+	return s
+}
+
+func (s *scraper) loop() {
+	defer close(s.done)
+	tick := time.NewTicker(s.interval)
+	defer tick.Stop()
+	for {
+		select {
+		case <-s.stop:
+			return
+		case <-tick.C:
+			snap, err := s.poll()
+			s.mu.Lock()
+			s.polls++
+			if err != nil {
+				s.record("mid-run scrape failed: %v", err)
+			} else {
+				// Mid-flight, counters may be transiently skewed, but the
+				// metric surface itself must be complete and parseable.
+				for _, fam := range requiredFamilies {
+					if _, ok := snap.Families[fam]; !ok {
+						s.record("mid-run scrape missing family %s", fam)
+					}
+				}
+			}
+			s.mu.Unlock()
+		}
+	}
+}
+
+// record appends a violation (caller holds s.mu), capped.
+func (s *scraper) record(format string, args ...any) {
+	if len(s.errs) < 20 {
+		s.errs = append(s.errs, fmt.Sprintf(format, args...))
+	}
+}
+
+func (s *scraper) poll() (*metrics.Snapshot, error) {
+	resp, err := s.hc.Get(s.url)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("status %d", resp.StatusCode)
+	}
+	return metrics.ParseText(resp.Body)
+}
+
+// finish stops the polling loop and runs the consistency check,
+// retrying for up to 5s to let in-flight bookkeeping land. It returns
+// every violation (nil on success) plus the poll count.
+func (s *scraper) finish() (violations []string, polls int) {
+	close(s.stop)
+	<-s.done
+	deadline := time.Now().Add(5 * time.Second)
+	var errs []string
+	for {
+		snap, err := s.poll()
+		if err != nil {
+			errs = []string{fmt.Sprintf("final scrape failed: %v", err)}
+		} else {
+			errs = checkConsistency(snap)
+		}
+		if len(errs) == 0 {
+			break
+		}
+		if time.Now().After(deadline) {
+			break
+		}
+		time.Sleep(200 * time.Millisecond)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.polls++
+	return append(append([]string(nil), s.errs...), errs...), s.polls
+}
+
+// checkConsistency asserts the accounting identities on one scrape.
+func checkConsistency(snap *metrics.Snapshot) []string {
+	var errs []string
+	bad := func(format string, args ...any) { errs = append(errs, fmt.Sprintf(format, args...)) }
+
+	for _, fam := range requiredFamilies {
+		if _, ok := snap.Families[fam]; !ok {
+			bad("family %s missing from /metrics", fam)
+		}
+	}
+	compiles := snap.Value("fdd_compiles_total")
+	runs := snap.Value("fdd_runs_total")
+	rejected := snap.Value("fdd_rejected_total")
+	if ok := snap.Value("fdd_compiles_total", "outcome", "ok"); ok == 0 {
+		bad("fdd_compiles_total{outcome=ok} = 0 after a load run")
+	}
+
+	// Outcome counters and latency histograms move in lockstep.
+	if c := snap.Value("fdd_compile_seconds_count"); c != compiles {
+		bad("fdd_compile_seconds_count %v != sum fdd_compiles_total %v", c, compiles)
+	}
+	if c := snap.Value("fdd_run_seconds_count"); c != runs {
+		bad("fdd_run_seconds_count %v != sum fdd_runs_total %v", c, runs)
+	}
+
+	// Per route, the HTTP request counter and histogram agree.
+	for _, route := range []string{"/compile", "/run", "/metrics"} {
+		n := snap.Value("fdd_http_requests_total", "route", route)
+		c := snap.Value("fdd_http_request_seconds_count", "route", route)
+		if n != c {
+			bad("route %s: fdd_http_requests_total %v != fdd_http_request_seconds_count %v", route, n, c)
+		}
+	}
+
+	// Every service request is exactly one outcome or one rejection:
+	// requests == ok + each error kind, with nothing double- or
+	// un-counted.
+	svcRequests := snap.Value("fdd_http_requests_total", "route", "/compile") +
+		snap.Value("fdd_http_requests_total", "route", "/run")
+	if accounted := compiles + runs + rejected; svcRequests != accounted {
+		bad("service requests %v != outcomes+rejections %v (compiles %v + runs %v + rejected %v)",
+			svcRequests, accounted, compiles, runs, rejected)
+	}
+
+	// Cross-layer status mapping: 429 <=> rate-limit, 503 <=> overload
+	// or closed.
+	if got, want := snap.Value("fdd_http_requests_total", "status", "429"),
+		snap.Value("fdd_rejected_total", "reason", "rate-limit"); got != want {
+		bad("HTTP 429s %v != rate-limit rejections %v", got, want)
+	}
+	if got, want := snap.Value("fdd_http_requests_total", "status", "503"),
+		snap.Value("fdd_rejected_total", "reason", "overload")+
+			snap.Value("fdd_rejected_total", "reason", "closed"); got != want {
+		bad("HTTP 503s %v != overload+closed rejections %v", got, want)
+	}
+	return errs
+}

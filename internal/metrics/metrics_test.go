@@ -1,0 +1,288 @@
+package metrics
+
+import (
+	"bytes"
+	"flag"
+	"math"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files")
+
+// buildFixture populates a registry with one instance of every
+// instrument shape the renderer supports, including label values that
+// need escaping.
+func buildFixture() *Registry {
+	r := New()
+	r.Counter("zz_last_total", "Sorted last by family name.").Add(3)
+	c := r.CounterVec("fixture_requests_total", "Requests by route and status.", "route", "status")
+	c.With("/compile", "200").Add(7)
+	c.With("/compile", "429").Inc()
+	c.With("/run", "200").Add(2)
+	r.Gauge("fixture_queue_depth", "Requests waiting for a worker.").Set(4)
+	r.GaugeFunc("fixture_saturation", "Busy workers over pool size.", func() float64 { return 0.25 })
+	r.CounterFunc("fixture_cache_hits_total", "Cache hits by tier.", func() float64 { return 11 }, "tier", "memory")
+	r.CounterFunc("fixture_cache_hits_total", "Cache hits by tier.", func() float64 { return 5 }, "tier", "disk")
+	esc := r.CounterVec("fixture_escapes_total", `Help with a \ backslash`+"\nand a newline.", "path")
+	esc.With(`C:\tmp` + "\n" + `"quoted"`).Inc()
+	h := r.Histogram("fixture_latency_seconds", "Latency.", []float64{0.01, 0.1, 1})
+	for _, v := range []float64{0.005, 0.01, 0.02, 0.5, 2} {
+		h.Observe(v)
+	}
+	return r
+}
+
+// TestGoldenText pins the full exposition rendering: family sorting,
+// series sorting, escaping, and the cumulative histogram lines.
+func TestGoldenText(t *testing.T) {
+	var buf bytes.Buffer
+	if err := buildFixture().WriteText(&buf); err != nil {
+		t.Fatal(err)
+	}
+	golden := filepath.Join("testdata", "render.golden")
+	if *update {
+		if err := os.WriteFile(golden, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Errorf("rendering drifted from %s (-want +got):\n--- want\n%s\n--- got\n%s", golden, want, buf.Bytes())
+	}
+	// A second render of the unchanged registry must be byte-identical.
+	var again bytes.Buffer
+	reg := buildFixture()
+	if err := reg.WriteText(&again); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf.Bytes(), again.Bytes()) {
+		t.Error("two renders of identical registries differ")
+	}
+}
+
+// TestParseRoundTrip feeds the golden rendering back through the
+// parser and checks values, label unescaping and family types.
+func TestParseRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	if err := buildFixture().WriteText(&buf); err != nil {
+		t.Fatal(err)
+	}
+	snap, err := ParseText(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := snap.Value("fixture_requests_total", "route", "/compile", "status", "200"); got != 7 {
+		t.Errorf("requests{/compile,200} = %v, want 7", got)
+	}
+	if got := snap.Value("fixture_requests_total"); got != 10 {
+		t.Errorf("sum requests = %v, want 10", got)
+	}
+	if got := snap.Value("fixture_cache_hits_total", "tier", "disk"); got != 5 {
+		t.Errorf("disk hits = %v, want 5", got)
+	}
+	if got := snap.Value("fixture_escapes_total", "path", `C:\tmp`+"\n"+`"quoted"`); got != 1 {
+		t.Errorf("escaped label did not round-trip: %+v", snap.Samples)
+	}
+	if got := snap.Value("fixture_latency_seconds_count"); got != 5 {
+		t.Errorf("histogram count = %v, want 5", got)
+	}
+	if got := snap.Value("fixture_latency_seconds_bucket", "le", "+Inf"); got != 5 {
+		t.Errorf("+Inf bucket = %v, want 5", got)
+	}
+	if typ := snap.Families["fixture_latency_seconds"]; typ != "histogram" {
+		t.Errorf("family type = %q, want histogram", typ)
+	}
+	if len(snap.Families) != 7 {
+		t.Errorf("family count = %d, want 7: %v", len(snap.Families), snap.Families)
+	}
+}
+
+// TestHistogramBuckets pins the bucket-boundary semantics: le is
+// inclusive, values past the last bound land only in +Inf, and the
+// rendered buckets are cumulative.
+func TestHistogramBuckets(t *testing.T) {
+	r := New()
+	h := r.Histogram("h_seconds", "", []float64{0.01, 0.1, 1})
+	h.Observe(0.01) // exactly on a boundary: le="0.01" bucket
+	h.Observe(0.1)  // exactly on a boundary: le="0.1" bucket
+	h.Observe(1)    // exactly on the last bound: le="1", not +Inf
+	h.Observe(5)    // above every bound: +Inf only
+	h.Observe(0)    // below every bound: first bucket
+
+	if got, want := h.Count(), uint64(5); got != want {
+		t.Fatalf("Count = %d, want %d", got, want)
+	}
+	if got, want := h.Sum(), 0.01+0.1+1+5+0; math.Abs(got-want) > 1e-12 {
+		t.Fatalf("Sum = %v, want %v", got, want)
+	}
+	var buf bytes.Buffer
+	if err := r.WriteText(&buf); err != nil {
+		t.Fatal(err)
+	}
+	snap, err := ParseText(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, tc := range []struct {
+		le   string
+		want float64
+	}{
+		{"0.01", 2}, // 0 and 0.01
+		{"0.1", 3},  // + 0.1
+		{"1", 4},    // + 1 (boundary value stays out of +Inf)
+		{"+Inf", 5}, // + 5
+	} {
+		if got := snap.Value("h_seconds_bucket", "le", tc.le); got != tc.want {
+			t.Errorf("bucket le=%s = %v, want %v\n%s", tc.le, got, tc.want, buf.String())
+		}
+	}
+}
+
+// TestNilRegistry exercises the whole disabled surface: a nil
+// registry hands out nil instruments and rendering is a no-op.
+func TestNilRegistry(t *testing.T) {
+	var r *Registry
+	c := r.Counter("c", "")
+	c.Inc()
+	c.Add(5)
+	if c.Value() != 0 {
+		t.Error("nil counter accumulated")
+	}
+	r.CounterVec("cv", "", "l").With("x").Inc()
+	g := r.Gauge("g", "")
+	g.Set(3)
+	g.Add(1)
+	if g.Value() != 0 {
+		t.Error("nil gauge accumulated")
+	}
+	h := r.Histogram("h", "", nil)
+	h.Observe(1)
+	if h.Count() != 0 || h.Sum() != 0 {
+		t.Error("nil histogram accumulated")
+	}
+	r.GaugeFunc("gf", "", func() float64 { t.Error("fn called on nil registry"); return 0 })
+	var buf bytes.Buffer
+	if err := r.WriteText(&buf); err != nil || buf.Len() != 0 {
+		t.Errorf("nil registry rendered %q, err %v", buf.String(), err)
+	}
+}
+
+// TestRegistryConcurrent hammers one registry from 8 goroutines —
+// creating series, updating every instrument kind and rendering
+// concurrently — and then checks the totals. Run under -race in CI.
+func TestRegistryConcurrent(t *testing.T) {
+	r := New()
+	cv := r.CounterVec("c_total", "", "worker")
+	gv := r.GaugeVec("g", "", "worker")
+	hv := r.HistogramVec("h_seconds", "", []float64{0.5}, "worker")
+	shared := r.Counter("shared_total", "")
+	r.GaugeFunc("sampled", "", func() float64 { return float64(shared.Value()) })
+
+	const goroutines, iters = 8, 2000
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			worker := string(rune('a' + g))
+			for i := 0; i < iters; i++ {
+				cv.With(worker).Inc()
+				gv.With(worker).Add(1)
+				hv.With(worker).Observe(float64(i%2) * 0.75)
+				shared.Inc()
+				if i%500 == 0 {
+					if err := r.WriteText(&bytes.Buffer{}); err != nil {
+						t.Error(err)
+					}
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+
+	if got, want := shared.Value(), uint64(goroutines*iters); got != want {
+		t.Errorf("shared counter = %d, want %d", got, want)
+	}
+	var buf bytes.Buffer
+	if err := r.WriteText(&buf); err != nil {
+		t.Fatal(err)
+	}
+	snap, err := ParseText(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := snap.Value("c_total"); got != goroutines*iters {
+		t.Errorf("sum c_total = %v, want %d", got, goroutines*iters)
+	}
+	if got := snap.Value("g"); got != goroutines*iters {
+		t.Errorf("sum g = %v, want %d", got, goroutines*iters)
+	}
+	if got := snap.Value("h_seconds_count"); got != goroutines*iters {
+		t.Errorf("sum h count = %v, want %d", got, goroutines*iters)
+	}
+}
+
+// TestRedefinitionPanics pins that schema drift is a loud programmer
+// error, not silent data corruption.
+func TestRedefinitionPanics(t *testing.T) {
+	r := New()
+	r.Counter("x_total", "")
+	for _, redef := range []func(){
+		func() { r.Gauge("x_total", "") },
+		func() { r.CounterVec("x_total", "", "label") },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("redefinition did not panic")
+				}
+			}()
+			redef()
+		}()
+	}
+}
+
+// BenchmarkMetricsDisabled pins the nil-instrument fast path: with no
+// registry configured the full instrumentation sequence of a request
+// (three counters, a gauge and a histogram observation) must cost
+// nothing but nil checks — the metrics analogue of the nil-sink trace
+// contract.
+func BenchmarkMetricsDisabled(b *testing.B) {
+	var r *Registry
+	c := r.CounterVec("c_total", "", "outcome").With("ok")
+	g := r.Gauge("g", "")
+	h := r.Histogram("h_seconds", "", nil)
+	shared := r.Counter("s_total", "")
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		c.Inc()
+		shared.Inc()
+		shared.Add(2)
+		g.Set(float64(i))
+		h.Observe(float64(i) * 1e-6)
+	}
+}
+
+// BenchmarkMetricsEnabled is the live-registry counterpart, for
+// comparing the cost of real atomic updates against the disabled path.
+func BenchmarkMetricsEnabled(b *testing.B) {
+	r := New()
+	c := r.CounterVec("c_total", "", "outcome").With("ok")
+	g := r.Gauge("g", "")
+	h := r.Histogram("h_seconds", "", nil)
+	shared := r.Counter("s_total", "")
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		c.Inc()
+		shared.Inc()
+		shared.Add(2)
+		g.Set(float64(i))
+		h.Observe(float64(i) * 1e-6)
+	}
+}

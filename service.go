@@ -15,6 +15,7 @@ import (
 	"sync"
 	"time"
 
+	"fortd/internal/metrics"
 	"fortd/internal/summarycache"
 )
 
@@ -33,6 +34,69 @@ var (
 	// program id the service has not compiled (or has since evicted).
 	ErrUnknownProgram = errors.New("fortd: unknown program id")
 )
+
+// RateLimitError is the concrete error behind ErrRateLimited
+// (errors.Is(err, ErrRateLimited) matches it): it carries how long
+// the session's token bucket needs to refill one token, so transports
+// can emit an honest Retry-After.
+type RateLimitError struct {
+	// Session is the throttled session id.
+	Session string
+	// RetryAfter is the refill time until the bucket holds one token.
+	RetryAfter time.Duration
+}
+
+func (e *RateLimitError) Error() string {
+	return fmt.Sprintf("fortd: session %q rate limit exceeded, retry in %v", e.Session, e.RetryAfter.Round(time.Millisecond))
+}
+
+// Is reports ErrRateLimited as this error's sentinel.
+func (e *RateLimitError) Is(target error) bool { return target == ErrRateLimited }
+
+// RequestError annotates a Service failure with the request id the
+// calling transport stored in the context via WithRequestID, so one
+// id ties a client's error report to the daemon's logs and traces.
+type RequestError struct {
+	// ID is the request id the failure occurred under.
+	ID string
+	// Err is the underlying failure; errors.Is/As see through it.
+	Err error
+}
+
+func (e *RequestError) Error() string { return "request " + e.ID + ": " + e.Err.Error() }
+
+// Unwrap exposes the underlying failure to errors.Is and errors.As.
+func (e *RequestError) Unwrap() error { return e.Err }
+
+// requestIDKey keys the request id in a context.
+type requestIDKey struct{}
+
+// WithRequestID returns a context carrying a request id. Service
+// methods wrap their failures in a *RequestError naming it.
+func WithRequestID(ctx context.Context, id string) context.Context {
+	if id == "" {
+		return ctx
+	}
+	return context.WithValue(ctx, requestIDKey{}, id)
+}
+
+// RequestIDFrom returns the request id stored by WithRequestID ("" if
+// none).
+func RequestIDFrom(ctx context.Context) string {
+	id, _ := ctx.Value(requestIDKey{}).(string)
+	return id
+}
+
+// tagRequest wraps err with the context's request id, if any.
+func tagRequest(ctx context.Context, err error) error {
+	if err == nil {
+		return nil
+	}
+	if id := RequestIDFrom(ctx); id != "" {
+		return &RequestError{ID: id, Err: err}
+	}
+	return err
+}
 
 // ServiceConfig configures a Service.
 type ServiceConfig struct {
@@ -68,6 +132,13 @@ type ServiceConfig struct {
 	// and /report/{id}; the least recently used entry is evicted (0:
 	// 256).
 	MaxPrograms int
+	// Metrics, when non-nil, receives the service's live telemetry:
+	// compile/run outcomes and latency histograms, rate-limit and
+	// overload rejections, worker-pool queue depth and saturation, and
+	// summary-cache hit/miss counters split by memory vs disk tier. A
+	// nil registry disables recording at the cost of a nil check
+	// (pinned by BenchmarkMetricsDisabled in internal/metrics).
+	Metrics *metrics.Registry
 }
 
 // Validate reports the first invalid field or combination.
@@ -141,6 +212,76 @@ type bucket struct {
 	last   time.Time
 }
 
+// serviceMetrics holds the service's instruments. With no registry
+// configured every field is nil and each record site is a no-op.
+type serviceMetrics struct {
+	compiles   *metrics.CounterVec // outcome: ok | canceled | deadline | error
+	runs       *metrics.CounterVec // outcome
+	rejected   *metrics.CounterVec // reason: rate-limit | overload | closed
+	compileSec *metrics.Histogram
+	runSec     *metrics.Histogram
+}
+
+// outcomeLabel maps a request error onto its counter label.
+func outcomeLabel(err error) string {
+	switch {
+	case err == nil:
+		return "ok"
+	case errors.Is(err, context.Canceled):
+		return "canceled"
+	case errors.Is(err, context.DeadlineExceeded):
+		return "deadline"
+	default:
+		return "error"
+	}
+}
+
+// register creates the service's metric families on reg and wires the
+// sampled gauges (pool, sessions, programs) and cache-tier counters
+// to s; sampled series read live state at scrape time, so /metrics
+// and Stats() can never drift apart.
+func (m *serviceMetrics) register(reg *metrics.Registry, s *Service) {
+	if reg == nil {
+		return
+	}
+	m.compiles = reg.CounterVec("fdd_compiles_total", "Compile requests by outcome.", "outcome")
+	m.runs = reg.CounterVec("fdd_runs_total", "Run requests by outcome.", "outcome")
+	m.rejected = reg.CounterVec("fdd_rejected_total", "Requests rejected before acquiring a worker, by reason.", "reason")
+	m.compileSec = reg.Histogram("fdd_compile_seconds", "Compile latency including queue wait.", nil)
+	m.runSec = reg.Histogram("fdd_run_seconds", "Run latency including queue wait.", nil)
+	locked := func(f func() float64) func() float64 {
+		return func() float64 {
+			s.mu.Lock()
+			defer s.mu.Unlock()
+			return f()
+		}
+	}
+	reg.GaugeFunc("fdd_queue_depth", "Requests waiting for a worker slot.",
+		locked(func() float64 { return float64(s.queued) }))
+	reg.GaugeFunc("fdd_queue_limit", "Maximum requests allowed to wait (QueueDepth).",
+		func() float64 { return float64(s.depth) })
+	reg.GaugeFunc("fdd_pool_inflight", "Requests currently executing.",
+		locked(func() float64 { return float64(s.inflight) }))
+	reg.GaugeFunc("fdd_pool_workers", "Worker-pool size.",
+		func() float64 { return float64(s.workers) })
+	reg.GaugeFunc("fdd_pool_saturation", "Executing requests over pool size (1 = every worker busy).",
+		locked(func() float64 { return float64(s.inflight) / float64(s.workers) }))
+	reg.GaugeFunc("fdd_sessions", "Sessions holding a live token bucket.",
+		locked(func() float64 { return float64(len(s.sessions)) }))
+	reg.GaugeFunc("fdd_programs", "Compiled programs retained for run/report by id.",
+		locked(func() float64 { return float64(len(s.programs)) }))
+	reg.CounterFunc("fdd_cache_hits_total", "Summary-cache hits by tier (memory: in-process table, disk: entry file load).",
+		func() float64 { st := s.cache.Stats(); return float64(st.Hits - st.DiskHits) }, "tier", "memory")
+	reg.CounterFunc("fdd_cache_hits_total", "Summary-cache hits by tier (memory: in-process table, disk: entry file load).",
+		func() float64 { return float64(s.cache.Stats().DiskHits) }, "tier", "disk")
+	reg.CounterFunc("fdd_cache_misses_total", "Summary-cache misses (procedure analyzed from scratch).",
+		func() float64 { return float64(s.cache.Stats().Misses) })
+	reg.GaugeFunc("fdd_cache_entries", "Summary-cache entries by tier.",
+		func() float64 { return float64(s.cache.Stats().Entries) }, "tier", "memory")
+	reg.GaugeFunc("fdd_cache_entries", "Summary-cache entries by tier.",
+		func() float64 { return float64(s.cache.Stats().DiskEntries) }, "tier", "disk")
+}
+
 // Service serves compilations and simulated runs for many concurrent
 // sessions from one process. Create with NewService; a Service must
 // not be copied.
@@ -150,6 +291,7 @@ type Service struct {
 	workers int
 	depth   int
 	burst   float64
+	met     serviceMetrics
 
 	slots chan struct{}
 
@@ -196,12 +338,14 @@ func NewService(cfg ServiceConfig) (*Service, error) {
 			burst = 1
 		}
 	}
-	return &Service{
+	s := &Service{
 		cfg: cfg, cache: cache, workers: workers, depth: depth, burst: burst,
 		slots:    make(chan struct{}, workers),
 		sessions: map[string]*bucket{},
 		programs: map[string]*program{},
-	}, nil
+	}
+	s.met.register(cfg.Metrics, s)
+	return s, nil
 }
 
 // Cache returns the service's shared summary cache.
@@ -262,7 +406,11 @@ func (s *Service) admit(session string, now time.Time) error {
 	b.last = now
 	if b.tokens < 1 {
 		s.rateLimited++
-		return ErrRateLimited
+		s.met.rejected.With("rate-limit").Inc()
+		return &RateLimitError{
+			Session:    session,
+			RetryAfter: time.Duration((1 - b.tokens) / s.cfg.RateLimit * float64(time.Second)),
+		}
 	}
 	b.tokens--
 	return nil
@@ -275,6 +423,7 @@ func (s *Service) acquire(ctx context.Context, session string) error {
 	s.mu.Lock()
 	if s.closed {
 		s.mu.Unlock()
+		s.met.rejected.With("closed").Inc()
 		return ErrServiceClosed
 	}
 	s.mu.Unlock()
@@ -285,6 +434,7 @@ func (s *Service) acquire(ctx context.Context, session string) error {
 	if s.queued >= s.depth {
 		s.rejected++
 		s.mu.Unlock()
+		s.met.rejected.With("overload").Inc()
 		return ErrOverloaded
 	}
 	s.queued++
@@ -300,6 +450,9 @@ func (s *Service) acquire(ctx context.Context, session string) error {
 		s.mu.Lock()
 		s.queued--
 		s.mu.Unlock()
+		// counted as a rejection so every request lands in exactly one
+		// counter: an outcome, or a rejection reason
+		s.met.rejected.With("canceled").Inc()
 		return ctx.Err()
 	}
 }
@@ -363,8 +516,9 @@ type CompileResult struct {
 // compilations of the same content hash are allowed (both execute;
 // the summary cache deduplicates the per-procedure work).
 func (s *Service) Compile(ctx context.Context, req CompileRequest) (*CompileResult, error) {
+	start := time.Now()
 	if err := s.acquire(ctx, req.Session); err != nil {
-		return nil, err
+		return nil, tagRequest(ctx, err)
 	}
 	defer s.release()
 	res, err := s.compileLocked(ctx, req)
@@ -373,7 +527,9 @@ func (s *Service) Compile(ctx context.Context, req CompileRequest) (*CompileResu
 		s.failures++
 		s.mu.Unlock()
 	}
-	return res, err
+	s.met.compiles.With(outcomeLabel(err)).Inc()
+	s.met.compileSec.Observe(time.Since(start).Seconds())
+	return res, tagRequest(ctx, err)
 }
 
 // compileLocked does the compile work inside an acquired worker slot
@@ -486,8 +642,9 @@ type RunOutcome struct {
 // ctx aborts the simulated run through the machine's cooperative-abort
 // channel.
 func (s *Service) Run(ctx context.Context, req RunRequest) (*RunOutcome, error) {
+	start := time.Now()
 	if err := s.acquire(ctx, req.Session); err != nil {
-		return nil, err
+		return nil, tagRequest(ctx, err)
 	}
 	defer s.release()
 	out, err := s.runLocked(ctx, req)
@@ -497,7 +654,9 @@ func (s *Service) Run(ctx context.Context, req RunRequest) (*RunOutcome, error) 
 		s.failures++
 	}
 	s.mu.Unlock()
-	return out, err
+	s.met.runs.With(outcomeLabel(err)).Inc()
+	s.met.runSec.Observe(time.Since(start).Seconds())
+	return out, tagRequest(ctx, err)
 }
 
 func (s *Service) runLocked(ctx context.Context, req RunRequest) (*RunOutcome, error) {

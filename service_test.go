@@ -1,10 +1,13 @@
 package fortd
 
 import (
+	"bytes"
 	"context"
 	"errors"
 	"testing"
 	"time"
+
+	"fortd/internal/metrics"
 )
 
 func newTestService(t *testing.T, cfg ServiceConfig) *Service {
@@ -238,6 +241,114 @@ func TestServiceRejectsOwnedOptions(t *testing.T) {
 		if _, err := svc.Compile(ctx, CompileRequest{Source: Fig1Src(32, 4), Options: opts}); err == nil {
 			t.Fatalf("Compile accepted request options %+v", opts)
 		}
+	}
+}
+
+// TestServiceMetrics wires a live registry into a Service and checks
+// the recorded families: outcome counters, latency histogram counts
+// matching request totals, rejection reasons, and the cache-tier
+// counters sampled straight from the summary cache.
+func TestServiceMetrics(t *testing.T) {
+	reg := metrics.New()
+	svc := newTestService(t, ServiceConfig{Metrics: reg, RateLimit: 0.001, RateBurst: 3})
+	src := Fig1Src(32, 4)
+	ctx := context.Background()
+	if _, err := svc.Compile(ctx, CompileRequest{Session: "m", Source: src}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := svc.Compile(ctx, CompileRequest{Session: "m", Source: src}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := svc.Compile(ctx, CompileRequest{Session: "m", Source: "PROGRAM ("}); err == nil {
+		t.Fatal("bad source compiled")
+	}
+	if _, err := svc.Compile(ctx, CompileRequest{Session: "m", Source: src}); !errors.Is(err, ErrRateLimited) {
+		t.Fatalf("4th request err = %v, want ErrRateLimited", err)
+	}
+	var buf bytes.Buffer
+	if err := reg.WriteText(&buf); err != nil {
+		t.Fatal(err)
+	}
+	snap, err := metrics.ParseText(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := snap.Value("fdd_compiles_total", "outcome", "ok"); got != 2 {
+		t.Errorf("compiles ok = %v, want 2", got)
+	}
+	if got := snap.Value("fdd_compiles_total", "outcome", "error"); got != 1 {
+		t.Errorf("compiles error = %v, want 1", got)
+	}
+	if got := snap.Value("fdd_rejected_total", "reason", "rate-limit"); got != 1 {
+		t.Errorf("rate-limit rejections = %v, want 1", got)
+	}
+	if c, n := snap.Value("fdd_compile_seconds_count"), snap.Value("fdd_compiles_total"); c != n {
+		t.Errorf("histogram count %v != compiles_total %v (rejected requests must not observe)", c, n)
+	}
+	st := svc.Cache().Stats()
+	if got := snap.Value("fdd_cache_hits_total", "tier", "memory"); got != float64(st.Hits-st.DiskHits) {
+		t.Errorf("memory cache hits = %v, want %d", got, st.Hits-st.DiskHits)
+	}
+	if got := snap.Value("fdd_cache_misses_total"); got != float64(st.Misses) {
+		t.Errorf("cache misses = %v, want %d", got, st.Misses)
+	}
+	if got := snap.Value("fdd_pool_workers"); got <= 0 {
+		t.Errorf("pool workers = %v, want > 0", got)
+	}
+}
+
+// TestServiceRateLimitRetryAfter pins the typed rate-limit error: it
+// matches the ErrRateLimited sentinel and carries a positive refill
+// duration consistent with the configured rate.
+func TestServiceRateLimitRetryAfter(t *testing.T) {
+	svc := newTestService(t, ServiceConfig{RateLimit: 0.5, RateBurst: 1})
+	src := Fig1Src(32, 4)
+	ctx := context.Background()
+	if _, err := svc.Compile(ctx, CompileRequest{Session: "g", Source: src}); err != nil {
+		t.Fatal(err)
+	}
+	_, err := svc.Compile(ctx, CompileRequest{Session: "g", Source: src})
+	var rl *RateLimitError
+	if !errors.As(err, &rl) {
+		t.Fatalf("err = %T %v, want *RateLimitError", err, err)
+	}
+	if !errors.Is(err, ErrRateLimited) {
+		t.Fatal("RateLimitError does not match the ErrRateLimited sentinel")
+	}
+	if rl.Session != "g" {
+		t.Errorf("Session = %q, want g", rl.Session)
+	}
+	// 0.5 req/s refills one token in ~2s (a sliver may already have
+	// refilled since the first request).
+	if rl.RetryAfter <= time.Second || rl.RetryAfter > 2*time.Second {
+		t.Errorf("RetryAfter = %v, want ~2s", rl.RetryAfter)
+	}
+}
+
+// TestServiceRequestID pins the context plumbing: failures under a
+// WithRequestID context come back wrapped in a *RequestError naming
+// the id, with errors.Is still seeing the underlying typed error.
+func TestServiceRequestID(t *testing.T) {
+	svc := newTestService(t, ServiceConfig{})
+	ctx := WithRequestID(context.Background(), "req-42")
+	if got := RequestIDFrom(ctx); got != "req-42" {
+		t.Fatalf("RequestIDFrom = %q", got)
+	}
+	_, err := svc.Run(ctx, RunRequest{ID: "no-such-id"})
+	var re *RequestError
+	if !errors.As(err, &re) || re.ID != "req-42" {
+		t.Fatalf("err = %T %v, want *RequestError{ID: req-42}", err, err)
+	}
+	if !errors.Is(err, ErrUnknownProgram) {
+		t.Fatal("RequestError hides the underlying typed error")
+	}
+	// Successes are not wrapped, and an id-free context changes nothing.
+	if _, err := svc.Compile(ctx, CompileRequest{Source: Fig1Src(32, 4)}); err != nil {
+		t.Fatal(err)
+	}
+	_, err = svc.Run(context.Background(), RunRequest{ID: "no-such-id"})
+	if errors.As(err, &re) {
+		t.Fatal("error wrapped without a request id in context")
 	}
 }
 
