@@ -1,0 +1,126 @@
+package fortd
+
+import (
+	"bytes"
+	"fmt"
+	"reflect"
+	"testing"
+
+	"fortd/internal/trace/analyze"
+)
+
+// backendRun is one (workload, P, backend) execution's full observable
+// surface: the sorted trace exports, the analyze text, the machine
+// statistics and the assembled arrays.
+type backendRun struct {
+	jsonl   []byte
+	text    []byte
+	analyze []byte
+	stats   Stats
+	arrays  map[string][]float64
+}
+
+func runOnBackend(t *testing.T, prog *Program, init map[string][]float64, cfg MachineConfig) backendRun {
+	t.Helper()
+	tr := NewTrace()
+	res, err := NewRunner(WithMachine(cfg), WithInit(init), WithTrace(tr)).Run(prog)
+	if err != nil {
+		t.Fatalf("backend %v: %v", cfg.Backend, err)
+	}
+	var out backendRun
+	var buf bytes.Buffer
+	if err := tr.WriteJSONL(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out.jsonl = append([]byte(nil), buf.Bytes()...)
+	buf.Reset()
+	if err := tr.WriteText(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out.text = append([]byte(nil), buf.Bytes()...)
+	buf.Reset()
+	if err := analyze.Analyze(tr.Events()).WriteText(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out.analyze = append([]byte(nil), buf.Bytes()...)
+	out.stats = res.Stats
+	out.arrays = res.Arrays
+	return out
+}
+
+// TestBackendDifferential is the equivalence harness for the
+// discrete-event machine core: every workload × processor count runs
+// once per backend from one compiled program, and the two runs must be
+// indistinguishable — byte-identical sorted JSONL and text trace
+// exports, byte-identical analyze output, deeply equal Stats
+// (Messages/Received/Words and the full P×P traffic matrix), and equal
+// final arrays. This is what licenses every other test in the
+// repository to run on the DES default.
+func TestBackendDifferential(t *testing.T) {
+	workloads := []struct {
+		name string
+		src  func(p int) string
+		init func(src string) map[string][]float64
+	}{
+		// dgefa needs the diagonally dominant matrix: factoring a plain
+		// ramp (singular) yields NaNs, and NaN != NaN breaks DeepEqual
+		{"jacobi", func(p int) string { return Jacobi2DSrc(64, 3, p) }, RampInit},
+		{"dgefa", func(p int) string { return DgefaSrc(64, p) },
+			func(string) map[string][]float64 {
+				return map[string][]float64{"a": DgefaMatrix(64)}
+			}},
+		{"dyndist", func(p int) string { return Fig15Src(3, p) }, RampInit},
+	}
+	for _, w := range workloads {
+		for _, p := range []int{1, 3, 6, 16, 64} {
+			t.Run(fmt.Sprintf("%s/p%d", w.name, p), func(t *testing.T) {
+				src := w.src(p)
+				prog, err := Compile(src, DefaultOptions())
+				if err != nil {
+					t.Fatal(err)
+				}
+				init := w.init(src)
+				// a modest LinkDepth keeps the goroutine backend's eager
+				// P² channel buffers affordable at P=64 (the 8192 default
+				// would cost ~1.6 GB there); semantics are identical on
+				// both backends as long as no link fills, and 512 clears
+				// dgefa's worst per-link backlog with room to spare
+				cfg := DefaultMachine(p)
+				cfg.LinkDepth = 512
+
+				cfg.Backend = BackendDES
+				des := runOnBackend(t, prog, init, cfg)
+				cfg.Backend = BackendGoroutine
+				ref := runOnBackend(t, prog, init, cfg)
+
+				if !bytes.Equal(des.jsonl, ref.jsonl) {
+					t.Errorf("JSONL trace exports differ (%d vs %d bytes): %s",
+						len(des.jsonl), len(ref.jsonl), firstDiff(des.jsonl, ref.jsonl))
+				}
+				if !bytes.Equal(des.text, ref.text) {
+					t.Errorf("text trace exports differ: %s", firstDiff(des.text, ref.text))
+				}
+				if !bytes.Equal(des.analyze, ref.analyze) {
+					t.Errorf("analyze outputs differ: %s", firstDiff(des.analyze, ref.analyze))
+				}
+				if !reflect.DeepEqual(des.stats, ref.stats) {
+					t.Errorf("stats differ:\n des=%+v\n ref=%+v", des.stats, ref.stats)
+				}
+				if !reflect.DeepEqual(des.arrays, ref.arrays) {
+					t.Errorf("final arrays differ")
+				}
+			})
+		}
+	}
+}
+
+// firstDiff renders the first differing line of two byte streams.
+func firstDiff(a, b []byte) string {
+	al, bl := bytes.Split(a, []byte("\n")), bytes.Split(b, []byte("\n"))
+	for i := 0; i < len(al) && i < len(bl); i++ {
+		if !bytes.Equal(al[i], bl[i]) {
+			return fmt.Sprintf("line %d:\n  des: %s\n  ref: %s", i+1, al[i], bl[i])
+		}
+	}
+	return fmt.Sprintf("line counts differ: %d vs %d", len(al), len(bl))
+}

@@ -12,6 +12,10 @@ go vet ./...
 # -timeout is the last-resort hang guard; the machine's own deadlock
 # watchdog and deadline should fire long before it
 go test -race -timeout 5m ./...
+# second machine lane: the same race-enabled tests on the goroutine
+# reference backend (the suite above runs the DES default), so both
+# engines stay honest under the full test load
+FORTD_MACHINE_BACKEND=goroutine go test -race -timeout 5m ./internal/machine ./internal/spmd .
 go test -run '^$' -fuzz FuzzParse -fuzztime 10s ./internal/parser
 go test -run '^$' -fuzz FuzzCompile -fuzztime 10s .
 go test -run '^$' -bench BenchmarkTraceOverhead -benchtime 20x .
@@ -98,6 +102,13 @@ grep -qi '^retry-after: [0-9]' /tmp/ci_fdd_429hdr
 kill $FDD_PID 2>/dev/null || true
 trap - EXIT
 rm -f "$FDD_BIN" /tmp/ci_fdd.log /tmp/ci_fdd_*
+
+# large-P smoke: the three scaled P=256 workloads must complete on the
+# discrete-event backend (the P=1024 pair is covered by the committed
+# benchmark snapshots; one run each keeps this lane cheap)
+go run ./cmd/fdbench -runs 1 -only jacobi_p256,dgefa_p256,dyndist_p256 -o /tmp/ci_p256.json
+test -s /tmp/ci_p256.json
+rm -f /tmp/ci_p256.json
 
 # benchmark regression soft gate: compare a fresh run against the most
 # recent committed snapshot. Wall time is machine-dependent, so a

@@ -22,10 +22,21 @@
 // self-contained HTML performance report, with the comparison table
 // appended when -against was given.
 //
+// Beyond the three paper-scale workloads (P=4), the suite carries
+// scaled variants at P=256 and P=1024 — the 1-D Jacobi stencil, dgefa,
+// and the Figure 15 redistribution pattern — that exercise the
+// discrete-event machine backend at sizes the paper's testbed could
+// not reach. -backend selects the machine engine for all runs; the
+// scaled workloads are skipped under -backend goroutine, whose eager
+// P²×LinkDepth channel buffers are infeasible at those sizes. -only
+// restricts the run to a comma-separated list of workload names (CI
+// uses it for a cheap P=256 smoke).
+//
 // Usage:
 //
-//	fdbench [-o file.json] [-runs N] [-jobs N]
-//	        [-against BENCH_old.json] [-threshold 0.10] [-report out.html]
+//	fdbench [-o file.json] [-runs N] [-jobs N] [-backend des|goroutine]
+//	        [-only jacobi,dgefa] [-against BENCH_old.json]
+//	        [-threshold 0.10] [-report out.html]
 package main
 
 import (
@@ -36,6 +47,7 @@ import (
 	"log"
 	"os"
 	"sort"
+	"strings"
 	"time"
 
 	"fortd"
@@ -48,6 +60,10 @@ type workload struct {
 	name string
 	src  string
 	init func() map[string][]float64
+	// p marks a scaled workload (the processor count it targets; 0 for
+	// the paper-scale set). Scaled workloads run only on the DES
+	// backend and are excluded from the HTML report.
+	p int
 }
 
 func workloads() []workload {
@@ -79,10 +95,53 @@ func workloads() []workload {
 				return map[string][]float64{"X": fortd.Ramp(100)}
 			},
 		},
+		// scaled variants: the DES backend's territory. The Jacobi
+		// entries use the 1-D stencil so per-processor array copies stay
+		// O(n) rather than O(n²) at P=1024.
+		{
+			name: "jacobi_p256",
+			src:  fortd.Jacobi1DSrc(8192, 5, 256),
+			init: func() map[string][]float64 {
+				return map[string][]float64{"a": fortd.Ramp(8192)}
+			},
+			p: 256,
+		},
+		{
+			name: "dgefa_p256",
+			src:  fortd.DgefaSrc(128, 256),
+			init: func() map[string][]float64 {
+				return map[string][]float64{"a": fortd.DgefaMatrix(128)}
+			},
+			p: 256,
+		},
+		{
+			name: "dyndist_p256",
+			src:  fortd.Fig15ScaledSrc(4096, 3, 256),
+			init: func() map[string][]float64 {
+				return map[string][]float64{"X": fortd.Ramp(4096)}
+			},
+			p: 256,
+		},
+		{
+			name: "jacobi_p1024",
+			src:  fortd.Jacobi1DSrc(8192, 5, 1024),
+			init: func() map[string][]float64 {
+				return map[string][]float64{"a": fortd.Ramp(8192)}
+			},
+			p: 1024,
+		},
+		{
+			name: "dgefa_p1024",
+			src:  fortd.DgefaSrc(128, 1024),
+			init: func() map[string][]float64 {
+				return map[string][]float64{"a": fortd.DgefaMatrix(128)}
+			},
+			p: 1024,
+		},
 	}
 }
 
-func measure(w workload, runs, jobs int) benchcmp.Result {
+func measure(w workload, runs, jobs int, backend fortd.Backend) benchcmp.Result {
 	best := benchcmp.Result{Name: w.name, Jobs: jobs}
 	opts := fortd.DefaultOptions()
 	opts.Jobs = jobs
@@ -93,7 +152,7 @@ func measure(w workload, runs, jobs int) benchcmp.Result {
 		if err != nil {
 			log.Fatalf("%s: %v", w.name, err)
 		}
-		res, err := fortd.NewRunner(fortd.WithInit(init)).Run(prog)
+		res, err := fortd.NewRunner(fortd.WithInit(init), fortd.WithBackend(backend)).Run(prog)
 		if err != nil {
 			log.Fatalf("%s: %v", w.name, err)
 		}
@@ -142,6 +201,9 @@ func compareAgainst(w io.Writer, oldPath string, results []benchcmp.Result, thre
 func writeReport(path string, cmp *benchcmp.Comparison, jobs int) error {
 	var secs []*analyze.Section
 	for _, w := range workloads() {
+		if w.p > 0 {
+			continue // scaled runs would bloat the HTML with 10⁵+ events
+		}
 		opts := fortd.DefaultOptions()
 		opts.Jobs = jobs
 		sec, err := report.BuildSection(w.name, w.src, w.init(), opts, nil)
@@ -167,10 +229,23 @@ func main() {
 	out := flag.String("o", "", "output file (default BENCH_<yyyymmdd>.json)")
 	runs := flag.Int("runs", 3, "measurement repetitions per workload (best is kept)")
 	jobs := flag.Int("jobs", 1, "concurrent code-generation workers per compile")
+	backendFlag := flag.String("backend", "des", "machine engine: des (discrete-event) or goroutine (reference; skips the scaled P>=256 workloads)")
+	only := flag.String("only", "", "comma-separated workload names to run (empty: all)")
 	against := flag.String("against", "", "old snapshot to compare against; exit non-zero on regression")
 	threshold := flag.Float64("threshold", 0.10, "relative regression threshold for -against (0.10 = 10%)")
 	reportOut := flag.String("report", "", "write the self-contained HTML performance report to this file")
 	flag.Parse()
+
+	backend, err := fortd.ParseBackend(*backendFlag)
+	if err != nil {
+		log.Fatal(err)
+	}
+	selected := map[string]bool{}
+	for _, name := range strings.Split(*only, ",") {
+		if name = strings.TrimSpace(name); name != "" {
+			selected[name] = true
+		}
+	}
 
 	path := *out
 	if path == "" {
@@ -178,8 +253,15 @@ func main() {
 	}
 	var results []benchcmp.Result
 	for _, w := range workloads() {
-		r := measure(w, *runs, *jobs)
-		fmt.Printf("%-10s wall=%-12s words=%-8d msgs=%-6d cache-hit-rate=%.2f\n",
+		if len(selected) > 0 && !selected[w.name] {
+			continue
+		}
+		if w.p > 0 && backend == fortd.BackendGoroutine {
+			fmt.Printf("%-12s skipped: P=%d needs the des backend (goroutine links are O(P²))\n", w.name, w.p)
+			continue
+		}
+		r := measure(w, *runs, *jobs, backend)
+		fmt.Printf("%-12s wall=%-12s words=%-8d msgs=%-6d cache-hit-rate=%.2f\n",
 			r.Name, time.Duration(r.WallNs), r.Words, r.Msgs, r.CacheHitRate)
 		results = append(results, r)
 	}

@@ -8,7 +8,7 @@
 //	fdrun [-p N] [-jobs N] [-strategy interproc|runtime|immediate] [-zero] [-print-arrays]
 //	      [-trace out.json] [-trace-text] [-trace-json out.jsonl]
 //	      [-explain] [-explain-json out.jsonl] [-report out.html] [-sweep "1,2,4,8"]
-//	      [-spmd] [-deadline 30s]
+//	      [-spmd] [-deadline 30s] [-backend des|goroutine]
 //	      [-fault-seed N] [-fault-delay P] [-fault-delay-max US] [-fault-dup P]
 //	      [-fault-straggler "pid:skew,..."] file.f
 //
@@ -83,6 +83,7 @@ func main() {
 	explainJSON := flag.String("explain-json", "", "write optimization remarks as JSON lines to this file")
 	reportOut := flag.String("report", "", "write the self-contained HTML performance report to this file")
 	sweepFlag := flag.String("sweep", "1,2,4,8", "processor counts for the report's scaling sweep (empty: skip)")
+	backendFlag := flag.String("backend", "des", "machine engine: des (discrete-event, scales to P=1024+) or goroutine (reference)")
 	spmdMode := flag.Bool("spmd", false, "run the input as a hand-written SPMD node program (no compilation, no reference check)")
 	deadline := flag.Duration("deadline", 0, "wall-clock deadline for the simulated run (0: none)")
 	faultSeed := flag.Int64("fault-seed", 0, "seed for the deterministic fault-injection plan")
@@ -155,8 +156,13 @@ func main() {
 		init = fortd.RampInit(src)
 	}
 
+	backend, err := fortd.ParseBackend(*backendFlag)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "fdrun:", err)
+		os.Exit(2)
+	}
 	runner := fortd.NewRunner(
-		fortd.WithInit(init), fortd.WithTrace(tr),
+		fortd.WithInit(init), fortd.WithTrace(tr), fortd.WithBackend(backend),
 		fortd.WithDeadline(*deadline), fortd.WithFaults(faults),
 	)
 	var res *fortd.Result

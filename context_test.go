@@ -11,8 +11,10 @@ import (
 
 // TestCompileContextCancel cancels a large compilation mid-phase-3 and
 // verifies three contract points: the call returns ctx.Err(), it
-// returns promptly (within one per-procedure task boundary, bounded
-// here at 100ms), and the shared cache is not corrupted — a subsequent
+// returns promptly (within one per-procedure task boundary — bounded
+// at 500ms, loose enough that a boundary stretched by -race and
+// parallel package tests doesn't flake, and far below the multi-second
+// full compile), and the shared cache is not corrupted — a subsequent
 // compile through the same cache is byte-identical to an uncached one.
 func TestCompileContextCancel(t *testing.T) {
 	src := SyntheticProcsSrc(80, 10, 128, 4)
@@ -42,8 +44,8 @@ func TestCompileContextCancel(t *testing.T) {
 		if !errors.Is(err, context.Canceled) {
 			t.Fatalf("CompileContext err = %v, want context.Canceled", err)
 		}
-		if took > 100*time.Millisecond {
-			t.Fatalf("cancellation took %v past the cancel, want <100ms", took)
+		if took > 500*time.Millisecond {
+			t.Fatalf("cancellation took %v past the cancel, want <500ms", took)
 		}
 		cancelled = true
 		break

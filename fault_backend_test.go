@@ -1,0 +1,226 @@
+package fortd
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"fortd/internal/machine"
+	"fortd/internal/trace"
+)
+
+// This file promotes the deterministic fault-injection scenarios into a
+// cross-backend regression suite: every scenario runs on both machine
+// engines, the two runs must agree byte-for-byte (trace exports, error
+// strings, per-processor errors, statistics), and the DES bytes are
+// pinned against goldens in testdata/faults so a change in fault
+// semantics — on either backend — shows up as a diff, not a surprise.
+// Regenerate the goldens with `go test -run TestFaultRegression -update`.
+
+type faultScenario struct {
+	name string
+	cfg  machine.Config
+	plan *machine.FaultPlan
+	node func(m *machine.Machine, p *machine.Proc)
+	// wantErr marks scenarios that must fail (abort, deadlock,
+	// congestion); clean scenarios must return nil from Wait.
+	wantErr bool
+}
+
+// iPSC-flavored cost model shared by all scenarios.
+func faultCfg(p int) machine.Config {
+	return machine.Config{P: p, Latency: 70, PerWord: 0.4, FlopCost: 0.1}
+}
+
+// ringNode is a 12-iteration ring exchange: compute, send to the right
+// neighbor, receive from the left. Sends never block (links are deep),
+// so the dataflow is deterministic under any fault plan.
+func ringNode(m *machine.Machine, p *machine.Proc) {
+	id := p.ID()
+	for it := 0; it < 12; it++ {
+		p.SetContext("RING", it+1, "")
+		p.Compute(3 + id)
+		buf := make([]float64, 1+(id+it)%4)
+		for j := range buf {
+			buf[j] = float64(id*100 + it)
+		}
+		p.Send((id+1)%3, buf)
+		p.Recv((id + 2) % 3)
+	}
+}
+
+func faultScenarios() []faultScenario {
+	var scs []faultScenario
+	// delays, duplication and a straggler, pinned per seed: each seed
+	// has its own golden file, so the per-seed export bytes are part of
+	// the contract (FaultPlan docs promise seed-stable schedules)
+	for _, seed := range []int64{1, 7, 1234} {
+		scs = append(scs, faultScenario{
+			name: fmt.Sprintf("ring_seed%d", seed),
+			cfg:  faultCfg(3),
+			plan: &machine.FaultPlan{
+				Seed: seed, DelayProb: 0.3, DelayMax: 50,
+				DupProb: 0.2, Stragglers: map[int]float64{1: 2.5},
+			},
+			node: ringNode,
+		})
+	}
+	// cooperative abort: the origin computes and aborts without sending,
+	// so its peers block on links with nothing in flight — on both
+	// backends the only possible outcome is an abort-unblock, making the
+	// cross-backend comparison race-free
+	scs = append(scs, faultScenario{
+		name: "abort_straggler",
+		cfg:  faultCfg(3),
+		plan: &machine.FaultPlan{Seed: 9, Stragglers: map[int]float64{0: 2.0}},
+		node: func(m *machine.Machine, p *machine.Proc) {
+			switch p.ID() {
+			case 0:
+				p.SetContext("ORIGIN", 1, "")
+				p.Compute(5)
+				m.Abort(0, errors.New("injected node failure"))
+			case 1:
+				p.SetContext("WORK", 7, "")
+				p.Recv(0)
+			case 2:
+				p.SetContext("WORK", 8, "")
+				p.Recv(1)
+			}
+		},
+		wantErr: true,
+	})
+	// deadlock: a four-processor wait cycle with distinct virtual clocks
+	// (one straggler). The goroutine backend detects it by watchdog
+	// sampling, the DES backend structurally (empty event queue); the
+	// report must be identical — same BlockedProc attribution, same
+	// clocks, same error text
+	scs = append(scs, faultScenario{
+		name: "deadlock_cycle",
+		cfg:  faultCfg(4),
+		plan: &machine.FaultPlan{Stragglers: map[int]float64{2: 3.0}},
+		node: func(m *machine.Machine, p *machine.Proc) {
+			id := p.ID()
+			p.SetContext("STEP", 10+id, "")
+			p.Compute((id + 1) * 10)
+			p.Recv((id + 1) % 4)
+		},
+		wantErr: true,
+	})
+	// congestion: a sender overruns a LinkDepth-4 link whose receiver is
+	// itself blocked on a third processor; the fifth send must fail with
+	// the same CongestionError (src, dst, depth, site, clock) everywhere
+	scs = append(scs, func() faultScenario {
+		cfg := faultCfg(3)
+		cfg.LinkDepth = 4
+		return faultScenario{
+			name: "congestion",
+			cfg:  cfg,
+			node: func(m *machine.Machine, p *machine.Proc) {
+				switch p.ID() {
+				case 0:
+					p.SetContext("FLOOD", 3, "")
+					for i := 0; i < 8; i++ {
+						p.Send(1, []float64{float64(i), 2})
+					}
+				case 1:
+					p.SetContext("SINK", 4, "")
+					p.Recv(2)
+				case 2:
+					p.SetContext("SINK2", 5, "")
+					p.Recv(1)
+				}
+			},
+			wantErr: true,
+		}
+	}())
+	return scs
+}
+
+// faultRun is one scenario execution's observable surface.
+type faultRun struct {
+	jsonl    []byte
+	stats    machine.Stats
+	err      string
+	procErrs []string
+}
+
+func runFaultScenario(t *testing.T, sc faultScenario, b machine.Backend) faultRun {
+	t.Helper()
+	cfg := sc.cfg
+	cfg.Backend = b
+	m := machine.New(cfg)
+	tr := trace.New()
+	m.SetTracer(tr) // before SetFaultPlan: straggler events must be traced
+	if sc.plan != nil {
+		m.SetFaultPlan(sc.plan)
+	}
+	for pid := 0; pid < cfg.P; pid++ {
+		m.Go(pid, func(p *machine.Proc) { sc.node(m, p) })
+	}
+	err := m.Wait()
+	if sc.wantErr && err == nil {
+		t.Fatalf("backend %v: Wait() = nil, want failure", b)
+	}
+	if !sc.wantErr && err != nil {
+		t.Fatalf("backend %v: Wait() = %v, want clean run", b, err)
+	}
+	out := faultRun{stats: m.Stats()}
+	if err != nil {
+		out.err = err.Error()
+	}
+	for pid := 0; pid < cfg.P; pid++ {
+		if pe := m.ProcErr(pid); pe != nil {
+			out.procErrs = append(out.procErrs, fmt.Sprintf("p%d: %v", pid, pe))
+		}
+	}
+	var buf bytes.Buffer
+	if err := tr.WriteJSONL(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out.jsonl = buf.Bytes()
+	return out
+}
+
+func TestFaultRegression(t *testing.T) {
+	for _, sc := range faultScenarios() {
+		t.Run(sc.name, func(t *testing.T) {
+			des := runFaultScenario(t, sc, machine.BackendDES)
+			ref := runFaultScenario(t, sc, machine.BackendGoroutine)
+
+			if !bytes.Equal(des.jsonl, ref.jsonl) {
+				t.Errorf("trace exports differ across backends: %s", firstDiff(des.jsonl, ref.jsonl))
+			}
+			if des.err != ref.err {
+				t.Errorf("Wait errors differ:\n des: %s\n ref: %s", des.err, ref.err)
+			}
+			if !reflect.DeepEqual(des.procErrs, ref.procErrs) {
+				t.Errorf("per-processor errors differ:\n des: %q\n ref: %q", des.procErrs, ref.procErrs)
+			}
+			if !reflect.DeepEqual(des.stats, ref.stats) {
+				t.Errorf("stats differ:\n des=%+v\n ref=%+v", des.stats, ref.stats)
+			}
+
+			path := filepath.Join("testdata", "faults", sc.name+".jsonl")
+			if *update {
+				if err := os.MkdirAll(filepath.Dir(path), 0755); err != nil {
+					t.Fatal(err)
+				}
+				if err := os.WriteFile(path, des.jsonl, 0644); err != nil {
+					t.Fatal(err)
+				}
+				return
+			}
+			want, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatalf("%v (run `go test -run TestFaultRegression -update` to create)", err)
+			}
+			if !bytes.Equal(des.jsonl, want) {
+				t.Errorf("trace export differs from golden %s: %s", path, firstDiff(des.jsonl, want))
+			}
+		})
+	}
+}

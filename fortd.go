@@ -93,6 +93,25 @@ const (
 // MachineConfig is the simulated machine's size and cost model.
 type MachineConfig = machine.Config
 
+// Backend selects the simulated machine's execution engine.
+type Backend = machine.Backend
+
+const (
+	// BackendDES is the discrete-event core (the default): a
+	// single-threaded virtual-time scheduler with pooled message
+	// buffers and O(active) link state. It scales to P=1024 and beyond.
+	BackendDES = machine.BackendDES
+	// BackendGoroutine is the goroutine-per-processor reference
+	// implementation with buffered channels as links. It produces
+	// identical results but its O(P²) link state tops out around
+	// dozens of processors.
+	BackendGoroutine = machine.BackendGoroutine
+)
+
+// ParseBackend parses a backend name ("des" or "goroutine") as
+// accepted by the fdrun/fdbench -backend flags.
+func ParseBackend(s string) (Backend, error) { return machine.ParseBackend(s) }
+
 // Trace collects structured events from a compilation and/or a
 // simulated run: compiler phase spans and counters, one event per
 // message/broadcast-step/remap with source attribution, and
@@ -424,6 +443,14 @@ func WithExplain(ex *Explain) RunOption {
 	return func(r *Runner) { r.explain = ex }
 }
 
+// WithBackend selects the simulated machine's execution engine
+// (default BackendDES). Both backends produce identical statistics and
+// trace exports; the discrete-event engine is the one that scales.
+// A full WithMachine config takes precedence (set its Backend field).
+func WithBackend(b Backend) RunOption {
+	return func(r *Runner) { r.machine.Backend = b }
+}
+
 // WithDeadline bounds a run's wall-clock time: when it expires the
 // machine aborts and the run returns a *DeadlockError (Deadline: true)
 // reporting where every processor was blocked. 0 means no deadline
@@ -461,7 +488,11 @@ func (r *Runner) Run(p *Program) (*Result, error) {
 func (r *Runner) RunContext(ctx context.Context, p *Program) (*Result, error) {
 	cfg := r.machine
 	if cfg.P == 0 {
+		// default the cost model to the compiled processor count, but
+		// keep an explicitly selected backend (WithBackend)
+		be := cfg.Backend
 		cfg = machine.DefaultConfig(p.c.P)
+		cfg.Backend = be
 	}
 	rr, err := spmd.RunContext(ctx, p.c.Program, cfg, spmd.Options{
 		Dists: p.c.MainDists, Init: r.init, InitScalars: r.initScalars,
@@ -576,7 +607,9 @@ func (r *Runner) RunSPMDContext(ctx context.Context, src string, nproc int) (*Re
 	}
 	cfg := r.machine
 	if cfg.P == 0 {
+		be := cfg.Backend
 		cfg = machine.DefaultConfig(nproc)
+		cfg.Backend = be
 	}
 	rr, err := spmd.RunContext(ctx, prog, cfg, spmd.Options{
 		Dists: dists, Init: r.init, InitScalars: r.initScalars,

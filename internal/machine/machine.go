@@ -1,20 +1,99 @@
 // Package machine simulates a MIMD distributed-memory machine in the
 // style of the iPSC/860 the paper evaluated on: P processors, each with
 // private memory, connected by an interconnect with per-message latency
-// and per-word transfer cost. Each processor runs as a goroutine; Go
-// channels are the links. Time is virtual: every processor advances its
-// own clock for computation, and message receipt synchronizes the
+// and per-word transfer cost. Time is virtual: every processor advances
+// its own clock for computation, and message receipt synchronizes the
 // receiver's clock with the sender's send time plus the transfer cost.
-// The simulation is deterministic for deterministic node programs.
+//
+// Two execution engines implement the same semantics behind the same
+// API (Config.Backend selects one):
+//
+//   - BackendDES (the default) is a discrete-event core: node programs
+//     run as coroutines under a single-threaded virtual-time scheduler
+//     with a sharded event queue, pooled message payloads (the hot path
+//     allocates nothing per message), and link state proportional to
+//     the pairs actually communicating. It scales to P=1024 and beyond.
+//   - BackendGoroutine is the original reference implementation — a
+//     goroutine per processor with buffered channels as links — kept
+//     selectable so the differential test suite can prove the DES core
+//     equivalent on every workload.
+//
+// The simulation is deterministic for deterministic node programs on
+// both backends, and because all cost accounting and trace emission
+// live in backend-independent code, the two engines produce identical
+// Stats and byte-identical sorted trace exports.
 package machine
 
 import (
 	"fmt"
+	"os"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"fortd/internal/trace"
+)
+
+// Backend selects the machine's execution engine.
+type Backend int
+
+const (
+	// BackendDES is the discrete-event core (the zero value, so it is
+	// the default): single-threaded virtual-time scheduling, pooled
+	// message buffers, O(active) link state.
+	BackendDES Backend = iota
+	// BackendGoroutine is the goroutine-per-processor reference
+	// implementation with P² buffered channels as links. It is exact
+	// but tops out around dozens of processors.
+	BackendGoroutine
+)
+
+func (b Backend) String() string {
+	switch b {
+	case BackendDES:
+		return "des"
+	case BackendGoroutine:
+		return "goroutine"
+	default:
+		return fmt.Sprintf("Backend(%d)", int(b))
+	}
+}
+
+// ParseBackend parses a backend name as accepted by -backend flags.
+func ParseBackend(s string) (Backend, error) {
+	switch s {
+	case "des", "":
+		return BackendDES, nil
+	case "goroutine", "chan":
+		return BackendGoroutine, nil
+	default:
+		return 0, fmt.Errorf("unknown machine backend %q (want des or goroutine)", s)
+	}
+}
+
+// backendOverride is a CI/testing hook: FORTD_MACHINE_BACKEND=goroutine
+// (or =des) overrides the default backend choice, i.e. it applies when
+// Config.Backend is the zero value. ci.sh uses it to run the machine
+// and spmd test suites against the reference backend; tests that pin
+// DES-only properties (the zero-allocation guarantee) skip when it is
+// set. The variable is resolved lazily, NOT at package init: `go test`
+// only records environment reads made while the test runs, so an
+// init-time read would let the test cache serve results across
+// different FORTD_MACHINE_BACKEND values.
+func backendOverride() *Backend {
+	overrideOnce.Do(func() {
+		b, err := ParseBackend(os.Getenv("FORTD_MACHINE_BACKEND"))
+		if err != nil || b == BackendDES {
+			return
+		}
+		override = &b
+	})
+	return override
+}
+
+var (
+	overrideOnce sync.Once
+	override     *Backend
 )
 
 // Config sets the machine's size and cost model. Times are in
@@ -25,6 +104,8 @@ type Config struct {
 	Latency  float64 // message startup cost (α)
 	PerWord  float64 // transfer cost per word (β)
 	FlopCost float64 // cost of one arithmetic operation
+	// Backend selects the execution engine (default BackendDES).
+	Backend Backend
 	// LinkDepth is each link's buffered capacity in messages
 	// (0: DefaultLinkDepth). A sender that fills a link fails the run
 	// with a *CongestionError naming the (src, dst) pair.
@@ -101,12 +182,51 @@ type message struct {
 	dup      bool    // injected duplicate: the receiver discards it
 }
 
+// arrival is the receiver-clock delivery time of the message under the
+// machine's cost model: send time + startup latency + per-word transfer
+// + any injected delay. Both engines use this one definition, which is
+// what makes receiver clocks backend-invariant.
+func (m message) arrival(cfg *Config) float64 {
+	return m.sendTime + cfg.Latency + float64(len(m.data))*cfg.PerWord + m.delay
+}
+
+// engine is the execution backend behind the Machine API. All cost
+// accounting, statistics, tracing and fault injection live in the
+// shared Proc methods; an engine only moves messages, schedules node
+// programs, and parks/wakes receivers.
+type engine interface {
+	// start launches processor pid's node program (Machine.Go).
+	start(pid int, fn func(*Proc))
+	// wait blocks until every launched node program has finished
+	// (Machine.Wait); it must guarantee the run terminates, turning a
+	// deadlocked schedule into an abort.
+	wait()
+	// deliver enqueues one message on the src→dst link, reporting false
+	// when the link is full (the shared caller turns that into a
+	// *CongestionError). The engine owns the payload after a true
+	// return; it may copy it.
+	deliver(src, dst int, msg message) bool
+	// receive blocks processor p until a message from from is
+	// available, registering it with the watchdog accounting via
+	// p.block/p.unblock and unwinding it via p.abortNow when the run is
+	// aborted. The returned payload is machine-owned: it stays valid
+	// until p's next Recv.
+	receive(p *Proc, from int) message
+	// scratch returns an n-word staging buffer for processor pid to
+	// build an outgoing payload in. The DES engine reuses one buffer
+	// per processor (Send copies payloads immediately); the goroutine
+	// engine must allocate fresh because channels alias the slice to
+	// the receiver.
+	scratch(pid, n int) []float64
+}
+
 // Machine is one simulated machine instance. Create with New, obtain
 // per-processor handles with Proc, run the node programs concurrently,
 // then read Stats after Wait.
 type Machine struct {
 	cfg   Config
-	links [][]chan message // links[from][to]
+	depth int // resolved LinkDepth
+	eng   engine
 	procs []*Proc
 	wg    sync.WaitGroup
 	tr    *trace.Tracer // nil: tracing disabled
@@ -139,28 +259,33 @@ func New(cfg Config) *Machine {
 	if cfg.P < 1 {
 		panic("machine: P must be >= 1")
 	}
+	be := cfg.Backend
+	if ov := backendOverride(); be == BackendDES && ov != nil {
+		be = *ov
+	}
 	depth := cfg.LinkDepth
 	if depth <= 0 {
 		depth = DefaultLinkDepth
 	}
 	m := &Machine{cfg: cfg,
+		depth:     depth,
 		done:      make(chan struct{}),
 		watchStop: make(chan struct{}),
 		watchDone: make(chan struct{}),
 		blocked:   make([]blockInfo, cfg.P),
 		procErrs:  make([]error, cfg.P),
 	}
-	m.links = make([][]chan message, cfg.P)
-	for i := range m.links {
-		m.links[i] = make([]chan message, cfg.P)
-		for j := range m.links[i] {
-			// a full link is a failure, not back-pressure: see Proc.send
-			m.links[i][j] = make(chan message, depth)
-		}
-	}
 	m.procs = make([]*Proc, cfg.P)
 	for p := 0; p < cfg.P; p++ {
 		m.procs[p] = &Proc{m: m, id: p, pairs: make([]PairStats, cfg.P), skew: 1}
+	}
+	switch be {
+	case BackendDES:
+		m.eng = newDESEngine(m)
+	case BackendGoroutine:
+		m.eng = newChanEngine(m, depth)
+	default:
+		panic(fmt.Sprintf("machine: unknown backend %v", cfg.Backend))
 	}
 	return m
 }
@@ -184,43 +309,39 @@ func (m *Machine) Proc(p int) *Proc { return m.procs[p] }
 // Go runs fn as processor p's node program. If the run is aborted
 // while fn is blocked in a communication primitive (or between
 // computations), fn is unwound and the processor's *AbortError is
-// recorded (see ProcErr); other panics propagate.
+// recorded (see ProcErr); other panics propagate. Call Go from the
+// goroutine that created the machine, before Wait.
 func (m *Machine) Go(p int, fn func(*Proc)) {
-	m.startWatchdog()
-	m.wg.Add(1)
-	m.mu.Lock()
-	m.running++
-	m.mu.Unlock()
-	go func() {
-		defer m.wg.Done()
-		defer func() {
+	m.eng.start(p, fn)
+}
+
+// recordProcExit files a node program's abortPanic unwind as the
+// processor's error and decrements the live count. It returns the
+// panic value the caller must re-raise (nil when handled): engines
+// differ in what must happen before a foreign panic may propagate.
+func (m *Machine) recordProcExit(pid int, r any) (rethrow any) {
+	if r != nil {
+		if ap, ok := r.(abortPanic); ok {
 			m.mu.Lock()
-			m.running--
+			m.procErrs[pid] = ap.err
 			m.mu.Unlock()
-			if r := recover(); r != nil {
-				ap, ok := r.(abortPanic)
-				if !ok {
-					panic(r)
-				}
-				m.mu.Lock()
-				m.procErrs[p] = ap.err
-				m.mu.Unlock()
-			}
-		}()
-		fn(m.procs[p])
-	}()
+		} else {
+			rethrow = r
+		}
+	}
+	m.mu.Lock()
+	m.running--
+	m.mu.Unlock()
+	return rethrow
 }
 
 // Wait blocks until every node program launched with Go has finished
 // and returns the run-level failure, if any: the error passed to
-// Abort, a *CongestionError, or the watchdog's *DeadlockError. A run
-// on this machine cannot hang: a deadlocked schedule is detected and
-// reported instead (see abort.go).
+// Abort, a *CongestionError, or the deadlock report. A run on this
+// machine cannot hang: a deadlocked schedule is detected and reported
+// instead (see abort.go).
 func (m *Machine) Wait() error {
-	m.wg.Wait()
-	m.startWatchdog() // ensure watchDone closes even if Go was never called
-	m.stopOnce.Do(func() { close(m.watchStop) })
-	<-m.watchDone
+	m.eng.wait()
 	return m.Err()
 }
 
@@ -323,11 +444,24 @@ func (p *Proc) Tick(cost float64) {
 	p.stats.Clock += cost
 }
 
+// Scratch returns an n-word staging buffer for building an outgoing
+// payload (Send/Broadcast argument). The buffer's contents are only
+// guaranteed until the processor's next Scratch call, so build one
+// payload at a time. On the DES backend this is a per-processor reused
+// buffer (no allocation in steady state); on the goroutine backend it
+// is a fresh allocation, because channel delivery aliases the slice to
+// the receiver.
+func (p *Proc) Scratch(n int) []float64 {
+	return p.m.eng.scratch(p.id, n)
+}
+
 // Send transmits data to processor to. The sender is charged the
 // message startup; delivery time is carried on the message. Send never
 // blocks: a full link fails the run with a *CongestionError naming the
 // congested pair, and an aborted run unwinds the sender with an
-// *AbortError.
+// *AbortError. The machine owns data after Send returns on the DES
+// backend (it copies), and the receiver aliases it on the goroutine
+// backend — build payloads with Scratch and neither case can bite.
 func (p *Proc) Send(to int, data []float64) {
 	if to == p.id {
 		// local move: no message
@@ -366,17 +500,16 @@ func (p *Proc) Send(to int, data []float64) {
 
 // deliver enqueues one message, failing the run on a full link.
 func (p *Proc) deliver(to int, msg message) {
-	select {
-	case p.m.links[p.id][to] <- msg:
+	if p.m.eng.deliver(p.id, to, msg) {
 		p.m.progress.Add(1)
-	default:
-		err := &CongestionError{
-			Src: p.id, Dst: to, Depth: cap(p.m.links[p.id][to]),
-			Proc: p.ctxProc, Line: p.ctxLine, Clock: p.stats.Clock,
-		}
-		p.m.Abort(p.id, err)
-		panic(abortPanic{err})
+		return
 	}
+	err := &CongestionError{
+		Src: p.id, Dst: to, Depth: p.m.depth,
+		Proc: p.ctxProc, Line: p.ctxLine, Clock: p.stats.Clock,
+	}
+	p.m.Abort(p.id, err)
+	panic(abortPanic{err})
 }
 
 // Recv blocks until a message from processor from arrives, advancing
@@ -385,18 +518,22 @@ func (p *Proc) deliver(to int, msg message) {
 // deadline expired) instead of hanging forever on a mismatched
 // schedule. Injected duplicate messages are detected and discarded,
 // charging only the delivery stall.
+//
+// The returned slice is machine-owned and stays valid until this
+// processor's next Recv (the DES backend then recycles the buffer);
+// copy out anything needed longer.
 func (p *Proc) Recv(from int) []float64 {
 	if from == p.id {
 		return nil
 	}
 	for {
-		msg := p.recvMsg(from)
+		msg := p.m.eng.receive(p, from)
 		if msg.dup {
 			p.dropDuplicate(from, msg)
 			continue
 		}
 		start := p.stats.Clock
-		arrival := msg.sendTime + p.m.cfg.Latency + float64(len(msg.data))*p.m.cfg.PerWord + msg.delay
+		arrival := msg.arrival(&p.m.cfg)
 		if arrival > p.stats.Clock {
 			p.stats.Wait += arrival - p.stats.Clock
 			p.stats.Clock = arrival
@@ -411,32 +548,6 @@ func (p *Proc) Recv(from int) []float64 {
 			})
 		}
 		return msg.data
-	}
-}
-
-// recvMsg takes the next message off the link, registering the
-// processor as blocked (for the deadlock watchdog) while it waits and
-// unwinding it if the run is aborted.
-func (p *Proc) recvMsg(from int) message {
-	if p.m.aborted.Load() {
-		p.abortNow("recv", from)
-	}
-	ch := p.m.links[from][p.id]
-	select {
-	case msg := <-ch:
-		p.m.progress.Add(1)
-		return msg
-	default:
-	}
-	p.block("recv", from)
-	select {
-	case msg := <-ch:
-		p.unblock()
-		return msg
-	case <-p.m.done:
-		p.unblock()
-		p.abortNow("recv", from)
-		panic("unreachable")
 	}
 }
 

@@ -94,7 +94,10 @@ func (it *interp) execSend(f *frame, st *ast.Send) error {
 	if len(offs) == 0 {
 		return nil
 	}
-	data := make([]float64, len(offs))
+	// stage the payload in the machine's scratch buffer: on the DES
+	// backend this is a reused per-processor buffer, so generated sends
+	// allocate nothing
+	data := it.proc.Scratch(len(offs))
 	for i, o := range offs {
 		data[i] = arr.Data[o]
 	}
@@ -158,7 +161,7 @@ func (it *interp) execBroadcast(f *frame, st *ast.Broadcast) error {
 	offs := enumerate(arr, bounds)
 	var data []float64
 	if it.p == root {
-		data = make([]float64, len(offs))
+		data = it.proc.Scratch(len(offs))
 		for i, o := range offs {
 			data[i] = arr.Data[o]
 		}
@@ -191,14 +194,19 @@ func (it *interp) execAllGather(f *frame, st *ast.AllGather) error {
 		return nil
 	}
 	parts := it.ownerParts(arr, bounds)
-	// non-blocking sends first, then receives, in processor order
+	// non-blocking sends first, then receives, in processor order; the
+	// payload is this processor's part, identical to every destination,
+	// so it is staged once (Send does not retain the slice)
+	var data []float64
+	if len(parts[it.p]) > 0 {
+		data = it.proc.Scratch(len(parts[it.p]))
+		for i, o := range parts[it.p] {
+			data[i] = arr.Data[o]
+		}
+	}
 	for q := 0; q < it.nproc; q++ {
 		if q == it.p || len(parts[it.p]) == 0 {
 			continue
-		}
-		data := make([]float64, len(parts[it.p]))
-		for i, o := range parts[it.p] {
-			data[i] = arr.Data[o]
 		}
 		it.proc.Send(q, data)
 	}
@@ -293,10 +301,14 @@ func (it *interp) execGlobalReduce(f *frame, st *ast.GlobalReduce) error {
 			}
 		}
 		*sc = acc
-		*sc = it.proc.Broadcast(0, []float64{acc})[0]
+		buf := it.proc.Scratch(1)
+		buf[0] = acc
+		*sc = it.proc.Broadcast(0, buf)[0]
 		return nil
 	}
-	it.proc.Send(0, []float64{*sc})
+	buf := it.proc.Scratch(1)
+	buf[0] = *sc
+	it.proc.Send(0, buf)
 	*sc = it.proc.Broadcast(0, nil)[0]
 	return nil
 }
@@ -329,13 +341,16 @@ func (it *interp) execRemap(f *frame, st *ast.Remap) error {
 			fullSec[d] = [2]int{arr.Lo[d], arr.Hi[d]}
 		}
 		parts := it.ownerParts(arr, fullSec)
+		var data []float64
+		if len(parts[it.p]) > 0 {
+			data = it.proc.Scratch(len(parts[it.p]))
+			for i, o := range parts[it.p] {
+				data[i] = arr.Data[o]
+			}
+		}
 		for q := 0; q < it.nproc; q++ {
 			if q == it.p || len(parts[it.p]) == 0 {
 				continue
-			}
-			data := make([]float64, len(parts[it.p]))
-			for i, o := range parts[it.p] {
-				data[i] = arr.Data[o]
 			}
 			it.proc.Send(q, data)
 		}

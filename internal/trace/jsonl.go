@@ -12,7 +12,10 @@ import (
 // tracer in goroutine-scheduling order, which varies run to run even
 // when the virtual-time content does not; every exporter sorts a copy
 // first so two traces of the same deterministic run render
-// byte-identically.
+// byte-identically. This is also what makes exports machine-backend
+// invariant: the discrete-event and goroutine engines emit the same
+// event multiset in different append orders, and the sort erases the
+// difference (TestBackendDifferential holds them byte-identical).
 func SortEvents(events []Event) {
 	sort.SliceStable(events, func(i, j int) bool {
 		a, b := events[i], events[j]

@@ -69,9 +69,18 @@ S3    call F2(Z,i)
 // (called twice per iteration of a T-trip loop), then fully overwritten
 // by F2.
 func Fig15Src(T, p int) string {
+	return Fig15ScaledSrc(100, T, p)
+}
+
+// Fig15ScaledSrc generates the Figure 15 dynamic-distribution pattern
+// at an arbitrary array size (Fig15Src pins the paper's X(100)). The
+// scaled fdbench workloads redistribute a larger X across hundreds of
+// processors, where every BLOCK↔CYCLIC remap is a full P×(P-1)
+// message exchange — the stress case for the machine's link state.
+func Fig15ScaledSrc(n, T, p int) string {
 	return fmt.Sprintf(`
       PROGRAM P1
-      REAL X(100)
+      REAL X(%d)
       PARAMETER (n$proc = %d)
       DISTRIBUTE X(BLOCK)
       do k = 1,%d
@@ -81,19 +90,19 @@ S2      call F1(X)
       call F2(X)
       END
       SUBROUTINE F1(X)
-      REAL X(100)
+      REAL X(%d)
       DISTRIBUTE X(CYCLIC)
-      do i = 1,100
+      do i = 1,%d
         y = y + X(i)
       enddo
       END
       SUBROUTINE F2(X)
-      REAL X(100)
-      do i = 1,100
+      REAL X(%d)
+      do i = 1,%d
         X(i) = 1.0
       enddo
       END
-`, p, T)
+`, n, p, T, n, n, n, n)
 }
 
 // DgefaSrc generates the §9 case study: LU factorization on a
