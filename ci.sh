@@ -40,6 +40,23 @@ grep -q 'id="heatmap"' /tmp/ci_report.html
 grep -q '</html>' /tmp/ci_report.html
 rm -f /tmp/ci_report.html
 
+# profile smoke: two equal seeded runs must write byte-identical
+# artifacts, and fdprof must rank, diff, merge and annotate them. The
+# self-diff must be clean (exit 0); the regression exit path is pinned
+# by TestDiffExitCodes
+go build -o /tmp/ci_fdprof ./cmd/fdprof
+go run ./cmd/fdrun -fault-seed 7 -fault-delay 0.2 -check=false \
+	-profile /tmp/ci_prof_a.json testdata/jacobi2d.f
+go run ./cmd/fdrun -fault-seed 7 -fault-delay 0.2 -check=false \
+	-profile /tmp/ci_prof_b.json testdata/jacobi2d.f
+diff /tmp/ci_prof_a.json /tmp/ci_prof_b.json
+/tmp/ci_fdprof top -n 5 /tmp/ci_prof_a.json | grep -q 'JAC2'
+/tmp/ci_fdprof diff /tmp/ci_prof_a.json /tmp/ci_prof_b.json
+/tmp/ci_fdprof merge -o /tmp/ci_prof_m.json '/tmp/ci_prof_[ab].json'
+grep -q '"runs": 2' /tmp/ci_prof_m.json
+/tmp/ci_fdprof annotate /tmp/ci_prof_a.json testdata/jacobi2d.f | grep -q '!prof'
+rm -f /tmp/ci_fdprof /tmp/ci_prof_a.json /tmp/ci_prof_b.json /tmp/ci_prof_m.json
+
 # daemon smoke: start fdd on a random port, compile+run jacobi over
 # HTTP, verify the returned SPMD listing is byte-identical to fdc's
 # output, check /healthz, and exercise one per-session 429
@@ -74,6 +91,15 @@ assert c["id"] and c["listing"], "compile response incomplete"
 open("/tmp/ci_fdd_listing", "w").write(c["listing"])
 r = post("/run", {"session": "ci-run", "id": c["id"]}, 200)
 assert r["stats"]["time"] > 0, r
+rp = post("/run?profile=true", {"session": "ci-run", "id": c["id"], "workload": "jacobi2d"}, 200)
+pid = rp["profileId"]
+assert len(pid) == 64, rp
+with urllib.request.urlopen(f"http://localhost:{port}/profile/{pid}") as pr:
+    art = json.load(pr)
+assert art["schema"] == 1 and art["meta"]["program_hash"] == c["id"], art
+with urllib.request.urlopen(f"http://localhost:{port}/profiles") as lr:
+    assert any(e["id"] == pid for e in json.load(lr)["profiles"])
+print("fdd profile round-trip ok: id", pid[:12])
 e1 = post("/compile", {"session": "ci-greedy", "source": src}, 200)
 e2 = post("/compile", {"session": "ci-greedy", "source": src}, 200)
 e3 = post("/compile", {"session": "ci-greedy", "source": src}, 429)
@@ -92,6 +118,8 @@ grep -q 'fdd_compiles_total{outcome="ok"} [1-9]' /tmp/ci_fdd_metrics
 grep -q 'fdd_cache_hits_total{tier="memory"} [1-9]' /tmp/ci_fdd_metrics
 grep -q 'fdd_http_requests_total{route="/compile",method="POST",status="200"} [1-9]' /tmp/ci_fdd_metrics
 grep -q 'fdd_compile_seconds_count [1-9]' /tmp/ci_fdd_metrics
+grep -q 'fdd_profiles_stored_total [1-9]' /tmp/ci_fdd_metrics
+grep -q 'fdd_run_blocked_share_count [1-9]' /tmp/ci_fdd_metrics
 curl -sf "http://localhost:$FDD_PORT/readyz" | grep -q '"ready":true'
 curl -s -D /tmp/ci_fdd_429hdr -o /dev/null \
 	-H 'Content-Type: application/json' -d '{"session":"ci-greedy","source":"x"}' \

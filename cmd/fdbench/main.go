@@ -8,8 +8,11 @@
 // generated code.
 //
 // Each entry also records the code-generation worker count (-jobs) the
-// compiles used and the warm-recompile hit rate of the summary cache
-// (compile twice against one cache; the second compile's hit fraction).
+// compiles used, the warm-recompile hit rate of the summary cache
+// (compile twice against one cache; the second compile's hit fraction),
+// and — from one traced run distilled through internal/profile — the
+// run's machine-wide blocked share and busy-time imbalance ratio, the
+// pinned baseline for the planned communication-overlap pass.
 // Results are sorted by workload name and serialized from a fixed
 // struct, so snapshot key order is stable across runs and Go versions.
 //
@@ -52,6 +55,7 @@ import (
 
 	"fortd"
 	"fortd/internal/benchcmp"
+	"fortd/internal/profile"
 	"fortd/internal/report"
 	"fortd/internal/trace/analyze"
 )
@@ -163,6 +167,22 @@ func measure(w workload, runs, jobs int, backend fortd.Backend) benchcmp.Result 
 		best.Words = res.Stats.Words
 		best.Msgs = res.Stats.Messages
 	}
+	// blocked share + imbalance: one traced run (outside the timing
+	// loop) distilled through the profile artifact, so the snapshot
+	// figure is byte-for-byte the definition fdprof and the daemon use
+	prog, err := fortd.Compile(w.src, opts)
+	if err != nil {
+		log.Fatalf("%s: %v", w.name, err)
+	}
+	tr := fortd.NewTrace()
+	if _, err := fortd.NewRunner(fortd.WithInit(w.init()), fortd.WithBackend(backend), fortd.WithTrace(tr)).Run(prog); err != nil {
+		log.Fatalf("%s: %v", w.name, err)
+	}
+	if pf := profile.FromEvents(tr.Events(), profile.Meta{}); pf != nil {
+		best.BlockedShare = pf.BlockedShare()
+		best.Imbalance = pf.Imbalance()
+	}
+
 	// warm-recompile hit rate: compile twice against one cache and
 	// report the second compile's hit fraction
 	cacheOpts := opts
@@ -261,8 +281,8 @@ func main() {
 			continue
 		}
 		r := measure(w, *runs, *jobs, backend)
-		fmt.Printf("%-12s wall=%-12s words=%-8d msgs=%-6d cache-hit-rate=%.2f\n",
-			r.Name, time.Duration(r.WallNs), r.Words, r.Msgs, r.CacheHitRate)
+		fmt.Printf("%-12s wall=%-12s words=%-8d msgs=%-6d cache-hit-rate=%.2f blocked-share=%.3f imbalance=%.3f\n",
+			r.Name, time.Duration(r.WallNs), r.Words, r.Msgs, r.CacheHitRate, r.BlockedShare, r.Imbalance)
 		results = append(results, r)
 	}
 	sort.Slice(results, func(i, j int) bool { return results[i].Name < results[j].Name })

@@ -6,8 +6,12 @@
 // Endpoints:
 //
 //	POST /compile      {"session","source","options":{...},"explain"}
-//	POST /run          {"session","id"|"source","init","reference"}
+//	POST /run          {"session","id"|"source","init","reference"};
+//	                   ?profile=true (or "profile":true) stores a
+//	                   profile artifact and returns its profileId
 //	GET  /report/{id}  HTML performance report for a compiled program
+//	GET  /profile/{id} stored profile artifact (canonical JSON bytes)
+//	GET  /profiles     stored-profile listing; ?program= filters by hash
 //	GET  /healthz      liveness (also GET /livez)
 //	GET  /readyz       readiness; 503 once the daemon is draining
 //	GET  /stats        service + cache + process counters (JSON)
@@ -43,6 +47,7 @@ func main() {
 	var (
 		addr        = flag.String("addr", "localhost:8700", "listen address")
 		cacheDir    = flag.String("cache-dir", "", "disk-persist the summary cache under this directory")
+		profileDir  = flag.String("profile-dir", "", "persist run-profile artifacts under this directory (empty: in-memory only)")
 		workers     = flag.Int("workers", 0, "max concurrently executing requests (0: GOMAXPROCS)")
 		queue       = flag.Int("queue", 0, "max requests waiting for a worker (0: 4x workers)")
 		rate        = flag.Float64("rate", 0, "per-session sustained requests/sec (0: unlimited)")
@@ -69,6 +74,7 @@ func main() {
 	cfg := fortd.ServiceConfig{
 		Options:     withDeadline(base, *compileWall),
 		CacheDir:    *cacheDir,
+		ProfileDir:  *profileDir,
 		Workers:     *workers,
 		QueueDepth:  *queue,
 		RateLimit:   *rate,

@@ -63,11 +63,13 @@ func routeLabel(path string) string {
 	switch {
 	case strings.HasPrefix(path, "/report/"):
 		return "/report/{id}"
+	case strings.HasPrefix(path, "/profile/"):
+		return "/profile/{id}"
 	case strings.HasPrefix(path, "/debug/pprof"):
 		return "/debug/pprof"
 	}
 	switch path {
-	case "/compile", "/run", "/healthz", "/livez", "/readyz", "/stats", "/metrics":
+	case "/compile", "/run", "/healthz", "/livez", "/readyz", "/stats", "/metrics", "/profiles":
 		return path
 	}
 	return "other"

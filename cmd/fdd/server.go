@@ -21,6 +21,7 @@ import (
 
 	"fortd"
 	"fortd/internal/metrics"
+	"fortd/internal/profile"
 	"fortd/internal/report"
 )
 
@@ -92,6 +93,10 @@ type runDTO struct {
 	Init        map[string][]float64 `json:"init,omitempty"`
 	InitScalars map[string]float64   `json:"initScalars,omitempty"`
 	Reference   bool                 `json:"reference,omitempty"`
+	// Profile stores a profile artifact for the run (also settable via
+	// the ?profile=true query parameter); Workload labels it.
+	Profile  bool   `json:"profile,omitempty"`
+	Workload string `json:"workload,omitempty"`
 }
 
 // errorBody is the structured JSON error every endpoint returns: Kind
@@ -115,6 +120,8 @@ func classify(err error) (int, errorBody) {
 		return http.StatusServiceUnavailable, errorBody{Kind: "closed", Message: err.Error()}
 	case errors.Is(err, fortd.ErrUnknownProgram):
 		return http.StatusNotFound, errorBody{Kind: "unknown-program", Message: err.Error()}
+	case errors.Is(err, fortd.ErrUnknownProfile):
+		return http.StatusNotFound, errorBody{Kind: "unknown-profile", Message: err.Error()}
 	case errors.Is(err, context.Canceled):
 		// the client went away; 499 in the nginx tradition
 		return 499, errorBody{Kind: "cancelled", Message: err.Error()}
@@ -207,6 +214,8 @@ func newServer(svc *fortd.Service, base fortd.Options, tel *telemetry, pprofOn b
 	mux.HandleFunc("POST /compile", s.handleCompile)
 	mux.HandleFunc("POST /run", s.handleRun)
 	mux.HandleFunc("GET /report/{id}", s.handleReport)
+	mux.HandleFunc("GET /profile/{id}", s.handleProfile)
+	mux.HandleFunc("GET /profiles", s.handleProfiles)
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	mux.HandleFunc("GET /livez", s.handleHealthz)
 	mux.HandleFunc("GET /readyz", s.handleReadyz)
@@ -282,16 +291,20 @@ func (s *server) handleRun(w http.ResponseWriter, r *http.Request) {
 		writeError(w, r, err)
 		return
 	}
+	if r.URL.Query().Get("profile") == "true" {
+		req.Profile = true
+	}
 	out, err := s.svc.Run(r.Context(), fortd.RunRequest{
 		Session: req.Session, ID: req.ID, Source: req.Source, Options: opts,
 		Init: req.Init, InitScalars: req.InitScalars, Reference: req.Reference,
+		Profile: req.Profile, Workload: req.Workload,
 	})
 	if err != nil {
 		writeError(w, r, err)
 		return
 	}
 	st := out.Result.Stats
-	writeJSON(w, http.StatusOK, map[string]any{
+	body := map[string]any{
 		"id": out.ID,
 		"stats": map[string]any{
 			"time":     st.Time,
@@ -302,7 +315,47 @@ func (s *server) handleRun(w http.ResponseWriter, r *http.Request) {
 			"summary":  st.String(),
 		},
 		"arrays": out.Result.Arrays,
-	})
+	}
+	if out.ProfileID != "" {
+		body["profileId"] = out.ProfileID
+	}
+	writeJSON(w, http.StatusOK, body)
+}
+
+// handleProfile serves a stored profile artifact's canonical bytes —
+// exactly what fdprof reads from a store directory, so curl output
+// diffs cleanly against local artifacts.
+func (s *server) handleProfile(w http.ResponseWriter, r *http.Request) {
+	p, err := s.svc.Profile(r.PathValue("id"))
+	if err != nil {
+		writeError(w, r, err)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	p.Encode(w)
+}
+
+// handleProfiles lists the stored profiles; ?program= filters by
+// program content hash.
+func (s *server) handleProfiles(w http.ResponseWriter, r *http.Request) {
+	list, err := s.svc.Profiles()
+	if err != nil {
+		writeError(w, r, err)
+		return
+	}
+	if want := r.URL.Query().Get("program"); want != "" {
+		kept := list[:0]
+		for _, e := range list {
+			if e.Meta.ProgramHash == want {
+				kept = append(kept, e)
+			}
+		}
+		list = kept
+	}
+	if list == nil {
+		list = []profile.Entry{}
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"profiles": list})
 }
 
 func (s *server) handleReport(w http.ResponseWriter, r *http.Request) {

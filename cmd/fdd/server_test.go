@@ -429,3 +429,74 @@ func TestDaemonOptionOverlay(t *testing.T) {
 		t.Fatalf("override compile p = %v, want 4", p)
 	}
 }
+
+// TestDaemonProfileRoundTrip drives the profile surface end to end:
+// POST /run?profile=true returns a profileId, GET /profile/{id} serves
+// the canonical artifact bytes, GET /profiles lists it (with the
+// ?program= filter), and a handler over a fresh Service sharing the
+// same ProfileDir (a daemon restart) still serves the artifact.
+func TestDaemonProfileRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	h := newTestHandler(t, fortd.ServiceConfig{ProfileDir: dir})
+	src := fortd.Jacobi1DSrc(64, 2, 4)
+	init := map[string][]float64{"a": fortd.Ramp(64)}
+
+	w, out := do(t, h, "POST", "/run?profile=true", map[string]any{
+		"session": "t", "source": src, "init": init, "workload": "jacobi1d",
+	})
+	if w.Code != http.StatusOK {
+		t.Fatalf("run status %d: %s", w.Code, w.Body.String())
+	}
+	profileID, _ := out["profileId"].(string)
+	if len(profileID) != 64 {
+		t.Fatalf("run response profileId = %q, want 64-hex id", profileID)
+	}
+	programID, _ := out["id"].(string)
+
+	// a run without the flag must not attach a profile
+	w, out = do(t, h, "POST", "/run", map[string]any{"session": "t", "source": src, "init": init})
+	if w.Code != http.StatusOK {
+		t.Fatalf("plain run status %d", w.Code)
+	}
+	if id, ok := out["profileId"]; ok {
+		t.Errorf("unprofiled run returned profileId %v", id)
+	}
+
+	w, out = do(t, h, "GET", "/profile/"+profileID, nil)
+	if w.Code != http.StatusOK {
+		t.Fatalf("profile fetch status %d: %s", w.Code, w.Body.String())
+	}
+	if s, _ := out["schema"].(float64); s != 1 {
+		t.Errorf("artifact schema = %v, want 1", out["schema"])
+	}
+	meta, _ := out["meta"].(map[string]any)
+	if meta == nil || meta["workload"] != "jacobi1d" || meta["program_hash"] != programID {
+		t.Errorf("artifact meta = %v", meta)
+	}
+	body := w.Body.String()
+
+	w, _ = do(t, h, "GET", "/profiles", nil)
+	if w.Code != http.StatusOK || !strings.Contains(w.Body.String(), profileID) {
+		t.Errorf("profile list (%d) lacks %s: %s", w.Code, profileID, w.Body.String())
+	}
+	w, _ = do(t, h, "GET", "/profiles?program="+programID, nil)
+	if w.Code != http.StatusOK || !strings.Contains(w.Body.String(), profileID) {
+		t.Errorf("filtered profile list lacks %s", profileID)
+	}
+	w, _ = do(t, h, "GET", "/profiles?program=feedfacefeedface", nil)
+	if w.Code != http.StatusOK || strings.Contains(w.Body.String(), profileID) {
+		t.Errorf("mismatched program filter still lists %s", profileID)
+	}
+
+	w, out = do(t, h, "GET", "/profile/"+strings.Repeat("0", 64), nil)
+	if w.Code != http.StatusNotFound || errKind(t, out) != "unknown-profile" {
+		t.Errorf("unknown profile -> %d %v", w.Code, out)
+	}
+
+	// restart: a fresh handler over the same directory serves identical bytes
+	h2 := newTestHandler(t, fortd.ServiceConfig{ProfileDir: dir})
+	w, _ = do(t, h2, "GET", "/profile/"+profileID, nil)
+	if w.Code != http.StatusOK || w.Body.String() != body {
+		t.Errorf("restarted daemon serves different artifact (status %d)", w.Code)
+	}
+}

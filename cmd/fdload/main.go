@@ -80,8 +80,9 @@ type compileResp struct {
 }
 
 type runResp struct {
-	ID    string `json:"id"`
-	Stats struct {
+	ID        string `json:"id"`
+	ProfileID string `json:"profileId"`
+	Stats     struct {
 		Summary string `json:"summary"`
 	} `json:"stats"`
 }
@@ -98,6 +99,7 @@ type checker struct {
 	mu         sync.Mutex
 	listings   map[string]string // id -> sha256 of listing
 	runStats   map[string]string // id -> stats summary line
+	profiles   map[string]string // program id -> profile artifact id
 	violations []string
 }
 
@@ -132,6 +134,25 @@ func (c *checker) run(id, summary string) {
 	c.mu.Unlock()
 	if seen && prev != summary {
 		c.violate("non-deterministic run stats for id %.12s:\n  %s\n  %s", id, prev, summary)
+	}
+}
+
+// profile asserts the profile-artifact determinism contract: equal
+// runs of one program id must store byte-identical artifacts, so the
+// content-hash profile id per program id is unique across sessions.
+func (c *checker) profile(id, profileID string) {
+	if profileID == "" {
+		c.violate("profiled run of id %.12s returned no profileId", id)
+		return
+	}
+	c.mu.Lock()
+	prev, seen := c.profiles[id]
+	if !seen {
+		c.profiles[id] = profileID
+	}
+	c.mu.Unlock()
+	if seen && prev != profileID {
+		c.violate("non-deterministic profile for id %.12s: %.12s vs %.12s", id, prev, profileID)
 	}
 }
 
@@ -279,6 +300,7 @@ func (cl *client) session(id int, iters int, lat map[string]*latencies) {
 		req := map[string]any{
 			"session": sess,
 			"init":    map[string][]float64{"a": ramp(64), "b": ramp(64)},
+			"profile": true, // every load run stores a profile artifact
 		}
 		if lastID != "" {
 			req["id"] = lastID
@@ -302,6 +324,7 @@ func (cl *client) session(id int, iters int, lat map[string]*latencies) {
 			cl.mu.Unlock()
 			lat["run"].add(took)
 			cl.chk.run(resp.ID, resp.Stats.Summary)
+			cl.chk.profile(resp.ID, resp.ProfileID)
 		}
 	}
 	for it := 0; it < iters; it++ {
@@ -333,7 +356,7 @@ func main() {
 	cl := &client{
 		base:    *addr,
 		hc:      &http.Client{Timeout: *timeout},
-		chk:     &checker{listings: map[string]string{}, runStats: map[string]string{}},
+		chk:     &checker{listings: map[string]string{}, runStats: map[string]string{}, profiles: map[string]string{}},
 		retries: *retries,
 	}
 	lat := map[string]*latencies{"compile": {}, "run": {}}

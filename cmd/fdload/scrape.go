@@ -15,7 +15,10 @@ package main
 //       fdd_compile_seconds_count == sum(fdd_compiles_total)   (runs alike)
 //   - per route, the HTTP histogram and the request counter agree;
 //   - every HTTP 429 is a rate-limit rejection and every 503 an
-//     overload/closed rejection — the cross-layer status mapping.
+//     overload/closed rejection — the cross-layer status mapping;
+//   - every stored profile artifact observes the blocked-share
+//     histogram exactly once:
+//       fdd_run_blocked_share_count == fdd_profiles_stored_total.
 //
 // The end-of-run check retries briefly: a scrape can land between a
 // finished response and its middleware bookkeeping, so the counters
@@ -35,6 +38,7 @@ import (
 var requiredFamilies = []string{
 	"fdd_compiles_total", "fdd_runs_total", "fdd_rejected_total",
 	"fdd_compile_seconds", "fdd_run_seconds",
+	"fdd_run_blocked_share", "fdd_profiles_stored_total",
 	"fdd_cache_hits_total", "fdd_cache_misses_total",
 	"fdd_queue_depth", "fdd_pool_inflight", "fdd_pool_saturation",
 	"fdd_http_requests_total", "fdd_http_request_seconds",
@@ -162,6 +166,16 @@ func checkConsistency(snap *metrics.Snapshot) []string {
 	}
 	if c := snap.Value("fdd_run_seconds_count"); c != runs {
 		bad("fdd_run_seconds_count %v != sum fdd_runs_total %v", c, runs)
+	}
+
+	// Every stored profile gets exactly one blocked-share observation
+	// (the service observes the histogram iff it stores the artifact).
+	if c, stored := snap.Value("fdd_run_blocked_share_count"),
+		snap.Value("fdd_profiles_stored_total"); c != stored {
+		bad("fdd_run_blocked_share_count %v != fdd_profiles_stored_total %v", c, stored)
+	}
+	if stored := snap.Value("fdd_profiles_stored_total"); stored == 0 {
+		bad("fdd_profiles_stored_total = 0 after a load run with profiled runs")
 	}
 
 	// Per route, the HTTP request counter and histogram agree.

@@ -6,7 +6,7 @@
 // Usage:
 //
 //	fdrun [-p N] [-jobs N] [-strategy interproc|runtime|immediate] [-zero] [-print-arrays]
-//	      [-trace out.json] [-trace-text] [-trace-json out.jsonl]
+//	      [-trace out.json] [-trace-text] [-trace-json out.jsonl] [-profile out.json]
 //	      [-explain] [-explain-json out.jsonl] [-report out.html] [-sweep "1,2,4,8"]
 //	      [-spmd] [-deadline 30s] [-backend des|goroutine]
 //	      [-fault-seed N] [-fault-delay P] [-fault-delay-max US] [-fault-dup P]
@@ -23,6 +23,12 @@
 // remarks, and a -sweep processor-scaling curve); it implies tracing
 // and remark collection.
 //
+// -profile traces the run and writes its profile artifact — the
+// stable, versioned per-site cost summary internal/profile defines —
+// as canonical JSON. Equal seeded runs write byte-identical artifacts,
+// so two -profile outputs diff cleanly; inspect, merge and compare
+// them with fdprof.
+//
 // -spmd runs the input as a hand-written SPMD node program directly on
 // the simulated machine, skipping compilation and the sequential
 // check. -deadline bounds the run's wall-clock time: a run that would
@@ -37,11 +43,13 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
 	"sort"
 	"strconv"
 	"strings"
 
 	"fortd"
+	"fortd/internal/profile"
 	"fortd/internal/report"
 )
 
@@ -79,6 +87,7 @@ func main() {
 	traceOut := flag.String("trace", "", "write Chrome trace_event JSON to this file")
 	traceText := flag.Bool("trace-text", false, "print a trace summary to stderr")
 	traceJSON := flag.String("trace-json", "", "write the sorted trace event stream as JSON lines to this file")
+	profileOut := flag.String("profile", "", "write the run's profile artifact (canonical JSON, see fdprof) to this file")
 	explainText := flag.Bool("explain", false, "print the optimization report to stderr")
 	explainJSON := flag.String("explain-json", "", "write optimization remarks as JSON lines to this file")
 	reportOut := flag.String("report", "", "write the self-contained HTML performance report to this file")
@@ -105,7 +114,7 @@ func main() {
 	src := string(srcBytes)
 
 	var tr *fortd.Trace
-	if *traceOut != "" || *traceText || *traceJSON != "" {
+	if *traceOut != "" || *traceText || *traceJSON != "" || *profileOut != "" {
 		tr = fortd.NewTrace()
 	}
 	var ex *fortd.Explain
@@ -183,6 +192,33 @@ func main() {
 	}
 	fmt.Printf("stats: %s\n", res.Stats)
 
+	if *profileOut != "" {
+		runP := *p
+		if prog != nil {
+			runP = prog.P()
+		}
+		var seed int64
+		if faults != nil {
+			seed = faults.Seed
+		}
+		pf := profile.FromEvents(tr.Events(), profile.Meta{
+			ProgramHash: fortd.ProgramID(src, opts),
+			Workload:    filepath.Base(flag.Arg(0)),
+			P:           runP,
+			Backend:     backend.String(),
+			FaultSeed:   seed,
+		})
+		if pf == nil {
+			fmt.Fprintln(os.Stderr, "fdrun: profile: trace carried no machine activity")
+			os.Exit(1)
+		}
+		if err := profile.WriteFile(*profileOut, pf); err != nil {
+			fmt.Fprintln(os.Stderr, "fdrun: profile:", err)
+			os.Exit(1)
+		}
+		id, _ := pf.ID()
+		fmt.Printf("profile: wrote %s (id %.12s, blocked-share %.3f)\n", *profileOut, id, pf.BlockedShare())
+	}
 	if *traceOut != "" {
 		f, err := os.Create(*traceOut)
 		if err != nil {

@@ -31,6 +31,13 @@ type Result struct {
 	// CacheHitRate is the summary-cache hit fraction of a warm
 	// recompile (1.0 = every procedure reused).
 	CacheHitRate float64 `json:"cache_hit_rate"`
+	// BlockedShare is the blocked fraction of total processor time in
+	// the workload's traced run — the baseline ROADMAP item 1's overlap
+	// pass must beat. Imbalance is the max-over-mean busy-time ratio
+	// (1.0 = perfectly balanced). Both are 0 in snapshots predating
+	// their introduction, which Compare treats as "no baseline".
+	BlockedShare float64 `json:"blocked_share"`
+	Imbalance    float64 `json:"imbalance"`
 }
 
 // Load reads a snapshot file.
@@ -75,13 +82,19 @@ type metric struct {
 	// lowerBetter: a higher new value is worse. Otherwise higher is
 	// better (cache hit rate).
 	lowerBetter bool
+	// needsBaseline: a zero old value means the metric predates the old
+	// snapshot, so the pair is skipped instead of read as "cost
+	// appeared from zero".
+	needsBaseline bool
 }
 
 var metrics = []metric{
-	{"wall_ns", func(r Result) float64 { return float64(r.WallNs) }, true},
-	{"words", func(r Result) float64 { return float64(r.Words) }, true},
-	{"msgs", func(r Result) float64 { return float64(r.Msgs) }, true},
-	{"cache_hit_rate", func(r Result) float64 { return r.CacheHitRate }, false},
+	{name: "wall_ns", get: func(r Result) float64 { return float64(r.WallNs) }, lowerBetter: true},
+	{name: "words", get: func(r Result) float64 { return float64(r.Words) }, lowerBetter: true},
+	{name: "msgs", get: func(r Result) float64 { return float64(r.Msgs) }, lowerBetter: true},
+	{name: "cache_hit_rate", get: func(r Result) float64 { return r.CacheHitRate }},
+	{name: "blocked_share", get: func(r Result) float64 { return r.BlockedShare }, lowerBetter: true, needsBaseline: true},
+	{name: "imbalance", get: func(r Result) float64 { return r.Imbalance }, lowerBetter: true, needsBaseline: true},
 }
 
 // Compare computes per-workload deltas between two snapshots. A metric
@@ -105,6 +118,9 @@ func Compare(old, new []Result, threshold float64) *Comparison {
 		}
 		for _, m := range metrics {
 			ov, nv := m.get(or), m.get(nr)
+			if m.needsBaseline && ov == 0 {
+				continue // metric absent from the old snapshot: no baseline
+			}
 			d := Delta{Workload: nr.Name, Metric: m.name, Old: ov, New: nv}
 			switch {
 			case ov != 0:
@@ -194,8 +210,11 @@ func rawPct(d Delta) float64 {
 }
 
 func fmtVal(metric string, v float64) string {
-	if metric == "cache_hit_rate" {
+	switch metric {
+	case "cache_hit_rate":
 		return fmt.Sprintf("%.2f", v)
+	case "blocked_share", "imbalance":
+		return fmt.Sprintf("%.3f", v)
 	}
 	return fmt.Sprintf("%.0f", v)
 }

@@ -131,6 +131,43 @@ func TestZeroBaseline(t *testing.T) {
 	}
 }
 
+// TestBlockedShareDelta: blocked_share and imbalance are compared
+// lower-better once both snapshots carry them, and skipped (not read
+// as appeared-from-zero regressions) against a snapshot predating the
+// metrics.
+func TestBlockedShareDelta(t *testing.T) {
+	old := snapshot()
+	cur := snapshot()
+	for i := range old {
+		old[i].BlockedShare, cur[i].BlockedShare = 0.20, 0.20
+		old[i].Imbalance, cur[i].Imbalance = 1.05, 1.05
+	}
+	cur[0].BlockedShare = 0.25 // +25% blocked time on dgefa
+	regs := Compare(old, cur, 0.10).Regressions()
+	if len(regs) != 1 || regs[0].Workload != "dgefa" || regs[0].Metric != "blocked_share" {
+		t.Errorf("regressions = %+v, want one dgefa/blocked_share delta", regs)
+	}
+	var buf bytes.Buffer
+	if err := Compare(old, cur, 0.10).WriteText(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "blocked_share") {
+		t.Errorf("table lacks blocked_share:\n%s", buf.String())
+	}
+
+	// pre-metric old snapshot: no baseline, no delta, no regression
+	legacy := snapshot() // BlockedShare/Imbalance zero
+	c := Compare(legacy, cur, 0.10)
+	if regs := c.Regressions(); len(regs) != 0 {
+		t.Errorf("missing blocked_share baseline regressed: %+v", regs)
+	}
+	for _, d := range c.Deltas {
+		if d.Metric == "blocked_share" || d.Metric == "imbalance" {
+			t.Errorf("delta emitted without baseline: %+v", d)
+		}
+	}
+}
+
 // TestMissingWorkloads: new workloads have no baseline and are
 // reported, not flagged; removed workloads are ignored.
 func TestMissingWorkloads(t *testing.T) {

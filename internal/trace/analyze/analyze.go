@@ -36,7 +36,12 @@ type Matrix struct {
 type Hotspot struct {
 	Proc string
 	Line int
-	Op   string
+	// PID disambiguates unattributed sites (events carrying no
+	// procedure context): it is the observing processor for those and
+	// -1 for attributed sites, so two processors' unattributed costs
+	// never collapse into one row.
+	PID int
+	Op  string
 	// Msgs counts messages (a remap event counts its partner messages);
 	// Words is the payload total.
 	Msgs  int64
@@ -59,9 +64,13 @@ func (h Hotspot) Cost() float64 { return h.SendTime + h.BlockedTime }
 // CPSharePct is CPShare as a percentage (template convenience).
 func (h Hotspot) CPSharePct() float64 { return 100 * h.CPShare }
 
-// Site renders the site label ("DGEFA:12" or "(unattributed)").
+// Site renders the site label ("DGEFA:12", or "(unattributed p3)" for
+// an event stream that carried no procedure context).
 func (h Hotspot) Site() string {
 	if h.Proc == "" {
+		if h.PID >= 0 {
+			return fmt.Sprintf("(unattributed p%d)", h.PID)
+		}
 		return "(unattributed)"
 	}
 	if h.Line == 0 {
@@ -185,7 +194,13 @@ func Analyze(events []trace.Event) *Analysis {
 	}
 
 	a.Matrix = newMatrix(p)
-	sites := map[[3]interface{}]*Hotspot{}
+	type siteID struct {
+		proc string
+		line int
+		pid  int // -1 for attributed sites, observer PID otherwise
+		op   string
+	}
+	sites := map[siteID]*Hotspot{}
 	hist := map[int]*Bucket{}
 	a.BinWidth = a.Time / timelineBins
 	bins := make([]TimeBin, timelineBins)
@@ -214,10 +229,15 @@ func Analyze(events []trace.Event) *Analysis {
 	perProcCost := map[*Hotspot]map[int]float64{}
 	faults := map[string]*FaultStat{}
 	site := func(ev trace.Event) *Hotspot {
-		k := [3]interface{}{ev.Proc, ev.Line, ev.Name}
+		k := siteID{ev.Proc, ev.Line, -1, ev.Name}
+		if ev.Proc == "" {
+			// no procedure context: fall back to the observing processor
+			// so distinct unattributed sites stay distinct rows
+			k.pid = ev.PID
+		}
 		h := sites[k]
 		if h == nil {
-			h = &Hotspot{Proc: ev.Proc, Line: ev.Line, Op: ev.Name}
+			h = &Hotspot{Proc: ev.Proc, Line: ev.Line, PID: k.pid, Op: ev.Name}
 			sites[k] = h
 			perProcCost[h] = map[int]float64{}
 		}

@@ -59,6 +59,51 @@ func TestZeroWordHistogram(t *testing.T) {
 	}
 }
 
+// TestUnattributedSitesStayDistinct: events with no procedure context
+// fall back to the observing processor as the site key, so two
+// processors' unattributed costs never collapse into one row (the
+// collapsed row used to misreport both per-site totals and the
+// critical-path share, which is a per-processor maximum).
+func TestUnattributedSitesStayDistinct(t *testing.T) {
+	events := []trace.Event{
+		{Kind: trace.KindSend, Name: "send", PID: 0, Src: 0, Dst: 1, Words: 4, Start: 0, Dur: 5, Seq: 1},
+		{Kind: trace.KindSend, Name: "send", PID: 1, Src: 1, Dst: 0, Words: 8, Start: 0, Dur: 7, Seq: 1},
+		{Kind: trace.KindSend, Name: "send", PID: 1, Src: 1, Dst: 0, Words: 8, Start: 7, Dur: 7, Seq: 2},
+		{Kind: trace.KindSend, Name: "bcast", PID: 1, Src: 1, Dst: 0, Words: 2, Start: 14, Dur: 3, Seq: 3},
+		{Kind: trace.KindSend, Name: "send", Proc: "MAIN", Line: 3, PID: 0, Src: 0, Dst: 1, Words: 1, Start: 5, Dur: 2, Seq: 2},
+		{Kind: trace.KindProcSummary, PID: 0, Dur: 20, Sent: 2},
+		{Kind: trace.KindProcSummary, PID: 1, Dur: 20, Sent: 3},
+	}
+	a := Analyze(events)
+	if a == nil {
+		t.Fatal("Analyze returned nil")
+	}
+	// expect 4 rows: (unattributed p0) send, (unattributed p1) send,
+	// (unattributed p1) bcast, MAIN:3 send
+	if len(a.Hotspots) != 4 {
+		t.Fatalf("got %d hotspot rows, want 4: %+v", len(a.Hotspots), a.Hotspots)
+	}
+	bySite := map[string]Hotspot{}
+	for _, h := range a.Hotspots {
+		bySite[h.Site()+" "+h.Op] = h
+	}
+	p0 := bySite["(unattributed p0) send"]
+	if p0.Msgs != 1 || p0.Words != 4 || p0.SendTime != 5 || p0.PID != 0 {
+		t.Errorf("(unattributed p0) send = %+v", p0)
+	}
+	p1 := bySite["(unattributed p1) send"]
+	if p1.Msgs != 2 || p1.Words != 16 || p1.SendTime != 14 || p1.PID != 1 {
+		t.Errorf("(unattributed p1) send = %+v", p1)
+	}
+	if b := bySite["(unattributed p1) bcast"]; b.Msgs != 1 || b.Words != 2 {
+		t.Errorf("(unattributed p1) bcast = %+v", b)
+	}
+	m := bySite["MAIN:3 send"]
+	if m.Msgs != 1 || m.PID != -1 {
+		t.Errorf("attributed site = %+v, want Msgs=1 PID=-1", m)
+	}
+}
+
 // TestFaultAndAbortCollection: injected-fault and abort events are
 // aggregated into the analysis and rendered only when present.
 func TestFaultAndAbortCollection(t *testing.T) {

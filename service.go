@@ -16,6 +16,7 @@ import (
 	"time"
 
 	"fortd/internal/metrics"
+	"fortd/internal/profile"
 	"fortd/internal/summarycache"
 )
 
@@ -33,6 +34,9 @@ var (
 	// ErrUnknownProgram reports a run or report request naming a
 	// program id the service has not compiled (or has since evicted).
 	ErrUnknownProgram = errors.New("fortd: unknown program id")
+	// ErrUnknownProfile reports a profile id the service's store does
+	// not hold.
+	ErrUnknownProfile = errors.New("fortd: unknown profile id")
 )
 
 // RateLimitError is the concrete error behind ErrRateLimited
@@ -125,6 +129,11 @@ type ServiceConfig struct {
 	// requests may arrive back to back before the sustained rate
 	// applies (0: 2×ceil(RateLimit), at least 1). Requires RateLimit.
 	RateBurst int
+	// ProfileDir, when non-empty, persists profile artifacts collected
+	// by RunRequest.Profile as content-hash-keyed files under this
+	// directory, so a restarted daemon keeps serving its accumulated
+	// profile corpus. Empty keeps profiles in memory only.
+	ProfileDir string
 	// RunDeadline bounds each simulated run's wall-clock time (0:
 	// none); the machine's deadlock watchdog runs regardless.
 	RunDeadline time.Duration
@@ -220,6 +229,13 @@ type serviceMetrics struct {
 	rejected   *metrics.CounterVec // reason: rate-limit | overload | closed
 	compileSec *metrics.Histogram
 	runSec     *metrics.Histogram
+	// blockedShare observes each profiled run's machine-wide blocked
+	// fraction; profilesStored counts artifacts written to the profile
+	// store. Exactly one histogram observation per stored profile, so
+	// fdd_run_blocked_share_count == fdd_profiles_stored_total is a
+	// scrape-time accounting identity (checked by fdload -scrape).
+	blockedShare   *metrics.Histogram
+	profilesStored *metrics.Counter
 }
 
 // outcomeLabel maps a request error onto its counter label.
@@ -249,6 +265,9 @@ func (m *serviceMetrics) register(reg *metrics.Registry, s *Service) {
 	m.rejected = reg.CounterVec("fdd_rejected_total", "Requests rejected before acquiring a worker, by reason.", "reason")
 	m.compileSec = reg.Histogram("fdd_compile_seconds", "Compile latency including queue wait.", nil)
 	m.runSec = reg.Histogram("fdd_run_seconds", "Run latency including queue wait.", nil)
+	m.blockedShare = reg.Histogram("fdd_run_blocked_share", "Machine-wide blocked fraction of profiled runs (one observation per stored profile).",
+		[]float64{0.01, 0.02, 0.05, 0.1, 0.2, 0.3, 0.5, 0.7, 0.9, 1})
+	m.profilesStored = reg.Counter("fdd_profiles_stored_total", "Profile artifacts stored by RunRequest.Profile.")
 	locked := func(f func() float64) func() float64 {
 		return func() float64 {
 			s.mu.Lock()
@@ -286,12 +305,13 @@ func (m *serviceMetrics) register(reg *metrics.Registry, s *Service) {
 // sessions from one process. Create with NewService; a Service must
 // not be copied.
 type Service struct {
-	cfg     ServiceConfig
-	cache   *SummaryCache
-	workers int
-	depth   int
-	burst   float64
-	met     serviceMetrics
+	cfg      ServiceConfig
+	cache    *SummaryCache
+	profiles profile.Store
+	workers  int
+	depth    int
+	burst    float64
+	met      serviceMetrics
 
 	slots chan struct{}
 
@@ -323,6 +343,13 @@ func NewService(cfg ServiceConfig) (*Service, error) {
 			return nil, err
 		}
 	}
+	var profiles profile.Store = profile.NewMemStore()
+	if cfg.ProfileDir != "" {
+		var err error
+		if profiles, err = profile.NewDirStore(cfg.ProfileDir); err != nil {
+			return nil, err
+		}
+	}
 	workers := cfg.Workers
 	if workers == 0 {
 		workers = runtime.GOMAXPROCS(0)
@@ -339,7 +366,8 @@ func NewService(cfg ServiceConfig) (*Service, error) {
 		}
 	}
 	s := &Service{
-		cfg: cfg, cache: cache, workers: workers, depth: depth, burst: burst,
+		cfg: cfg, cache: cache, profiles: profiles,
+		workers: workers, depth: depth, burst: burst,
 		slots:    make(chan struct{}, workers),
 		sessions: map[string]*bucket{},
 		programs: map[string]*program{},
@@ -628,6 +656,12 @@ type RunRequest struct {
 	// Reference requests the sequential reference execution instead of
 	// the parallel SPMD run.
 	Reference bool
+	// Profile traces the run and stores its profile artifact in the
+	// service's profile store; the outcome carries the artifact's
+	// content-hash id. Ignored for Reference runs (nothing to trace).
+	Profile bool
+	// Workload labels the stored profile's metadata ("" is fine).
+	Workload string
 }
 
 // RunOutcome is a run call's result.
@@ -636,6 +670,10 @@ type RunOutcome struct {
 	ID string
 	// Result carries the run statistics and assembled arrays.
 	Result *Result
+	// ProfileID addresses the stored profile artifact when the request
+	// set Profile (empty otherwise, and for runs whose trace carried no
+	// machine activity).
+	ProfileID string `json:"profileId,omitempty"`
 }
 
 // Run executes a compiled program on the simulated machine. A dropped
@@ -677,11 +715,17 @@ func (s *Service) runLocked(ctx context.Context, req RunRequest) (*RunOutcome, e
 		}
 		prog, id = cres.Program, cres.ID
 	}
-	r := NewRunner(
+	ropts := []RunOption{
 		WithInit(req.Init),
 		WithInitScalars(req.InitScalars),
 		WithDeadline(s.cfg.RunDeadline),
-	)
+	}
+	var tr *Trace
+	if req.Profile && !req.Reference {
+		tr = NewTrace()
+		ropts = append(ropts, WithTrace(tr))
+	}
+	r := NewRunner(ropts...)
 	var (
 		res *Result
 		err error
@@ -694,8 +738,39 @@ func (s *Service) runLocked(ctx context.Context, req RunRequest) (*RunOutcome, e
 	if err != nil {
 		return nil, err
 	}
-	return &RunOutcome{ID: id, Result: res}, nil
+	out := &RunOutcome{ID: id, Result: res}
+	if tr != nil {
+		pf := profile.FromEvents(tr.Events(), profile.Meta{
+			ProgramHash: id,
+			Workload:    req.Workload,
+			P:           prog.P(),
+			Backend:     DefaultMachine(prog.P()).Backend.String(),
+		})
+		if pf != nil {
+			pid, err := s.profiles.Put(pf)
+			if err != nil {
+				return nil, fmt.Errorf("fortd: storing profile: %w", err)
+			}
+			out.ProfileID = pid
+			s.met.profilesStored.Inc()
+			s.met.blockedShare.Observe(pf.BlockedShare())
+		}
+	}
+	return out, nil
 }
+
+// Profile returns the stored profile artifact for id
+// (ErrUnknownProfile when the store does not hold it).
+func (s *Service) Profile(id string) (*profile.Profile, error) {
+	p, err := s.profiles.Get(id)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %s", ErrUnknownProfile, id)
+	}
+	return p, nil
+}
+
+// Profiles lists the stored profile artifacts, sorted by id.
+func (s *Service) Profiles() ([]profile.Entry, error) { return s.profiles.List() }
 
 // Lookup returns the retained source, options and listing for a
 // program id (for report rendering and listing diffs).
