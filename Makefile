@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check test race bench golden fuzz report serve load
+.PHONY: check test race bench golden overlap fuzz report serve load
 
 check: ## build + vet + race tests + fuzz smoke + trace-overhead guard
 	./ci.sh
@@ -17,6 +17,13 @@ bench: ## go benchmarks + the BENCH_<yyyymmdd>.json snapshot
 
 golden: ## regenerate the trace-summary, analysis, optimization-report and metrics goldens
 	$(GO) test -run TestGolden -update . ./internal/metrics
+
+overlap: ## profile jacobi with the blocking vs overlap schedule and diff the artifacts
+	$(GO) build -o /tmp/fdprof_overlap ./cmd/fdprof
+	$(GO) run ./cmd/fdrun -overlap=false -check=false -profile /tmp/overlap_off.json testdata/jacobi2d.f
+	$(GO) run ./cmd/fdrun -overlap -check=false -profile /tmp/overlap_on.json testdata/jacobi2d.f
+	/tmp/fdprof_overlap diff /tmp/overlap_off.json /tmp/overlap_on.json
+	rm -f /tmp/fdprof_overlap /tmp/overlap_off.json /tmp/overlap_on.json
 
 report: ## render the dgefa HTML performance report to report.html
 	$(GO) run ./cmd/fdreport -o report.html testdata/dgefa.f

@@ -20,10 +20,10 @@ type backendRun struct {
 	arrays  map[string][]float64
 }
 
-func runOnBackend(t *testing.T, prog *Program, init map[string][]float64, cfg MachineConfig) backendRun {
+func runOnBackend(t *testing.T, prog *Program, init map[string][]float64, cfg MachineConfig, plan *FaultPlan) backendRun {
 	t.Helper()
 	tr := NewTrace()
-	res, err := NewRunner(WithMachine(cfg), WithInit(init), WithTrace(tr)).Run(prog)
+	res, err := NewRunner(WithMachine(cfg), WithInit(init), WithTrace(tr), WithFaults(plan)).Run(prog)
 	if err != nil {
 		t.Fatalf("backend %v: %v", cfg.Backend, err)
 	}
@@ -61,15 +61,28 @@ func TestBackendDifferential(t *testing.T) {
 		name string
 		src  func(p int) string
 		init func(src string) map[string][]float64
+		plan *FaultPlan
 	}{
 		// dgefa needs the diagonally dominant matrix: factoring a plain
-		// ramp (singular) yields NaNs, and NaN != NaN breaks DeepEqual
-		{"jacobi", func(p int) string { return Jacobi2DSrc(64, 3, p) }, RampInit},
+		// ramp (singular) yields NaNs, and NaN != NaN breaks DeepEqual.
+		// DefaultOptions compiles with the overlap schedule on, so jacobi
+		// exercises split-phase postrecv/waitrecv and dgefa the pipelined
+		// postbcast/waitbcast path on both backends at every P.
+		{"jacobi", func(p int) string { return Jacobi2DSrc(64, 3, p) }, RampInit, nil},
 		{"dgefa", func(p int) string { return DgefaSrc(64, p) },
 			func(string) map[string][]float64 {
 				return map[string][]float64{"a": DgefaMatrix(64)}
-			}},
-		{"dyndist", func(p int) string { return Fig15Src(3, p) }, RampInit},
+			}, nil},
+		{"dyndist", func(p int) string { return Fig15Src(3, p) }, RampInit, nil},
+		// reduction lowers globalsum/globalmax to the binomial combining
+		// tree (machine.Reduce) plus the result broadcast
+		{"reduction", func(p int) string { return ReductionSrc(128, p) }, RampInit, nil},
+		// the straggler lane re-runs the overlapped stencil under a
+		// deterministic fault plan: processor 0 runs 2x slow and random
+		// delays perturb every flight, so the split-phase waits actually
+		// stall — the two backends must still agree byte-for-byte
+		{"jacobi_straggler", func(p int) string { return Jacobi2DSrc(64, 3, p) }, RampInit,
+			&FaultPlan{Seed: 11, DelayProb: 0.2, DelayMax: 40, Stragglers: map[int]float64{0: 2.0}}},
 	}
 	for _, w := range workloads {
 		for _, p := range []int{1, 3, 6, 16, 64} {
@@ -89,9 +102,9 @@ func TestBackendDifferential(t *testing.T) {
 				cfg.LinkDepth = 512
 
 				cfg.Backend = BackendDES
-				des := runOnBackend(t, prog, init, cfg)
+				des := runOnBackend(t, prog, init, cfg, w.plan)
 				cfg.Backend = BackendGoroutine
-				ref := runOnBackend(t, prog, init, cfg)
+				ref := runOnBackend(t, prog, init, cfg, w.plan)
 
 				if !bytes.Equal(des.jsonl, ref.jsonl) {
 					t.Errorf("JSONL trace exports differ (%d vs %d bytes): %s",

@@ -55,7 +55,24 @@ diff /tmp/ci_prof_a.json /tmp/ci_prof_b.json
 /tmp/ci_fdprof merge -o /tmp/ci_prof_m.json '/tmp/ci_prof_[ab].json'
 grep -q '"runs": 2' /tmp/ci_prof_m.json
 /tmp/ci_fdprof annotate /tmp/ci_prof_a.json testdata/jacobi2d.f | grep -q '!prof'
-rm -f /tmp/ci_fdprof /tmp/ci_prof_a.json /tmp/ci_prof_b.json /tmp/ci_prof_m.json
+rm -f /tmp/ci_prof_a.json /tmp/ci_prof_b.json /tmp/ci_prof_m.json
+
+# overlap smoke: the communication-overlap schedule must actually buy
+# blocked time on the jacobi stencil. Profile one run with the blocking
+# schedule and one with overlap, then gate on the profile diff: blocking
+# -> overlap must be regression-free (exit 0), and the reversed diff
+# must trip fdprof's regression exit — if it doesn't, overlap stopped
+# paying and this gate is the alarm
+go run ./cmd/fdrun -overlap=false -check=false \
+	-profile /tmp/ci_prof_off.json testdata/jacobi2d.f
+go run ./cmd/fdrun -overlap -check=false \
+	-profile /tmp/ci_prof_on.json testdata/jacobi2d.f
+/tmp/ci_fdprof diff /tmp/ci_prof_off.json /tmp/ci_prof_on.json
+if /tmp/ci_fdprof diff /tmp/ci_prof_on.json /tmp/ci_prof_off.json; then
+	echo "FAIL: blocking schedule profiles no worse than overlap; the overlap win is gone"
+	exit 1
+fi
+rm -f /tmp/ci_fdprof /tmp/ci_prof_off.json /tmp/ci_prof_on.json
 
 # daemon smoke: start fdd on a random port, compile+run jacobi over
 # HTTP, verify the returned SPMD listing is byte-identical to fdc's

@@ -145,9 +145,9 @@ func workloads() []workload {
 	}
 }
 
-func measure(w workload, runs, jobs int, backend fortd.Backend) benchcmp.Result {
+func measure(w workload, runs, jobs int, backend fortd.Backend, overlap bool) benchcmp.Result {
 	best := benchcmp.Result{Name: w.name, Jobs: jobs}
-	opts := fortd.DefaultOptions()
+	opts := fortd.DefaultOptions().WithOverlap(overlap)
 	opts.Jobs = jobs
 	for i := 0; i < runs; i++ {
 		init := w.init()
@@ -254,6 +254,7 @@ func main() {
 	against := flag.String("against", "", "old snapshot to compare against; exit non-zero on regression")
 	threshold := flag.Float64("threshold", 0.10, "relative regression threshold for -against (0.10 = 10%)")
 	reportOut := flag.String("report", "", "write the self-contained HTML performance report to this file")
+	overlap := flag.Bool("overlap", true, "compile with the communication-overlap schedule (-overlap=false pins the blocking baseline)")
 	flag.Parse()
 
 	backend, err := fortd.ParseBackend(*backendFlag)
@@ -280,7 +281,7 @@ func main() {
 			fmt.Printf("%-12s skipped: P=%d needs the des backend (goroutine links are O(P²))\n", w.name, w.p)
 			continue
 		}
-		r := measure(w, *runs, *jobs, backend)
+		r := measure(w, *runs, *jobs, backend, *overlap)
 		fmt.Printf("%-12s wall=%-12s words=%-8d msgs=%-6d cache-hit-rate=%.2f blocked-share=%.3f imbalance=%.3f\n",
 			r.Name, time.Duration(r.WallNs), r.Words, r.Msgs, r.CacheHitRate, r.BlockedShare, r.Imbalance)
 		results = append(results, r)

@@ -58,6 +58,7 @@ func main() {
 		pprofOn     = flag.Bool("pprof", false, "expose net/http/pprof under /debug/pprof (opt-in; leaks process internals)")
 		drain       = flag.Duration("drain", 2*time.Second, "hold /readyz at 503 this long before shutdown on SIGINT/SIGTERM")
 		logLevel    = flag.String("log-level", "info", "structured log level: debug, info, warn or error")
+		overlap     = flag.Bool("overlap", true, "compile with the communication-overlap schedule by default (requests may override Options)")
 	)
 	flag.Parse()
 
@@ -69,7 +70,7 @@ func main() {
 	logger := slog.New(slog.NewJSONHandler(os.Stderr, &slog.HandlerOptions{Level: level}))
 
 	reg := metrics.New()
-	base := fortd.DefaultOptions()
+	base := fortd.DefaultOptions().WithOverlap(*overlap)
 	base.Jobs = *jobs
 	cfg := fortd.ServiceConfig{
 		Options:     withDeadline(base, *compileWall),

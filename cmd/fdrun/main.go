@@ -93,6 +93,7 @@ func main() {
 	reportOut := flag.String("report", "", "write the self-contained HTML performance report to this file")
 	sweepFlag := flag.String("sweep", "1,2,4,8", "processor counts for the report's scaling sweep (empty: skip)")
 	backendFlag := flag.String("backend", "des", "machine engine: des (discrete-event, scales to P=1024+) or goroutine (reference)")
+	overlap := flag.Bool("overlap", true, "overlap communication with computation (post halo receives early, sink waits past interior iterations)")
 	spmdMode := flag.Bool("spmd", false, "run the input as a hand-written SPMD node program (no compilation, no reference check)")
 	deadline := flag.Duration("deadline", 0, "wall-clock deadline for the simulated run (0: none)")
 	faultSeed := flag.Int64("fault-seed", 0, "seed for the deterministic fault-injection plan")
@@ -145,6 +146,7 @@ func main() {
 		opts.Jobs = *jobs
 		opts.Trace = tr
 		opts.Explain = ex
+		opts.Overlap = *overlap
 		switch *strategy {
 		case "interproc":
 			opts.Strategy = fortd.Interprocedural

@@ -69,6 +69,49 @@ func faultScenarios() []faultScenario {
 			node: ringNode,
 		})
 	}
+	// split-phase ring under faults: every processor posts its receive
+	// before computing and waits after, so a straggler plus random
+	// delays decide how much of each flight the compute hides — the
+	// KindWait residuals must come out identical on both backends
+	for _, seed := range []int64{2, 42} {
+		scs = append(scs, faultScenario{
+			name: fmt.Sprintf("overlap_ring_seed%d", seed),
+			cfg:  faultCfg(3),
+			plan: &machine.FaultPlan{
+				Seed: seed, DelayProb: 0.3, DelayMax: 50,
+				Stragglers: map[int]float64{1: 2.5},
+			},
+			node: func(m *machine.Machine, p *machine.Proc) {
+				id := p.ID()
+				for it := 0; it < 12; it++ {
+					p.SetContext("ORING", it+1, "")
+					h := p.IRecv((id + 2) % 3)
+					buf := make([]float64, 1+(id+it)%4)
+					for j := range buf {
+						buf[j] = float64(id*100 + it)
+					}
+					p.Send((id+1)%3, buf)
+					p.Compute(3 + id)
+					p.WaitHandle(h)
+				}
+			},
+		})
+	}
+	// binomial combining tree at a non-power-of-two P with a slow leaf:
+	// the straggler sits mid-tree, so its delay propagates through the
+	// combine rounds; clocks, message counts and the golden trace pin
+	// the tree schedule on both backends
+	scs = append(scs, faultScenario{
+		name: "reduce_tree_straggler",
+		cfg:  faultCfg(6),
+		plan: &machine.FaultPlan{Seed: 3, Stragglers: map[int]float64{3: 2.0}},
+		node: func(m *machine.Machine, p *machine.Proc) {
+			id := p.ID()
+			p.SetContext("REDUCE", 1, "")
+			p.Compute(5 * (id + 1))
+			p.Reduce(0, float64(id+1), func(a, b float64) float64 { return a + b })
+		},
+	})
 	// cooperative abort: the origin computes and aborts without sending,
 	// so its peers block on links with nothing in flight — on both
 	// backends the only possible outcome is an abort-unblock, making the

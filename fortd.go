@@ -227,12 +227,29 @@ type Options struct {
 	// CompileContext derives a timeout context from it; a compilation
 	// that exceeds it returns context.DeadlineExceeded.
 	Deadline time.Duration
+	// Overlap enables the computation/communication overlap schedule:
+	// blocking halo exchanges are split into post-early/wait-late pairs
+	// with the interior of the following loop hoisted between them, and
+	// pipelined broadcasts are posted above independent predecessors.
+	// The generated listing changes (postrecv/waitrecv statements and
+	// peeled boundary loops appear) but the computed values do not.
+	// DefaultOptions enables it.
+	Overlap bool
+}
+
+// WithOverlap returns a copy of o with the overlap schedule switched
+// on or off. It exists for call-site chaining:
+//
+//	fortd.DefaultOptions().WithOverlap(false)
+func (o Options) WithOverlap(on bool) Options {
+	o.Overlap = on
+	return o
 }
 
 // DefaultOptions enables the full interprocedural pipeline.
 func DefaultOptions() Options {
 	d := core.DefaultOptions()
-	return Options{Strategy: d.Strategy, RemapOpt: d.RemapOpt, CloneLimit: d.CloneLimit}
+	return Options{Strategy: d.Strategy, RemapOpt: d.RemapOpt, CloneLimit: d.CloneLimit, Overlap: d.Overlap}
 }
 
 // Validate reports the first invalid field. Compile calls it, so
@@ -348,7 +365,7 @@ func CompileContext(ctx context.Context, src string, opts Options) (*Program, er
 		P: opts.P, Strategy: opts.Strategy,
 		RemapOpt: opts.RemapOpt, CloneLimit: opts.CloneLimit,
 		Trace: opts.Trace, Explain: opts.Explain,
-		Jobs: opts.Jobs, Cache: cache,
+		Jobs: opts.Jobs, Cache: cache, Overlap: opts.Overlap,
 	})
 	if err != nil {
 		return nil, err

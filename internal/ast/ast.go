@@ -329,6 +329,47 @@ type GlobalReduce struct {
 	Op  string // "+", "MAX", "MIN"
 }
 
+// PostRecv posts a nonblocking receive of the section of Array from
+// processor Src (the post half of a blocking Recv split by the overlap
+// schedule pass). Tag pairs it with the WaitRecv that completes it;
+// tags are unique program-wide so posts and waits match across
+// procedure boundaries.
+type PostRecv struct {
+	stmtBase
+	Array string
+	Sec   []SecDim
+	Src   Expr
+	Tag   int
+}
+
+// WaitRecv completes the PostRecv with the same Tag, blocking until
+// the message arrives and storing it into Array's section. A WaitRecv
+// whose post was skipped (its guard was false) is a no-op.
+type WaitRecv struct {
+	stmtBase
+	Array string
+	Tag   int
+}
+
+// PostBcast posts the send half of a split-phase broadcast of the
+// section of Array from processor Root: the root's tree sends happen
+// here, every other processor only records what to wait for.
+type PostBcast struct {
+	stmtBase
+	Array string
+	Sec   []SecDim
+	Root  Expr
+	Tag   int
+}
+
+// WaitBcast completes the PostBcast with the same Tag, blocking until
+// the broadcast payload arrives and storing it into Array's section.
+type WaitBcast struct {
+	stmtBase
+	Array string
+	Tag   int
+}
+
 // Remap invokes the data-remapping library routine, physically moving
 // Array between two distributions. InPlace marks the array-kill
 // optimization (§6.3): only the descriptor is updated, no data moves.
@@ -353,6 +394,10 @@ func (*Recv) stmtNode()          {}
 func (*Broadcast) stmtNode()     {}
 func (*AllGather) stmtNode()     {}
 func (*GlobalReduce) stmtNode()  {}
+func (*PostRecv) stmtNode()      {}
+func (*WaitRecv) stmtNode()      {}
+func (*PostBcast) stmtNode()     {}
+func (*WaitBcast) stmtNode()     {}
 func (*Remap) stmtNode()         {}
 
 // ---------------------------------------------------------------------------

@@ -118,6 +118,14 @@ func printStmts(b *strings.Builder, body []Stmt, depth int) {
 				name = "globalsum"
 			}
 			fmt.Fprintf(b, "%s%s %s\n", ind, name, st.Var)
+		case *PostRecv:
+			fmt.Fprintf(b, "%spostrecv %s(%s) from %s tag %d\n", ind, st.Array, secString(st.Sec), st.Src, st.Tag)
+		case *WaitRecv:
+			fmt.Fprintf(b, "%swaitrecv %s tag %d\n", ind, st.Array, st.Tag)
+		case *PostBcast:
+			fmt.Fprintf(b, "%spostbcast %s(%s) from %s tag %d\n", ind, st.Array, secString(st.Sec), st.Root, st.Tag)
+		case *WaitBcast:
+			fmt.Fprintf(b, "%swaitbcast %s tag %d\n", ind, st.Array, st.Tag)
 		case *Remap:
 			kind := "remap"
 			if st.InPlace {

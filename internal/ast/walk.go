@@ -85,6 +85,18 @@ func StmtExprs(s Stmt) []Expr {
 			out = append(out, d.Lo, d.Hi)
 		}
 		return out
+	case *PostRecv:
+		out := []Expr{st.Src}
+		for _, d := range st.Sec {
+			out = append(out, d.Lo, d.Hi)
+		}
+		return out
+	case *PostBcast:
+		out := []Expr{st.Root}
+		for _, d := range st.Sec {
+			out = append(out, d.Lo, d.Hi)
+		}
+		return out
 	}
 	return nil
 }
@@ -169,6 +181,14 @@ func CloneStmt(s Stmt) Stmt {
 		return &AllGather{stmtBase: st.stmtBase, Array: st.Array, Sec: cloneSec(st.Sec)}
 	case *GlobalReduce:
 		return &GlobalReduce{stmtBase: st.stmtBase, Var: st.Var, Op: st.Op}
+	case *PostRecv:
+		return &PostRecv{stmtBase: st.stmtBase, Array: st.Array, Sec: cloneSec(st.Sec), Src: CloneExpr(st.Src), Tag: st.Tag}
+	case *WaitRecv:
+		return &WaitRecv{stmtBase: st.stmtBase, Array: st.Array, Tag: st.Tag}
+	case *PostBcast:
+		return &PostBcast{stmtBase: st.stmtBase, Array: st.Array, Sec: cloneSec(st.Sec), Root: CloneExpr(st.Root), Tag: st.Tag}
+	case *WaitBcast:
+		return &WaitBcast{stmtBase: st.stmtBase, Array: st.Array, Tag: st.Tag}
 	case *Remap:
 		return &Remap{
 			stmtBase: st.stmtBase, Array: st.Array,

@@ -22,6 +22,7 @@ import (
 	"fortd/internal/parser"
 	"fortd/internal/partition"
 	"fortd/internal/reach"
+	"fortd/internal/sched"
 	"fortd/internal/summarycache"
 	"fortd/internal/symconst"
 	"fortd/internal/trace"
@@ -55,6 +56,13 @@ type Options struct {
 	// source and consumed interprocedural inputs, so recompilations
 	// re-analyze only the invalidated cone of the ACG.
 	Cache *summarycache.Cache
+	// Overlap enables the post-codegen communication/computation
+	// overlap pass (internal/sched): blocking halo exchanges become
+	// post-early/wait-late pairs and broadcasts are posted above
+	// independent predecessors. It runs after the summary cache is
+	// populated, so cached artifacts always hold the blocking form and
+	// one cache serves both modes.
+	Overlap bool
 }
 
 // DefaultOptions enables everything the paper's compiler does.
@@ -63,6 +71,7 @@ func DefaultOptions() Options {
 		Strategy:   codegen.StrategyInterproc,
 		RemapOpt:   livedecomp.OptKills,
 		CloneLimit: 64,
+		Overlap:    true,
 	}
 }
 
@@ -315,6 +324,16 @@ func CompileProgramContext(ctx context.Context, prog *ast.Program, opts Options)
 		tr.Counter(counterCacheHits, int64(len(c.CacheHits)))
 		tr.Counter(counterCacheMisses, int64(len(c.CacheMisses)))
 		pcx.storeEntries(outs)
+	}
+	if opts.Overlap {
+		// runs after storeEntries: the cache holds the blocking form, so
+		// one cache serves compiles with overlap on and off. Sequential
+		// over units in program order, so tags and remarks are
+		// deterministic regardless of opts.Jobs.
+		endSched := tr.Phase("overlap-schedule")
+		overlapped := sched.Apply(prog, opts.Explain)
+		endSched()
+		tr.Counter("comm-overlapped", int64(overlapped))
 	}
 	return c, nil
 }

@@ -526,6 +526,16 @@ func (p *Proc) Recv(from int) []float64 {
 	if from == p.id {
 		return nil
 	}
+	return p.recvAs(from, trace.KindRecv)
+}
+
+// recvAs is the shared receive loop behind Recv (KindRecv) and
+// WaitHandle (KindWait): engine receive with duplicate-drop, arrival
+// accounting against the single message.arrival definition, and one
+// trace event of the given kind. Keeping blocking and split-phase
+// receives on one code path is what makes their clocks — and therefore
+// the two backends' trace exports — identical by construction.
+func (p *Proc) recvAs(from int, kind trace.Kind) []float64 {
 	for {
 		msg := p.m.eng.receive(p, from)
 		if msg.dup {
@@ -541,7 +551,7 @@ func (p *Proc) Recv(from int) []float64 {
 		p.stats.Received++
 		if p.m.tr != nil {
 			p.m.tr.Emit(trace.Event{
-				Kind: trace.KindRecv, Name: p.op(),
+				Kind: kind, Name: p.op(),
 				Proc: p.ctxProc, Line: p.ctxLine,
 				PID: p.id, Src: from, Dst: p.id, Words: len(msg.data),
 				Start: start, Dur: p.stats.Clock - start, Seq: msg.seq,

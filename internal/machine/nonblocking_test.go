@@ -1,0 +1,277 @@
+package machine
+
+import (
+	"testing"
+
+	"fortd/internal/trace"
+)
+
+// TestIRecvWaitHidesFlightTime is the split-phase contract: a receive
+// posted before enough independent computation costs nothing at the
+// wait, while the blocking equivalent stalls for the full flight time.
+func TestIRecvWaitHidesFlightTime(t *testing.T) {
+	cfg := Config{P: 2, Latency: 10, PerWord: 1, FlopCost: 1}
+
+	m := New(cfg)
+	m.Go(0, func(p *Proc) { p.Send(1, []float64{7, 7, 7}) })
+	var got []float64
+	m.Go(1, func(p *Proc) {
+		h := p.IRecv(0)
+		p.Compute(100) // arrival is at 10+3 = 13, long past
+		got = p.WaitHandle(h)
+	})
+	m.Wait()
+	if len(got) != 3 || got[0] != 7 {
+		t.Fatalf("data = %v", got)
+	}
+	s := m.Stats()
+	if s.PerProc[1].Wait != 0 {
+		t.Errorf("hidden wait stalled %v", s.PerProc[1].Wait)
+	}
+	if s.PerProc[1].Clock != 100 {
+		t.Errorf("receiver clock = %v, want 100", s.PerProc[1].Clock)
+	}
+
+	// same exchange, no computation: the wait eats the full flight
+	// time (send startup 10 + latency 10 + 3 words)
+	m = New(cfg)
+	m.Go(0, func(p *Proc) { p.Send(1, []float64{7, 7, 7}) })
+	m.Go(1, func(p *Proc) {
+		p.WaitHandle(p.IRecv(0))
+	})
+	m.Wait()
+	if w := m.Stats().PerProc[1].Wait; w != 23 {
+		t.Errorf("unhidden wait = %v, want 23", w)
+	}
+}
+
+// TestWaitHandleIdempotent: waiting twice returns the same payload
+// without a second receive; nil and send handles are no-ops.
+func TestWaitHandleIdempotent(t *testing.T) {
+	m := New(DefaultConfig(2))
+	m.Go(0, func(p *Proc) {
+		h := p.ISend(1, []float64{1})
+		if d := p.WaitHandle(h); d != nil {
+			t.Errorf("send wait returned %v", d)
+		}
+		if d := p.WaitHandle(nil); d != nil {
+			t.Errorf("nil wait returned %v", d)
+		}
+		if d := p.WaitHandle(p.IRecv(0)); d != nil {
+			t.Errorf("self-receive returned %v", d)
+		}
+	})
+	m.Go(1, func(p *Proc) {
+		h := p.IRecv(0)
+		a := p.WaitHandle(h)
+		b := p.WaitHandle(h)
+		if len(a) != 1 || a[0] != 1 {
+			t.Errorf("first wait = %v", a)
+		}
+		if &a[0] != &b[0] {
+			t.Error("second wait re-received")
+		}
+	})
+	m.Wait()
+	if s := m.Stats(); s.PerProc[1].Received != 1 {
+		t.Errorf("received %d messages, want 1", s.PerProc[1].Received)
+	}
+}
+
+// TestWaitEventKind: a stalled WaitHandle is attributed as KindWait —
+// not KindRecv — carrying the stall duration the schedule failed to
+// hide.
+func TestWaitEventKind(t *testing.T) {
+	tr := trace.New()
+	m := New(Config{P: 2, Latency: 10, PerWord: 1, FlopCost: 1})
+	m.SetTracer(tr)
+	m.Go(0, func(p *Proc) { p.Send(1, []float64{1, 2}) })
+	m.Go(1, func(p *Proc) { p.WaitHandle(p.IRecv(0)) })
+	m.Wait()
+	var waits int
+	for _, ev := range tr.Events() {
+		switch ev.Kind {
+		case trace.KindWait:
+			waits++
+			if ev.Dur != 22 { // send startup 10 + latency 10 + 2 words
+				t.Errorf("wait dur = %v, want 22", ev.Dur)
+			}
+		case trace.KindRecv:
+			t.Error("split-phase receive emitted KindRecv")
+		}
+	}
+	if waits != 1 {
+		t.Errorf("wait events = %d, want 1", waits)
+	}
+}
+
+// TestBcastTreeTopology pins the binomial tree against the rounds the
+// blocking Broadcast walks inline: rank rel receives from rel-k in the
+// round with k <= rel < 2k and forwards to rel+k in every later round.
+func TestBcastTreeTopology(t *testing.T) {
+	cases := []struct {
+		rel, np  int
+		parent   int
+		children []int
+	}{
+		{0, 8, -1, []int{1, 2, 4}},
+		{1, 8, 0, []int{3, 5}},
+		{2, 8, 0, []int{6}},
+		{3, 8, 1, []int{7}},
+		{4, 8, 0, nil},
+		{7, 8, 3, nil},
+		{0, 1, -1, nil},
+		{2, 6, 0, nil},
+		{1, 6, 0, []int{3, 5}},
+	}
+	for _, c := range cases {
+		parent, children := bcastTree(c.rel, c.np)
+		if parent != c.parent {
+			t.Errorf("bcastTree(%d,%d) parent = %d, want %d", c.rel, c.np, parent, c.parent)
+		}
+		if len(children) != len(c.children) {
+			t.Errorf("bcastTree(%d,%d) children = %v, want %v", c.rel, c.np, children, c.children)
+			continue
+		}
+		for i := range children {
+			if children[i] != c.children[i] {
+				t.Errorf("bcastTree(%d,%d) children = %v, want %v", c.rel, c.np, children, c.children)
+				break
+			}
+		}
+	}
+}
+
+// TestPostBcastMatchesBroadcast: the split-phase broadcast delivers
+// the same payload everywhere and moves exactly the blocking
+// broadcast's P-1 messages, at every P and root.
+func TestPostBcastMatchesBroadcast(t *testing.T) {
+	for _, np := range []int{1, 2, 3, 4, 6, 8, 16} {
+		for root := 0; root < np; root += 1 + np/3 {
+			m := New(DefaultConfig(np))
+			results := make([][]float64, np)
+			for pid := 0; pid < np; pid++ {
+				pid := pid
+				m.Go(pid, func(p *Proc) {
+					var data []float64
+					if pid == root {
+						data = []float64{float64(root), 42}
+					}
+					results[pid] = p.WaitBcast(p.PostBcast(root, data))
+				})
+			}
+			m.Wait()
+			for pid, r := range results {
+				if len(r) != 2 || r[0] != float64(root) || r[1] != 42 {
+					t.Errorf("np=%d root=%d proc %d got %v", np, root, pid, r)
+				}
+			}
+			if s := m.Stats(); s.Messages != int64(np-1) {
+				t.Errorf("np=%d root=%d messages = %d, want %d", np, root, s.Messages, np-1)
+			}
+		}
+	}
+}
+
+// TestReduceTree: the combining tree leaves the full reduction on the
+// root for every P (odd and even) and root choice, with P-1 messages.
+func TestReduceTree(t *testing.T) {
+	sum := func(a, b float64) float64 { return a + b }
+	for _, np := range []int{1, 2, 3, 5, 7, 8, 16} {
+		want := float64(np*(np-1)) / 2
+		for root := 0; root < np; root += 1 + np/2 {
+			m := New(DefaultConfig(np))
+			var got float64
+			for pid := 0; pid < np; pid++ {
+				pid := pid
+				m.Go(pid, func(p *Proc) {
+					acc := p.Reduce(root, float64(pid), sum)
+					if pid == root {
+						got = acc
+					}
+				})
+			}
+			m.Wait()
+			if got != want {
+				t.Errorf("np=%d root=%d sum = %v, want %v", np, root, got, want)
+			}
+			if s := m.Stats(); s.Messages != int64(np-1) {
+				t.Errorf("np=%d root=%d messages = %d, want %d", np, root, s.Messages, np-1)
+			}
+		}
+	}
+}
+
+// TestReduceTreeVsLinearGather pins the cost of the lowering
+// execGlobalReduce abandoned — a flat gather whose root performed P-1
+// receives in fixed ascending pid order — against the binomial
+// combining tree, on this machine model. The trade is structural, and
+// the numbers keep both sides honest:
+//
+//   - Message counts are equal (P-1), but the flat gather funnels all
+//     P-1 messages into the root in one step, while the tree bounds
+//     every processor's in-degree by ceil(log2 P) — the iPSC library's
+//     actual gather pattern, and the shape that scales to P=1024.
+//   - On an otherwise idle machine the flat gather's completion is
+//     latency-OPTIMAL here, because receives cost the receiver
+//     nothing: the root's clock is just the last arrival. The tree
+//     pays one flight per level, ceil(log2 P) deep. This test pins
+//     that overhead to at most depth * (one flight + one startup), so
+//     a cost-model change that silently inflates the tree shows up.
+func TestReduceTreeVsLinearGather(t *testing.T) {
+	const np = 16
+	cfg := DefaultConfig(np)
+	sum := func(a, b float64) float64 { return a + b }
+
+	linear := New(cfg)
+	for pid := 0; pid < np; pid++ {
+		pid := pid
+		linear.Go(pid, func(p *Proc) {
+			if pid == 0 {
+				acc := 1.0                // the root's own contribution
+				for q := 1; q < np; q++ { // the old fixed ascending order
+					acc += p.Recv(q)[0]
+				}
+				if acc != np {
+					t.Errorf("linear gather sum = %v", acc)
+				}
+			} else {
+				p.Send(0, []float64{1})
+			}
+		})
+	}
+	linear.Wait()
+
+	tree := New(cfg)
+	for pid := 0; pid < np; pid++ {
+		pid := pid
+		tree.Go(pid, func(p *Proc) {
+			acc := p.Reduce(0, 1, sum)
+			if pid == 0 && acc != np {
+				t.Errorf("tree reduce sum = %v", acc)
+			}
+		})
+	}
+	tree.Wait()
+
+	ls, ts := linear.Stats(), tree.Stats()
+	if ls.Messages != np-1 || ts.Messages != np-1 {
+		t.Errorf("messages: linear %d tree %d, want %d both", ls.Messages, ts.Messages, np-1)
+	}
+	if ls.PerProc[0].Received != np-1 {
+		t.Errorf("flat root in-degree = %d, want %d", ls.PerProc[0].Received, np-1)
+	}
+	if ts.PerProc[0].Received != 4 { // ceil(log2 16)
+		t.Errorf("tree root in-degree = %d, want 4", ts.PerProc[0].Received)
+	}
+	// flat root clock: every leaf sends at 0 (startup latency 70), one
+	// flight later the last arrival lands: 70 + 70 + 1 word = 140.4
+	if ls.PerProc[0].Clock != 140.4 {
+		t.Errorf("flat gather root clock = %v, want 140.4", ls.PerProc[0].Clock)
+	}
+	depth := 4.0
+	flight := cfg.Latency + cfg.Latency + 1*cfg.PerWord // startup + flight + 1 word
+	if rc := ts.PerProc[0].Clock; rc < ls.PerProc[0].Clock || rc > depth*flight {
+		t.Errorf("tree root clock = %v, want within (%v, %v]", rc, ls.PerProc[0].Clock, depth*flight)
+	}
+}

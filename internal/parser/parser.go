@@ -318,6 +318,10 @@ func (p *parser) parseStmt() (ast.Stmt, error) {
 		return p.parseComm("BROADCAST")
 	case "ALLGATHER":
 		return p.parseComm("ALLGATHER")
+	case "POSTRECV", "POSTBCAST":
+		return p.parsePost(strings.ToUpper(t.Text) == "POSTBCAST")
+	case "WAITRECV", "WAITBCAST":
+		return p.parseWait(strings.ToUpper(t.Text) == "WAITBCAST")
 	case "REMAP", "MARKAS":
 		return p.parseRemap(strings.ToUpper(t.Text) == "MARKAS")
 	case "GLOBALSUM", "GLOBALMAX", "GLOBALMIN":
@@ -888,6 +892,82 @@ func (p *parser) parseComm(kind string) (ast.Stmt, error) {
 		st = s
 	}
 	return st, p.endOfStmt()
+}
+
+// parsePost parses the split-phase post statements emitted by the
+// overlap schedule:
+//
+//	postrecv  ARR(sec,...) from EXPR tag N
+//	postbcast ARR(sec,...) from EXPR tag N
+func (p *parser) parsePost(bcast bool) (ast.Stmt, error) {
+	p.next() // keyword
+	arr, err := p.expect(lexer.IDENT, "array name")
+	if err != nil {
+		return nil, err
+	}
+	sec, err := p.parseSection()
+	if err != nil {
+		return nil, err
+	}
+	if !p.acceptKeyword("FROM") {
+		return nil, fmt.Errorf("line %d: expected FROM", arr.Line)
+	}
+	peer, err := p.parseExpr()
+	if err != nil {
+		return nil, err
+	}
+	tag, err := p.parseTag(arr.Line)
+	if err != nil {
+		return nil, err
+	}
+	pos := ast.Position{Line: arr.Line}
+	var st ast.Stmt
+	if bcast {
+		s := &ast.PostBcast{Array: arr.Text, Sec: sec, Root: peer, Tag: tag}
+		s.Position = pos
+		st = s
+	} else {
+		s := &ast.PostRecv{Array: arr.Text, Sec: sec, Src: peer, Tag: tag}
+		s.Position = pos
+		st = s
+	}
+	return st, p.endOfStmt()
+}
+
+// parseWait parses "waitrecv ARR tag N" / "waitbcast ARR tag N".
+func (p *parser) parseWait(bcast bool) (ast.Stmt, error) {
+	p.next() // keyword
+	arr, err := p.expect(lexer.IDENT, "array name")
+	if err != nil {
+		return nil, err
+	}
+	tag, err := p.parseTag(arr.Line)
+	if err != nil {
+		return nil, err
+	}
+	pos := ast.Position{Line: arr.Line}
+	var st ast.Stmt
+	if bcast {
+		s := &ast.WaitBcast{Array: arr.Text, Tag: tag}
+		s.Position = pos
+		st = s
+	} else {
+		s := &ast.WaitRecv{Array: arr.Text, Tag: tag}
+		s.Position = pos
+		st = s
+	}
+	return st, p.endOfStmt()
+}
+
+func (p *parser) parseTag(line int) (int, error) {
+	if !p.acceptKeyword("TAG") {
+		return 0, fmt.Errorf("line %d: expected TAG", line)
+	}
+	t, err := p.expect(lexer.INT, "tag number")
+	if err != nil {
+		return 0, err
+	}
+	return t.Int, nil
 }
 
 func (p *parser) parseSection() ([]ast.SecDim, error) {

@@ -322,3 +322,43 @@ func TestWritersSmoke(t *testing.T) {
 		t.Errorf("annotated output lacks the header block:\n%s", out)
 	}
 }
+
+// TestZeroDurationShares pins the degenerate-run contract: a run whose
+// processors never advance their clocks (zero duration, zero blocking)
+// must report blocked share 0 and imbalance 0 — never NaN or Inf from
+// the 0/0 ratios — and the serialized artifact must stay finite, so
+// downstream share-based gates (fdprof diff, bench snapshots) compare
+// cleanly against it.
+func TestZeroDurationShares(t *testing.T) {
+	events := []trace.Event{
+		{Kind: trace.KindProcSummary, PID: 0, Dur: 0},
+		{Kind: trace.KindProcSummary, PID: 1, Dur: 0},
+	}
+	p := FromEvents(events, Meta{ProgramHash: "zero", Workload: "idle", P: 2, Backend: "des"})
+	if p == nil {
+		t.Fatal("FromEvents returned nil for a summarized zero-duration run")
+	}
+	if bs := p.BlockedShare(); bs != 0 {
+		t.Errorf("blocked share = %v, want exactly 0", bs)
+	}
+	if im := p.Imbalance(); im != 0 {
+		t.Errorf("imbalance = %v, want exactly 0", im)
+	}
+	buf := mustMarshal(t, p)
+	for _, bad := range []string{"NaN", "Inf"} {
+		if bytes.Contains(buf, []byte(bad)) {
+			t.Errorf("artifact contains %q:\n%s", bad, buf)
+		}
+	}
+	// a diff against itself classifies nothing and stays finite
+	c := Diff(p, p, DefaultThresholds())
+	if c.BlockedShare.Pct != 0 || c.BlockedShare.Class != "" {
+		t.Errorf("self-diff blocked share = %+v", c.BlockedShare)
+	}
+
+	// nil and empty profiles answer 0 as well
+	var nilP *Profile
+	if nilP.BlockedShare() != 0 || nilP.Imbalance() != 0 {
+		t.Error("nil profile shares not 0")
+	}
+}

@@ -178,6 +178,12 @@ func (it *interp) execBroadcast(f *frame, st *ast.Broadcast) error {
 	return nil
 }
 
+// execAllGather makes a distributed section fully replicated. It is
+// lowered as a binomial gather of owner blocks to processor 0 followed
+// by a tree broadcast of the concatenation: 2(P-1) messages on
+// 2·ceil(log2 P) critical-path steps. The previous lowering was an
+// all-to-all exchange — P(P-1) messages with every processor
+// serialized on P-1 receives in ascending pid order.
 func (it *interp) execAllGather(f *frame, st *ast.AllGather) error {
 	arr := f.arrays[st.Array]
 	if arr == nil {
@@ -190,36 +196,64 @@ func (it *interp) execAllGather(f *frame, st *ast.AllGather) error {
 	if err != nil {
 		return err
 	}
-	if empty {
+	if empty || it.nproc == 1 {
 		return nil
 	}
 	parts := it.ownerParts(arr, bounds)
-	// non-blocking sends first, then receives, in processor order; the
-	// payload is this processor's part, identical to every destination,
-	// so it is staged once (Send does not retain the slice)
-	var data []float64
-	if len(parts[it.p]) > 0 {
-		data = it.proc.Scratch(len(parts[it.p]))
-		for i, o := range parts[it.p] {
-			data[i] = arr.Data[o]
+	// every processor computes the same parts sizes, so the
+	// concatenation's layout (ascending owner) needs no headers and
+	// both ends of every link agree on whether a block range is empty
+	rangeWords := func(lo, hi int) int {
+		if hi > it.nproc {
+			hi = it.nproc
+		}
+		n := 0
+		for q := lo; q < hi; q++ {
+			n += len(parts[q])
+		}
+		return n
+	}
+	total := rangeWords(0, it.nproc)
+	if total == 0 {
+		return nil
+	}
+	// gather up the tree: before round k, processor p (a multiple of 2k)
+	// holds the blocks of owners [p, min(p+k, nproc)); a processor with
+	// bit k set sends its range to p-k and leaves
+	buf := make([]float64, 0, total)
+	for _, o := range parts[it.p] {
+		buf = append(buf, arr.Data[o])
+	}
+	for k := 1; k < it.nproc; k <<= 1 {
+		if it.p&k != 0 {
+			if len(buf) > 0 {
+				it.proc.Send(it.p-k, buf)
+			}
+			break
+		}
+		if it.p+k < it.nproc {
+			want := rangeWords(it.p+k, it.p+2*k)
+			if want == 0 {
+				continue
+			}
+			data := it.proc.Recv(it.p + k)
+			if len(data) != want {
+				return fmt.Errorf("allgather %s: size mismatch from %d", st.Array, it.p+k)
+			}
+			buf = append(buf, data...)
 		}
 	}
-	for q := 0; q < it.nproc; q++ {
-		if q == it.p || len(parts[it.p]) == 0 {
-			continue
-		}
-		it.proc.Send(q, data)
+	// processor 0 now holds the full concatenation; the tree broadcast
+	// distributes it and every processor unpacks by the shared layout
+	full := it.proc.Broadcast(0, buf)
+	if len(full) != total {
+		return fmt.Errorf("allgather %s: gathered %d words, want %d", st.Array, len(full), total)
 	}
+	pos := 0
 	for q := 0; q < it.nproc; q++ {
-		if q == it.p || len(parts[q]) == 0 {
-			continue
-		}
-		data := it.proc.Recv(q)
-		if len(data) != len(parts[q]) {
-			return fmt.Errorf("allgather %s: size mismatch from %d", st.Array, q)
-		}
-		for i, o := range parts[q] {
-			arr.Data[o] = data[i]
+		for _, o := range parts[q] {
+			arr.Data[o] = full[pos]
+			pos++
 		}
 	}
 	return nil
@@ -271,9 +305,59 @@ func (it *interp) ownerParts(arr *Array, bounds [][2]int) [][]int {
 	}
 }
 
+// UnknownReduceOpError reports a GlobalReduce whose operation the
+// interpreter does not implement. Earlier versions silently treated
+// any unrecognized op as a sum; an unknown op is a compiler bug and
+// must fail loudly.
+type UnknownReduceOpError struct {
+	Var string // reduction variable
+	Op  string // the unrecognized operation
+}
+
+func (e *UnknownReduceOpError) Error() string {
+	return fmt.Sprintf("global reduce of %s: unknown operation %q (want \"+\", \"MAX\" or \"MIN\")", e.Var, e.Op)
+}
+
+// reduceCombine maps a GlobalReduce op to its combining function.
+func reduceCombine(op string) (func(a, b float64) float64, bool) {
+	switch op {
+	case "+":
+		return func(a, b float64) float64 { return a + b }, true
+	case "MAX":
+		return func(a, b float64) float64 {
+			if b > a {
+				return b
+			}
+			return a
+		}, true
+	case "MIN":
+		return func(a, b float64) float64 {
+			if b < a {
+				return b
+			}
+			return a
+		}, true
+	}
+	return nil, false
+}
+
 // execGlobalReduce combines every processor's private copy of a scalar
-// (gather to processor 0, combine, broadcast back).
+// and leaves the result everywhere: a binomial combining tree into
+// processor 0 (machine.Reduce) followed by the tree broadcast back.
+// The critical path is 2·ceil(log2 P) message steps. The previous
+// lowering gathered flat — P-1 receives on the root, in fixed
+// ascending pid order — which funnels every partial into one
+// processor's queue; the tree bounds each in-degree by ceil(log2 P),
+// the iPSC library's own gather shape. (On this machine model, where
+// a receive costs the receiver nothing, the flat gather's last
+// arrival is actually latency-optimal — the tree buys its scaling at
+// up to log2(P) extra flights; machine.TestReduceTreeVsLinearGather
+// pins both sides of that trade.)
 func (it *interp) execGlobalReduce(f *frame, st *ast.GlobalReduce) error {
+	combine, ok := reduceCombine(st.Op)
+	if !ok {
+		return &UnknownReduceOpError{Var: st.Var, Op: st.Op}
+	}
 	sc := f.scalars[st.Var]
 	if sc == nil {
 		v := 0.0
@@ -283,33 +367,126 @@ func (it *interp) execGlobalReduce(f *frame, st *ast.GlobalReduce) error {
 	if it.nproc == 1 {
 		return nil
 	}
+	acc := it.proc.Reduce(0, *sc, combine)
+	var buf []float64
 	if it.p == 0 {
-		acc := *sc
-		for q := 1; q < it.nproc; q++ {
-			v := it.proc.Recv(q)[0]
-			switch st.Op {
-			case "MAX":
-				if v > acc {
-					acc = v
-				}
-			case "MIN":
-				if v < acc {
-					acc = v
-				}
-			default:
-				acc += v
-			}
-		}
-		*sc = acc
-		buf := it.proc.Scratch(1)
+		buf = it.proc.Scratch(1)
 		buf[0] = acc
-		*sc = it.proc.Broadcast(0, buf)[0]
+	}
+	*sc = it.proc.Broadcast(0, buf)[0]
+	return nil
+}
+
+// execPostRecv posts the receive half of a split halo exchange. Like
+// execRecv it is a no-op for out-of-range or self sources and empty
+// sections — in those cases no entry is recorded and the matching
+// WaitRecv is a no-op too, which is what makes the schedule pass's
+// unguarded waits safe under the post's original guard.
+func (it *interp) execPostRecv(f *frame, st *ast.PostRecv) error {
+	arr := f.arrays[st.Array]
+	if arr == nil {
+		return fmt.Errorf("postrecv: unknown array %s", st.Array)
+	}
+	bounds, empty, err := it.secBounds(f, st.Sec)
+	if err != nil {
+		return err
+	}
+	if empty {
 		return nil
 	}
-	buf := it.proc.Scratch(1)
-	buf[0] = *sc
-	it.proc.Send(0, buf)
-	*sc = it.proc.Broadcast(0, nil)[0]
+	src, err := it.evalInt(f, st.Src)
+	if err != nil {
+		return err
+	}
+	if src < 0 || src >= it.nproc || src == it.p {
+		return nil
+	}
+	offs := enumerate(arr, bounds)
+	if len(offs) == 0 {
+		return nil
+	}
+	if it.posted == nil {
+		it.posted = map[int]*postedOp{}
+	}
+	it.posted[st.Tag] = &postedOp{h: it.proc.IRecv(src), arr: arr, offs: offs}
+	return nil
+}
+
+// execWaitRecv completes the PostRecv with the same tag, storing the
+// message into the section captured at post time.
+func (it *interp) execWaitRecv(f *frame, st *ast.WaitRecv) error {
+	po := it.posted[st.Tag]
+	if po == nil {
+		return nil // the post's guard was false: nothing in flight
+	}
+	delete(it.posted, st.Tag)
+	data := it.proc.WaitHandle(po.h)
+	if len(data) != len(po.offs) {
+		return fmt.Errorf("waitrecv %s: message size %d != section size %d (proc %d)",
+			st.Array, len(data), len(po.offs), it.p)
+	}
+	for i, o := range po.offs {
+		po.arr.Data[o] = data[i]
+	}
+	return nil
+}
+
+// execPostBcast posts the send half of a split-phase broadcast: the
+// root's tree sends happen now, every other processor records what to
+// wait for.
+func (it *interp) execPostBcast(f *frame, st *ast.PostBcast) error {
+	arr := f.arrays[st.Array]
+	if arr == nil {
+		return fmt.Errorf("postbcast: unknown array %s", st.Array)
+	}
+	bounds, empty, err := it.secBounds(f, st.Sec)
+	if err != nil {
+		return err
+	}
+	if empty {
+		return nil
+	}
+	root, err := it.evalInt(f, st.Root)
+	if err != nil {
+		return err
+	}
+	if root < 0 || root >= it.nproc {
+		return fmt.Errorf("postbcast %s: bad root %d", st.Array, root)
+	}
+	offs := enumerate(arr, bounds)
+	var data []float64
+	if it.p == root {
+		data = it.proc.Scratch(len(offs))
+		for i, o := range offs {
+			data[i] = arr.Data[o]
+		}
+	}
+	if it.posted == nil {
+		it.posted = map[int]*postedOp{}
+	}
+	it.posted[st.Tag] = &postedOp{
+		h: it.proc.PostBcast(root, data), arr: arr, offs: offs, isRoot: it.p == root,
+	}
+	return nil
+}
+
+// execWaitBcast completes the PostBcast with the same tag.
+func (it *interp) execWaitBcast(f *frame, st *ast.WaitBcast) error {
+	po := it.posted[st.Tag]
+	if po == nil {
+		return nil
+	}
+	delete(it.posted, st.Tag)
+	data := it.proc.WaitBcast(po.h)
+	if po.isRoot {
+		return nil // the root supplied the data; its copy is current
+	}
+	if len(data) != len(po.offs) {
+		return fmt.Errorf("waitbcast %s: size mismatch %d != %d", st.Array, len(data), len(po.offs))
+	}
+	for i, o := range po.offs {
+		po.arr.Data[o] = data[i]
+	}
 	return nil
 }
 

@@ -69,6 +69,22 @@ type interp struct {
 	// initial distributions for main-program arrays
 	dists map[string]*decomp.Dist
 	ops   int
+	// posted holds the outstanding split-phase operations by tag
+	// (PostRecv/PostBcast executed, matching wait not yet reached).
+	// Tags are unique program-wide, so a post can be completed by a
+	// wait in another statement of the same body without collision.
+	posted map[int]*postedOp
+}
+
+// postedOp is one in-flight split-phase operation: the machine handle
+// plus where the payload lands when the wait completes. The array and
+// offsets are captured at post time, so the wait stores into exactly
+// the section the post named.
+type postedOp struct {
+	h      *machine.Handle
+	arr    *Array
+	offs   []int
+	isRoot bool // bcast: this processor supplied the data; nothing to store
 }
 
 // setTraceCtx attributes the communication the statement is about to
@@ -541,6 +557,18 @@ func (it *interp) exec(f *frame, s ast.Stmt) error {
 	case *ast.GlobalReduce:
 		it.setTraceCtx(f, st, "reduce")
 		return it.execGlobalReduce(f, st)
+	case *ast.PostRecv:
+		it.setTraceCtx(f, st, "post")
+		return it.execPostRecv(f, st)
+	case *ast.WaitRecv:
+		it.setTraceCtx(f, st, "wait")
+		return it.execWaitRecv(f, st)
+	case *ast.PostBcast:
+		it.setTraceCtx(f, st, "bcast")
+		return it.execPostBcast(f, st)
+	case *ast.WaitBcast:
+		it.setTraceCtx(f, st, "bcast")
+		return it.execWaitBcast(f, st)
 
 	case *ast.Decomposition, *ast.Align, *ast.Distribute:
 		return nil // directives are no-ops at run time

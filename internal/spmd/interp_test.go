@@ -399,9 +399,10 @@ func TestAllGatherStatement(t *testing.T) {
 			t.Errorf("Y(%d) = %v, want %v", i, got, want)
 		}
 	}
-	// P*(P-1) pairwise messages
-	if res.Stats.Messages != 12 {
-		t.Errorf("messages = %d, want 12", res.Stats.Messages)
+	// tree gather + tree broadcast: 2*(P-1) messages, where the old
+	// all-to-all exchange cost P*(P-1) = 12
+	if res.Stats.Messages != 6 {
+		t.Errorf("messages = %d, want 6", res.Stats.Messages)
 	}
 }
 

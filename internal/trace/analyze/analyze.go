@@ -157,8 +157,8 @@ func Analyze(events []trace.Event) *Analysis {
 	var clocks []float64
 	for _, ev := range events {
 		switch ev.Kind {
-		case trace.KindSend, trace.KindRecv, trace.KindRemap, trace.KindProcSummary,
-			trace.KindFault, trace.KindAbort:
+		case trace.KindSend, trace.KindRecv, trace.KindWait, trace.KindRemap,
+			trace.KindProcSummary, trace.KindFault, trace.KindAbort:
 			any = true
 			if ev.PID+1 > p {
 				p = ev.PID + 1
@@ -167,7 +167,7 @@ func Analyze(events []trace.Event) *Analysis {
 			// end-of-run summaries) must still size the matrix to hold
 			// every src/dst it mentions
 			switch ev.Kind {
-			case trace.KindSend, trace.KindRecv, trace.KindRemap:
+			case trace.KindSend, trace.KindRecv, trace.KindWait, trace.KindRemap:
 				if ev.Src+1 > p {
 					p = ev.Src + 1
 				}
@@ -264,7 +264,7 @@ func Analyze(events []trace.Event) *Analysis {
 			h.SendTime += ev.Dur
 			bucketFor(hist, weight, int64(ev.Words))
 			addSpan(ev.Start, ev.Dur, func(b *TimeBin, ov float64) { b.Send += ov })
-		case trace.KindRecv:
+		case trace.KindRecv, trace.KindWait:
 			a.Matrix.Cost[ev.Src][ev.Dst] += ev.Dur
 			site(ev).BlockedTime += ev.Dur
 			addSpan(ev.Start, ev.Dur, func(b *TimeBin, ov float64) { b.Blocked += ov })

@@ -156,3 +156,36 @@ func TestFaultAndAbortCollection(t *testing.T) {
 		t.Errorf("clean analysis renders fault sections:\n%s", buf.String())
 	}
 }
+
+// TestZeroDurationAnalysis: a run whose processors report zero busy
+// time (P=1 with no communication, or a degenerate trace) must analyze
+// to all-zero shares — CPShare 0, bin width skipped — with no NaN or
+// Inf leaking into the rendered report from a division by zero time.
+func TestZeroDurationAnalysis(t *testing.T) {
+	events := []trace.Event{
+		{Kind: trace.KindProcSummary, PID: 0, Dur: 0},
+		{Kind: trace.KindProcSummary, PID: 1, Dur: 0},
+		{Kind: trace.KindSend, Name: "send", Proc: "MAIN", Line: 3, PID: 0, Src: 0, Dst: 1, Words: 1, Start: 0, Dur: 0, Seq: 1},
+	}
+	a := Analyze(events)
+	if a == nil {
+		t.Fatal("Analyze returned nil")
+	}
+	if a.Time != 0 {
+		t.Errorf("Time = %v, want 0", a.Time)
+	}
+	for _, h := range a.Hotspots {
+		if h.CPShare != 0 {
+			t.Errorf("site %s CPShare = %v, want 0 on a zero-duration run", h.Site(), h.CPShare)
+		}
+	}
+	var buf bytes.Buffer
+	if err := a.WriteText(&buf); err != nil {
+		t.Fatal(err)
+	}
+	for _, bad := range []string{"NaN", "Inf"} {
+		if strings.Contains(buf.String(), bad) {
+			t.Errorf("zero-duration report contains %s:\n%s", bad, buf.String())
+		}
+	}
+}

@@ -92,7 +92,7 @@ func WriteChrome(w io.Writer, events []Event) error {
 					TS: ev.Start + ev.Dur, PID: ChromePIDMachine, TID: ev.PID,
 				})
 			}
-		case KindRecv:
+		case KindRecv, KindWait:
 			procs[ev.PID] = true
 			args := commArgs(ev)
 			slices = append(slices, chromeEvent{

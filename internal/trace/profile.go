@@ -97,7 +97,7 @@ func criticalPath(events []Event, sums []Event) float64 {
 	var comms []Event
 	for _, ev := range events {
 		switch ev.Kind {
-		case KindSend, KindRecv, KindRemap:
+		case KindSend, KindRecv, KindWait, KindRemap:
 			comms = append(comms, ev)
 		}
 	}
@@ -125,7 +125,7 @@ func criticalPath(events []Event, sums []Event) float64 {
 				cpSend[ev.Seq] = path
 				endSend[ev.Seq] = end
 			}
-		case KindRecv:
+		case KindRecv, KindWait:
 			// blocked time is not chain work: the receiver's chain
 			// arrives at `ready`, and if it stalled the message's
 			// in-flight time from the sender's chain takes over

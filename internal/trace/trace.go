@@ -46,6 +46,13 @@ const (
 	// ("dup" at the sender, "dup-drop" at the discarding receiver), or
 	// a "straggler" announcement (Dur = flop-cost multiplier).
 	KindFault
+	// KindWait is the completion of a nonblocking receive (machine
+	// ISend/IRecv/WaitHandle, split-phase broadcast): like KindRecv,
+	// Dur is the time the processor actually stalled at the wait — the
+	// part of the message flight the post-early/wait-late schedule
+	// failed to hide under computation. It is appended after KindFault
+	// so existing serialized kinds keep their values.
+	KindWait
 )
 
 func (k Kind) String() string {
@@ -66,6 +73,8 @@ func (k Kind) String() string {
 		return "abort"
 	case KindFault:
 		return "fault"
+	case KindWait:
+		return "wait"
 	}
 	return "?"
 }

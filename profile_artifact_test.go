@@ -221,7 +221,10 @@ func TestServiceProfileMemStore(t *testing.T) {
 func TestProfileDeterministicAcrossServiceAndLibrary(t *testing.T) {
 	src := Jacobi2DSrc(16, 3, 4)
 	init := map[string][]float64{"a": Ramp(16 * 16)}
-	svc := newTestService(t, ServiceConfig{})
+	// The service default mirrors fdd's: overlap inherited by requests
+	// that don't ask, so the direct DefaultOptions compile below sees
+	// the same generated code.
+	svc := newTestService(t, ServiceConfig{Options: DefaultOptions()})
 	out, err := svc.Run(context.Background(), RunRequest{Source: src, Init: init, Profile: true})
 	if err != nil {
 		t.Fatal(err)

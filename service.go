@@ -504,6 +504,7 @@ func ProgramID(src string, opts Options) string {
 		"strategy", fmt.Sprint(int(opts.Strategy)),
 		"remap", fmt.Sprint(int(opts.RemapOpt)),
 		"clone", fmt.Sprint(opts.CloneLimit),
+		"overlap", fmt.Sprint(opts.Overlap),
 	)
 }
 
@@ -578,6 +579,12 @@ func (s *Service) compileLocked(ctx context.Context, req CompileRequest) (*Compi
 	if opts.Deadline == 0 {
 		opts.Deadline = s.cfg.Options.Deadline
 	}
+	// Like Deadline, a request that does not ask for overlap inherits
+	// the service-wide default (fdd -overlap); an explicit
+	// Options.Overlap = true always wins.
+	if !opts.Overlap {
+		opts.Overlap = s.cfg.Options.Overlap
+	}
 	var ex *Explain
 	if req.Explain {
 		ex = NewExplain()
@@ -587,8 +594,13 @@ func (s *Service) compileLocked(ctx context.Context, req CompileRequest) (*Compi
 	if err != nil {
 		return nil, err
 	}
+	// The id and retained options reflect the effective compile (after
+	// Deadline/Overlap inheritance), so an explicit-overlap request and
+	// one inheriting a default-on service map to the same program id.
+	eff := req.Options
+	eff.Overlap = opts.Overlap
 	res := &CompileResult{
-		ID:      ProgramID(req.Source, req.Options),
+		ID:      ProgramID(req.Source, eff),
 		Program: prog,
 		Listing: prog.Listing(),
 		Report:  prog.Report(),
@@ -599,7 +611,7 @@ func (s *Service) compileLocked(ctx context.Context, req CompileRequest) (*Compi
 		res.Remarks = ex.Remarks()
 	}
 	s.retain(&program{
-		id: res.ID, src: req.Source, opts: req.Options,
+		id: res.ID, src: req.Source, opts: eff,
 		prog: prog, listing: res.Listing,
 	})
 	return res, nil

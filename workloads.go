@@ -317,6 +317,34 @@ func SyntheticProcsSrc(nsubs, loops, n, p int) string {
 	return b.String()
 }
 
+// ReductionSrc generates a global-reduction workload over a cyclic
+// distribution: a sum and a max over the whole array, each lowered to
+// a binomial combining tree (globalsum/globalmax) followed by the
+// result broadcast. It exercises the tree reduce on every processor
+// count, including P that are not powers of two.
+func ReductionSrc(n, p int) string {
+	return fmt.Sprintf(`
+      PROGRAM RED
+      PARAMETER (n$proc = %d)
+      REAL X(%d)
+      DISTRIBUTE X(CYCLIC)
+      do i = 1, %d
+        X(i) = MOD(i * 7, 13)
+      enddo
+      s = 0.0
+      do i = 1, %d
+        s = s + X(i)
+      enddo
+      emax = 0.0
+      do i = 1, %d
+        emax = MAX(emax, X(i))
+      enddo
+      X(1) = s
+      X(2) = emax
+      END
+`, p, n, n, n, n)
+}
+
 // Ramp returns [1, 2, ..., n] as float64 — a convenient array seed.
 func Ramp(n int) []float64 {
 	out := make([]float64, n)
